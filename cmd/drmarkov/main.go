@@ -1,0 +1,107 @@
+// Command drmarkov builds and solves the paper's Markov chain from a
+// parameter file written by `drsim -params-out` (our SHARPE substitute). It
+// prints the stationary distribution and the mean reserved bandwidth under
+// the plain §3.2 chain and under the finite-lifetime (restart) extension.
+//
+// Example:
+//
+//	drsim -conns 3000 -params-out params.json
+//	drmarkov -in params.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drqos/internal/markov"
+	"drqos/internal/modelio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drmarkov:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in        = flag.String("in", "", "parameter JSON written by drsim -params-out (required)")
+		transient = flag.Float64("transient", 0, "also report the distribution at this time horizon")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	doc, err := modelio.Read(f)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", *in, err)
+	}
+	spec := doc.Spec()
+
+	chain, err := markov.Build(doc.Params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chain: %d states, λ=%.6f μ=%.6f γ=%.6f Pf=%.4f Ps=%.4f\n",
+		chain.N(), doc.Params.Lambda, doc.Params.Mu, doc.Params.Gamma,
+		doc.Params.Pf, doc.Params.Ps)
+
+	pi, err := chain.SteadyStateFrom(doc.BirthDist)
+	if err != nil {
+		return err
+	}
+	mean, err := markov.MeanBandwidth(pi, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper model:    pi=%s  mean=%.1f Kbps\n", fmtDist(pi), mean)
+
+	if doc.Delta > 0 && len(doc.BirthDist) == chain.N() {
+		rchain, err := chain.WithRestart(doc.BirthDist, doc.Delta)
+		if err != nil {
+			return err
+		}
+		rpi, err := rchain.SteadyStateFrom(doc.BirthDist)
+		if err != nil {
+			return err
+		}
+		rmean, err := markov.MeanBandwidth(rpi, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("restart model:  pi=%s  mean=%.1f Kbps (δ=%.2e)\n", fmtDist(rpi), rmean, doc.Delta)
+	}
+
+	if *transient > 0 {
+		p0 := doc.BirthDist
+		pt, err := chain.Transient(p0, *transient, 1e-10)
+		if err != nil {
+			return err
+		}
+		tmean, err := markov.MeanBandwidth(pt, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("transient t=%g: pi=%s  mean=%.1f Kbps\n", *transient, fmtDist(pt), tmean)
+	}
+	return nil
+}
+
+func fmtDist(pi []float64) string {
+	out := "["
+	for i, p := range pi {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3f", p)
+	}
+	return out + "]"
+}

@@ -1,0 +1,154 @@
+// Command drsim runs one detailed simulation of dependable real-time
+// connections with elastic QoS and prints the measured metrics and model
+// parameters. With -params-out it writes the measured markov.Params (plus
+// birth distribution and restart rate) as JSON for cmd/drmarkov.
+//
+// Example — one Figure 2 data point:
+//
+//	drsim -nodes 100 -conns 3000 -churn 2000 -warmup 400 -seed 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drqos/internal/analytic"
+	"drqos/internal/core"
+	"drqos/internal/modelio"
+	"drqos/internal/qos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		kind      = flag.String("kind", "waxman", "topology: waxman or tier")
+		nodes     = flag.Int("nodes", 100, "node count (waxman)")
+		seed      = flag.Uint64("seed", 1, "seed for topology and workload")
+		conns     = flag.Int("conns", 3000, "initial DR-connection requests")
+		churn     = flag.Int("churn", 2000, "measured churn events")
+		warmup    = flag.Int("warmup", 400, "warmup events before measurement")
+		lambda    = flag.Float64("lambda", 0.001, "arrival rate")
+		mu        = flag.Float64("mu", 0.001, "termination rate")
+		gamma     = flag.Float64("gamma", 0, "link failure rate")
+		repair    = flag.Float64("repair", 0.01, "link repair rate (with -gamma)")
+		capacity  = flag.Int64("capacity", int64(core.PaperCapacity), "link capacity per direction (Kbps)")
+		minBW     = flag.Int64("min", 100, "elastic minimum (Kbps)")
+		maxBW     = flag.Int64("max", 500, "elastic maximum (Kbps)")
+		inc       = flag.Int64("inc", 50, "elastic increment (Kbps)")
+		policy    = flag.String("policy", "coefficient", "adaptation policy: coefficient or max-utility")
+		noBackup  = flag.Bool("no-require-backup", false, "accept unprotectable connections")
+		noMux     = flag.Bool("no-multiplex", false, "disable backup multiplexing")
+		paramsOut = flag.String("params-out", "", "write measured model parameters as JSON")
+		traceOut  = flag.String("trace", "", "write a JSONL event trace to this file")
+	)
+	flag.Parse()
+
+	pol, err := qos.PolicyByName(*policy)
+	if err != nil {
+		return err
+	}
+	k := core.TopologyWaxman
+	if *kind == "tier" {
+		k = core.TopologyTransitStub
+	} else if *kind != "waxman" {
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	opts := core.Options{
+		Seed: *seed,
+		Kind: k, Nodes: *nodes,
+		Capacity: qos.Kbps(*capacity),
+		Spec: qos.ElasticSpec{
+			Min: qos.Kbps(*minBW), Max: qos.Kbps(*maxBW),
+			Increment: qos.Kbps(*inc), Utility: 1,
+		},
+		Lambda: *lambda, Mu: *mu, Gamma: *gamma, RepairRate: *repair,
+		Policy:                    pol,
+		NoRequireBackup:           *noBackup,
+		DisableBackupMultiplexing: *noMux,
+		InitialConns:              *conns,
+		ChurnEvents:               *churn,
+		WarmupEvents:              *warmup,
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts.Trace = f
+	}
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		return err
+	}
+	m := sys.Metrics()
+	fmt.Printf("topology: %d nodes, %d links (%d directed), diameter %d, avg hops %.2f\n",
+		m.Nodes, m.Edges, 2*m.Edges, m.Diameter, m.AvgHops)
+
+	ev, err := sys.Evaluate()
+	if err != nil {
+		return err
+	}
+	res := ev.Sim
+	fmt.Printf("workload: offered=%d established=%d rejected=%d terminated=%d dropped=%d failures=%d\n",
+		res.Offered, res.Established, res.Rejected, res.Terminated, res.Dropped, res.Failures)
+	fmt.Printf("population: alive=%d (avg %.1f), avg primary hops %.2f\n",
+		res.AliveAtEnd, res.AvgAlive, res.AvgHops)
+	fmt.Printf("average bandwidth: sim=%.1f ± %.1f Kbps (final %.1f)\n", res.AvgBandwidth, res.AvgBandwidthCI95, res.FinalAvgBandwidth)
+	fmt.Printf("analytic: paper-model=%.1f restart-model=%.1f general-model=%.1f ideal=%.0f\n",
+		ev.PaperModel.MeanBandwidth, ev.RestartModel.MeanBandwidth,
+		ev.GeneralModel.MeanBandwidth, ev.IdealBandwidth)
+	fmt.Printf("measured: Pf=%.4f Ps=%.4f effλ=%.6f effμ=%.6f effγ=%.6f\n",
+		res.Params.Pf, res.Params.Ps, res.EffectiveLambda, res.EffectiveMu, res.EffectiveGamma)
+	if pfPred, err := analytic.Pf(sys.Graph().NumDirLinks(), res.AvgHops); err == nil {
+		psPred, _ := analytic.Ps(sys.Graph().NumDirLinks(), res.AvgHops, res.AliveAtEnd)
+		fmt.Printf("mean-field prediction: Pf=%.4f Ps=%.4f (see internal/analytic)\n", pfPred, psPred)
+	}
+	fmt.Printf("discarded jump mass: A=%.3f B=%.3f T=%.3f\n",
+		res.DiscardedA, res.DiscardedB, res.DiscardedT)
+	fmt.Printf("state occupancy (sim): %s\n", fmtDist(res.EmpiricalPi))
+	fmt.Printf("state occupancy (markov): %s\n", fmtDist(ev.RestartModel.Pi))
+
+	if *paramsOut != "" {
+		delta := 0.0
+		if res.AvgAlive > 0 {
+			delta = res.EffectiveMu / res.AvgAlive
+		}
+		doc := &modelio.Document{
+			Params:        res.Params,
+			BirthDist:     res.BirthDist,
+			Delta:         delta,
+			SpecMin:       qos.Kbps(*minBW),
+			SpecMax:       qos.Kbps(*maxBW),
+			SpecIncrement: qos.Kbps(*inc),
+		}
+		f, err := os.Create(*paramsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := modelio.Write(f, doc); err != nil {
+			return err
+		}
+		fmt.Printf("wrote model parameters to %s\n", *paramsOut)
+	}
+	return nil
+}
+
+func fmtDist(pi []float64) string {
+	out := ""
+	for i, p := range pi {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.3f", p)
+	}
+	return out
+}

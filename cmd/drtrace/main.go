@@ -1,0 +1,108 @@
+// Command drtrace summarizes a JSONL event trace written by
+// `drsim -trace`: event counts, population and bandwidth trajectories, and
+// per-failure impact statistics.
+//
+// Example:
+//
+//	drsim -conns 2000 -gamma 1e-4 -trace trace.jsonl
+//	drtrace -in trace.jsonl -buckets 10
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"drqos/internal/sim"
+	"drqos/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in      = flag.String("in", "", "trace file written by drsim -trace (required)")
+		buckets = flag.Int("buckets", 10, "number of time buckets in the trajectory table")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		return fmt.Errorf("-in is required")
+	}
+	if *buckets < 1 {
+		return fmt.Errorf("need at least 1 bucket")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var events []sim.TraceEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var ev sim.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	counts := map[string]int{}
+	var failureImpact stats.Running
+	for _, ev := range events {
+		counts[ev.Kind]++
+		if ev.Kind == "failure" {
+			failureImpact.Observe(float64(ev.Activated + ev.Dropped))
+		}
+	}
+	fmt.Printf("events: %d total", len(events))
+	for _, k := range []string{"arrival", "reject", "termination", "failure", "repair"} {
+		if counts[k] > 0 {
+			fmt.Printf("  %s=%d", k, counts[k])
+		}
+	}
+	fmt.Println()
+	if failureImpact.N() > 0 {
+		fmt.Printf("failure impact: %.2f affected connections per failure (max %.0f over %d failures)\n",
+			failureImpact.Mean(), failureImpact.Max(), failureImpact.N())
+	}
+
+	start, end := events[0].T, events[len(events)-1].T
+	if end <= start {
+		fmt.Println("trajectory: trace covers a single instant; skipping buckets")
+		return nil
+	}
+	fmt.Printf("\n%-12s %-8s %-10s\n", "t", "alive", "avg bw")
+	width := (end - start) / float64(*buckets)
+	idx := 0
+	for b := 0; b < *buckets; b++ {
+		cut := start + float64(b+1)*width
+		var last *sim.TraceEvent
+		for idx < len(events) && events[idx].T <= cut {
+			last = &events[idx]
+			idx++
+		}
+		if last == nil {
+			continue
+		}
+		fmt.Printf("%-12.1f %-8d %-10.1f\n", last.T, last.Alive, last.AvgBandwidth)
+	}
+	return nil
+}

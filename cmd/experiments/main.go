@@ -1,0 +1,102 @@
+// Command experiments regenerates the paper's tables and figures plus the
+// reproduction's ablations, printing each as a text table.
+//
+// Examples:
+//
+//	experiments -run all -scale quick
+//	experiments -run fig2,fig4 -scale full -seed 2001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"drqos/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		runList = flag.String("run", "all", "comma-separated: fig2,table1,fig3,fig4,ablationA..E,coverage,variability or all")
+		scale   = flag.String("scale", "quick", "quick or full")
+		seed    = flag.Uint64("seed", 2001, "experiment seed")
+		datDir  = flag.String("dat", "", "also write gnuplot .dat files and plots.gp into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Seed: *seed}
+	switch *scale {
+	case "quick":
+		cfg.Scale = experiments.ScaleQuick
+	case "full":
+		cfg.Scale = experiments.ScaleFull
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	type renderer interface{ Render(io.Writer) error }
+	runners := map[string]func() (renderer, error){
+		"fig2":        func() (renderer, error) { return experiments.Fig2(cfg) },
+		"table1":      func() (renderer, error) { return experiments.Table1(cfg) },
+		"fig3":        func() (renderer, error) { return experiments.Fig3(cfg) },
+		"fig4":        func() (renderer, error) { return experiments.Fig4(cfg) },
+		"ablationA":   func() (renderer, error) { return experiments.AblationA(cfg) },
+		"ablationB":   func() (renderer, error) { return experiments.AblationB(cfg) },
+		"ablationC":   func() (renderer, error) { return experiments.AblationC(cfg) },
+		"ablationD":   func() (renderer, error) { return experiments.AblationD(cfg) },
+		"ablationE":   func() (renderer, error) { return experiments.AblationE(cfg) },
+		"coverage":    func() (renderer, error) { return experiments.Coverage(cfg) },
+		"variability": func() (renderer, error) { return experiments.Variability(cfg) },
+	}
+	order := []string{"fig2", "table1", "fig3", "fig4", "ablationA", "ablationB", "ablationC", "ablationD", "ablationE", "coverage", "variability"}
+
+	selected := strings.Split(*runList, ",")
+	if *runList == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		name = strings.TrimSpace(name)
+		runner, ok := runners[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have %s)", name, strings.Join(order, ", "))
+		}
+		start := time.Now()
+		res, err := runner()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("=== %s (%s scale, %s) ===\n", name, *scale, time.Since(start).Round(time.Millisecond))
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		if *datDir != "" {
+			if dw, ok := res.(experiments.DatWriter); ok {
+				if err := os.MkdirAll(*datDir, 0o755); err != nil {
+					return err
+				}
+				if err := experiments.WriteDatFile(*datDir, name, dw); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if *datDir != "" {
+		if err := os.WriteFile(filepath.Join(*datDir, "plots.gp"), []byte(experiments.GnuplotScript()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("gnuplot data written to %s (run: gnuplot plots.gp)\n", *datDir)
+	}
+	return nil
+}

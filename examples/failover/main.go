@@ -1,0 +1,94 @@
+// Failover: walk through the paper's fault-tolerance machinery (§2.1.2,
+// §3.1) on a small network you can trace by hand.
+//
+// The scenario follows a remote-surgery connection (the paper's motivating
+// "remote medical services"): a primary channel carries the video feed, a
+// link-disjoint backup stands by. A backhoe cuts a fiber on the primary
+// route; the backup activates within the same control action, neighbouring
+// channels retreat to their minimum QoS to make room, and once the fiber is
+// repaired the connection is re-protected.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drqos/internal/core"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/topology"
+)
+
+func main() {
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: 50, Alpha: 0.5, Beta: 0.15, EnsureConnected: true,
+	}, rng.New(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := manager.New(g, manager.Config{
+		Capacity:      core.PaperCapacity,
+		RequireBackup: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Background load so that failure effects are visible.
+	src := rng.New(34)
+	for i := 0; i < 800; i++ {
+		a := topology.NodeID(src.Intn(g.NumNodes()))
+		b := topology.NodeID(src.Intn(g.NumNodes() - 1))
+		if b >= a {
+			b++
+		}
+		_, _ = mgr.Establish(a, b, qos.DefaultSpec())
+	}
+	fmt.Printf("background: %d channels up, avg %.0f Kbps\n\n", mgr.AliveCount(), mgr.AverageBandwidth())
+
+	// The surgery feed.
+	rep, err := mgr.Establish(0, topology.NodeID(g.NumNodes()-1), qos.DefaultSpec())
+	if err != nil {
+		log.Fatalf("could not establish the surgery feed: %v", err)
+	}
+	feed := rep.Conn
+	fmt.Printf("surgery feed %d established:\n", feed.ID)
+	fmt.Printf("  primary: %v  (%v)\n", feed.Primary, feed.Bandwidth())
+	fmt.Printf("  backup:  %v  (link-disjoint: %v)\n\n", feed.Backup, feed.Backup.LinkDisjoint(feed.Primary))
+
+	// The backhoe moment: cut a fiber in the middle of the primary route.
+	cut := feed.Primary.Links[len(feed.Primary.Links)/2]
+	fmt.Printf("cutting link %d (on the primary route)...\n", cut)
+	fr, err := mgr.FailLink(cut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  activated backups: %d, dropped: %d, channels squeezed to minimum: %d\n",
+		len(fr.Activated), len(fr.Dropped), len(fr.Squeezed))
+	fmt.Printf("  feed state: %v, now running on %v at %v\n",
+		feed.State(), feed.Primary, feed.Bandwidth())
+	if feed.HasBackup {
+		fmt.Printf("  feed was immediately re-protected via %v\n", feed.Backup)
+	} else {
+		fmt.Println("  feed is temporarily unprotected (no disjoint route while the fiber is down)")
+	}
+
+	// Repair restores protection for whoever lost it.
+	fmt.Printf("\nrepairing link %d...\n", cut)
+	restored, err := mgr.RepairLink(cut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  backups re-established for %d channels\n", restored)
+	fmt.Printf("  feed protected again: %v\n", feed.HasBackup)
+	fmt.Printf("\nnetwork after the incident: %d channels, avg %.0f Kbps, %d unprotected\n",
+		mgr.AliveCount(), mgr.AverageBandwidth(), len(mgr.Unprotected()))
+
+	if err := mgr.CheckInvariants(); err != nil {
+		log.Fatalf("ledger corrupted: %v", err)
+	}
+	fmt.Println("resource ledger verified: all conservation invariants hold")
+}

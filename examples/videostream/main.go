@@ -1,0 +1,120 @@
+// Videostream: the paper's motivating workload (§4) driven through the
+// manager API directly.
+//
+// "For example, a video service requires at least 100Kbps for recognizable
+// continuous images and 500Kbps for a high-quality image."
+//
+// A video provider sets up streams between random customer sites. Each
+// stream asks for the elastic range [100, 500] Kb/s; premium streams carry
+// double utility. As the network fills up, every stream keeps running — the
+// elastic QoS degrades picture quality instead of rejecting new customers —
+// and premium streams keep a visibly better picture under the coefficient
+// (proportional) adaptation policy.
+//
+// Run with: go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drqos/internal/channel"
+	"drqos/internal/core"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/topology"
+)
+
+// quality maps a reserved bandwidth to the paper's informal video scale.
+func quality(bw qos.Kbps) string {
+	switch {
+	case bw >= 500:
+		return "high-quality"
+	case bw >= 300:
+		return "good"
+	case bw >= 200:
+		return "fair"
+	default:
+		return "recognizable"
+	}
+}
+
+func main() {
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: 100, Alpha: core.PaperAlpha, Beta: core.PaperBeta, EnsureConnected: true,
+	}, rng.New(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := manager.New(g, manager.Config{
+		Capacity:      core.PaperCapacity,
+		Policy:        qos.CoefficientPolicy{},
+		RequireBackup: true, // every stream gets a backup channel
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	standard := qos.DefaultSpec() // 100..500 Kbps, utility 1
+	premium := qos.DefaultSpec()
+	premium.Utility = 2
+
+	src := rng.New(99)
+	var premiumIDs, standardIDs []channel.ConnID
+	const streams = 2500
+	for i := 0; i < streams; i++ {
+		a := topology.NodeID(src.Intn(g.NumNodes()))
+		b := topology.NodeID(src.Intn(g.NumNodes() - 1))
+		if b >= a {
+			b++
+		}
+		spec := standard
+		if i%10 == 0 { // every tenth customer pays for premium
+			spec = premium
+		}
+		rep, err := mgr.Establish(a, b, spec)
+		if err != nil {
+			continue // rejected: no route with 100 Kb/s + protection left
+		}
+		if spec.Utility > 1 {
+			premiumIDs = append(premiumIDs, rep.Conn.ID)
+		} else {
+			standardIDs = append(standardIDs, rep.Conn.ID)
+		}
+
+		if (i+1)%500 == 0 {
+			fmt.Printf("after %4d requests: %4d streams up, network-wide avg %.0f Kbps\n",
+				i+1, mgr.AliveCount(), mgr.AverageBandwidth())
+		}
+	}
+
+	avgOf := func(ids []channel.ConnID) (float64, map[string]int) {
+		var sum float64
+		var n int
+		dist := map[string]int{}
+		for _, id := range ids {
+			c := mgr.Conn(id)
+			if c == nil || !c.Alive() {
+				continue
+			}
+			sum += float64(c.Bandwidth())
+			dist[quality(c.Bandwidth())]++
+			n++
+		}
+		if n == 0 {
+			return 0, dist
+		}
+		return sum / float64(n), dist
+	}
+
+	fmt.Println()
+	pAvg, pDist := avgOf(premiumIDs)
+	sAvg, sDist := avgOf(standardIDs)
+	fmt.Printf("premium streams:  avg %.0f Kbps, quality mix %v\n", pAvg, pDist)
+	fmt.Printf("standard streams: avg %.0f Kbps, quality mix %v\n", sAvg, sDist)
+	fmt.Printf("acceptance: %d/%d requests admitted (every admitted stream is backed up)\n",
+		mgr.Requests()-mgr.Rejects(), mgr.Requests())
+	unprotected := mgr.Unprotected()
+	fmt.Printf("unprotected streams: %d\n", len(unprotected))
+}

@@ -1,0 +1,3 @@
+module drqos
+
+go 1.22

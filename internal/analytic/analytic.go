@@ -1,0 +1,112 @@
+// Package analytic provides closed-form mean-field approximations for the
+// topology-dependent model parameters the paper obtains from simulation
+// (§3.3). The paper argues that on irregular networks these probabilities
+// are "almost impossible to parameterize analytically"; the uniform-route
+// approximation below shows how far simple combinatorics actually get on
+// Waxman-class random graphs (quite far for Pf; order-of-magnitude for Ps —
+// see the comparison tests), and where the residual error comes from
+// (non-uniform link popularity: leaf links carry fewer routes than core
+// links, the very heterogeneity the paper names).
+//
+// Model: a route is an unordered set of h directed links drawn uniformly
+// from the L directed links of the network, independently per channel.
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// validate checks the common parameter domain.
+func validate(directedLinks int, avgHops float64) error {
+	if directedLinks < 1 {
+		return fmt.Errorf("analytic: non-positive link count %d", directedLinks)
+	}
+	if avgHops <= 0 || avgHops > float64(directedLinks) {
+		return fmt.Errorf("analytic: avg hops %v outside (0,%d]", avgHops, directedLinks)
+	}
+	return nil
+}
+
+// NoOverlapProb returns the probability that two independent uniform
+// routes of h directed links (out of L) share no link:
+//
+//	Π_{i=0}^{h-1} (L−h−i)/(L−i)
+//
+// evaluated continuously in h via lgamma so fractional average hop counts
+// work.
+func NoOverlapProb(directedLinks int, avgHops float64) (float64, error) {
+	if err := validate(directedLinks, avgHops); err != nil {
+		return 0, err
+	}
+	l := float64(directedLinks)
+	h := avgHops
+	if 2*h > l {
+		return 0, nil // routes longer than half the network always collide
+	}
+	// Π (L−h−i)/(L−i) for i in [0,h) = Γ(L−h+1)Γ(L−h+1)/(Γ(L−2h+1)Γ(L+1)).
+	lg := func(x float64) float64 {
+		v, _ := math.Lgamma(x)
+		return v
+	}
+	logP := 2*lg(l-h+1) - lg(l-2*h+1) - lg(l+1)
+	return math.Exp(logP), nil
+}
+
+// Pf estimates the paper's link-sharing probability: the chance that an
+// existing channel shares at least one directed link with a newly arrived
+// channel.
+func Pf(directedLinks int, avgHops float64) (float64, error) {
+	p, err := NoOverlapProb(directedLinks, avgHops)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - p, nil
+}
+
+// CoveredFraction estimates the fraction of directed links touched by n
+// independent uniform routes of h links each: 1 − (1 − h/L)^n.
+func CoveredFraction(directedLinks int, avgHops float64, n float64) (float64, error) {
+	if err := validate(directedLinks, avgHops); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("analytic: negative route count %v", n)
+	}
+	perRoute := avgHops / float64(directedLinks)
+	if perRoute > 1 {
+		perRoute = 1
+	}
+	return 1 - math.Pow(1-perRoute, n), nil
+}
+
+// Ps estimates the paper's indirect-chaining probability: the chance that
+// an existing channel avoids the new route but touches the union of the
+// directly chained channels' routes. channels is the alive population N.
+//
+// Derivation: the expected directly-chained population is D = Pf·N; their
+// routes cover a fraction c of the network's links; a channel disjoint
+// from the new route is indirectly chained if any of its ~h links falls in
+// that coverage: Ps ≈ (1 − Pf) · (1 − (1 − c)^h).
+func Ps(directedLinks int, avgHops float64, channels int) (float64, error) {
+	if channels < 0 {
+		return 0, fmt.Errorf("analytic: negative channel count %d", channels)
+	}
+	pf, err := Pf(directedLinks, avgHops)
+	if err != nil {
+		return 0, err
+	}
+	direct := pf * float64(channels)
+	c, err := CoveredFraction(directedLinks, avgHops, direct)
+	if err != nil {
+		return 0, err
+	}
+	touch := 1 - math.Pow(1-c, avgHops)
+	return (1 - pf) * touch, nil
+}
+
+// IdealPfSmallRoute is the first-order approximation h²/L, handy for
+// back-of-the-envelope sizing (Pf ≈ hops² / directed links).
+func IdealPfSmallRoute(directedLinks int, avgHops float64) float64 {
+	return avgHops * avgHops / float64(directedLinks)
+}

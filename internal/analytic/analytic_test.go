@@ -1,0 +1,159 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/sim"
+	"drqos/internal/topology"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Pf(0, 3); err == nil {
+		t.Fatal("zero links accepted")
+	}
+	if _, err := Pf(100, 0); err == nil {
+		t.Fatal("zero hops accepted")
+	}
+	if _, err := Pf(100, 200); err == nil {
+		t.Fatal("hops beyond links accepted")
+	}
+	if _, err := Ps(100, 3, -1); err == nil {
+		t.Fatal("negative channels accepted")
+	}
+	if _, err := CoveredFraction(100, 3, -1); err == nil {
+		t.Fatal("negative routes accepted")
+	}
+}
+
+func TestNoOverlapExactSmallCase(t *testing.T) {
+	// L=4 links, h=1: two single-link routes collide with prob 1/4.
+	p, err := NoOverlapProb(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.75) > 1e-12 {
+		t.Fatalf("no-overlap = %v, want 0.75", p)
+	}
+	// L=4, h=2: C(2,2)/C(4,2) = 1/6 chance of no overlap.
+	p, err = NoOverlapProb(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-1.0/6.0) > 1e-9 {
+		t.Fatalf("no-overlap = %v, want 1/6", p)
+	}
+	// Routes longer than half the links must always collide.
+	p, err = NoOverlapProb(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("no-overlap = %v, want 0", p)
+	}
+}
+
+func TestPfFirstOrderAgreement(t *testing.T) {
+	// For h² ≪ L the exact expression approaches h²/L.
+	exact, err := Pf(10000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := IdealPfSmallRoute(10000, 3)
+	if math.Abs(exact-approx)/approx > 0.05 {
+		t.Fatalf("exact %v vs first-order %v", exact, approx)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Pf grows with hops, shrinks with links.
+	p1, _ := Pf(354, 3)
+	p2, _ := Pf(354, 5)
+	if p2 <= p1 {
+		t.Fatalf("Pf not increasing in hops: %v vs %v", p1, p2)
+	}
+	p3, _ := Pf(1000, 3)
+	if p3 >= p1 {
+		t.Fatalf("Pf not decreasing in links: %v vs %v", p1, p3)
+	}
+	// Ps grows with population.
+	s1, _ := Ps(354, 3.6, 500)
+	s2, _ := Ps(354, 3.6, 3000)
+	if s2 <= s1 {
+		t.Fatalf("Ps not increasing in channels: %v vs %v", s1, s2)
+	}
+}
+
+func TestQuickProbabilitiesInRange(t *testing.T) {
+	f := func(linksRaw uint16, hopsRaw, chanRaw uint8) bool {
+		links := int(linksRaw%2000) + 10
+		hops := 1 + float64(hopsRaw%8)
+		channels := int(chanRaw) * 20
+		pf, err := Pf(links, hops)
+		if err != nil {
+			return true // rejected domain is fine
+		}
+		ps, err := Ps(links, hops, channels)
+		if err != nil {
+			return false
+		}
+		return pf >= 0 && pf <= 1 && ps >= 0 && ps <= 1 && pf+ps <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAgainstMeasured compares the mean-field estimates with the
+// simulator's measured Pf and Ps on the paper-matched topology. The point
+// of this test is calibrated honesty: Pf is predicted well (within 40%),
+// Ps only to the right order of magnitude — the residual being the link
+// popularity heterogeneity the paper names.
+func TestAgainstMeasured(t *testing.T) {
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: 100, Alpha: 0.33, Beta: 0.1176, EnsureConnected: true,
+	}, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Seed: 62,
+		Spec: qos.DefaultSpec(),
+		Manager: manager.Config{
+			Capacity:      10000,
+			RequireBackup: true,
+		},
+		Lambda:       0.001,
+		Mu:           0.001,
+		InitialConns: 1000,
+		ChurnEvents:  800,
+		WarmupEvents: 200,
+	}
+	s, err := sim.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfPred, err := Pf(g.NumDirLinks(), res.AvgHops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(pfPred-res.Params.Pf) / res.Params.Pf; rel > 0.4 {
+		t.Fatalf("Pf prediction %v vs measured %v (rel %v)", pfPred, res.Params.Pf, rel)
+	}
+	psPred, err := Ps(g.NumDirLinks(), res.AvgHops, res.AliveAtEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := psPred / res.Params.Ps
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("Ps prediction %v vs measured %v (ratio %v)", psPred, res.Params.Ps, ratio)
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"drqos/internal/core"
+)
+
+// AblationERow contrasts the backup-channel scheme with reactive
+// restoration at one failure rate.
+type AblationERow struct {
+	// Gamma is the link failure rate (repair rate fixed at 0.01).
+	Gamma float64
+	// BackupDropsPerFailure / ReactiveDropsPerFailure are the mean
+	// connections that lost service per failure under each scheme.
+	BackupDropsPerFailure, ReactiveDropsPerFailure float64
+	// ReactiveRecoveredPerFailure is the mean reactive re-establishment
+	// successes per failure.
+	ReactiveRecoveredPerFailure float64
+	// BackupAvgBW / ReactiveAvgBW are the schemes' average bandwidths.
+	BackupAvgBW, ReactiveAvgBW float64
+	// Failures counts injected failures (same workload for both schemes).
+	Failures int64
+}
+
+// AblationEResult is the recovery-scheme comparison.
+type AblationEResult struct {
+	Rows []AblationERow
+	// Load is the offered connection count.
+	Load int
+}
+
+// AblationE contrasts the backup-channel scheme with reactive restoration
+// (§2.1.2). Both schemes see the same topology and workload; the backup
+// scheme pre-reserves multiplexed spare, the reactive scheme scrambles for
+// a new route after each failure.
+//
+// What the comparison can and cannot show at connection level: our
+// reactive baseline re-establishes INSTANTLY and for free, so its drop
+// rate is competitive and its average bandwidth is even higher (no spare
+// reserved). The paper's argument for backups is the part this abstraction
+// deliberately erases — restoration is "time-consuming" and contended. The
+// proxy we report for that cost is ReactiveRecoveredPerFailure: every
+// recovery is a full bounded-flooding route discovery executed DURING the
+// outage (tens per failure), whereas backup activation needs none.
+func AblationE(cfg Config) (*AblationEResult, error) {
+	cfg = cfg.withDefaults()
+	gammas := []float64{1e-4, 1e-3, 1e-2}
+	load := 4000
+	if cfg.Scale == ScaleQuick {
+		gammas = []float64{1e-3, 1e-2}
+		load = 2500
+	}
+	events, warmup := cfg.churn()
+	out := &AblationEResult{Load: load}
+	for _, g := range gammas {
+		run := func(reactive bool) (drops, recovered float64, bw float64, failures int64, err error) {
+			sys, err := core.NewSystem(core.Options{
+				Seed:             cfg.Seed,
+				Gamma:            g,
+				RepairRate:       0.01,
+				InitialConns:     load,
+				ChurnEvents:      events,
+				WarmupEvents:     warmup,
+				ReactiveRecovery: reactive,
+			})
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			ev, err := sys.Evaluate()
+			if err != nil {
+				return 0, 0, 0, 0, err
+			}
+			r := ev.Sim
+			if r.Failures > 0 {
+				drops = float64(r.Dropped) / float64(r.Failures)
+				recovered = float64(r.Recovered) / float64(r.Failures)
+			}
+			return drops, recovered, r.AvgBandwidth, r.Failures, nil
+		}
+		bDrops, _, bBW, failures, err := run(false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation E backup at γ=%v: %w", g, err)
+		}
+		rDrops, rRec, rBW, _, err := run(true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation E reactive at γ=%v: %w", g, err)
+		}
+		out.Rows = append(out.Rows, AblationERow{
+			Gamma:                       g,
+			BackupDropsPerFailure:       bDrops,
+			ReactiveDropsPerFailure:     rDrops,
+			ReactiveRecoveredPerFailure: rRec,
+			BackupAvgBW:                 bBW,
+			ReactiveAvgBW:               rBW,
+			Failures:                    failures,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the comparison.
+func (r *AblationEResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Ablation E: backup channels vs reactive restoration (load %d)\n", r.Load); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0e", row.Gamma),
+			fmt.Sprintf("%.2f", row.BackupDropsPerFailure),
+			fmt.Sprintf("%.2f", row.ReactiveDropsPerFailure),
+			fmt.Sprintf("%.2f", row.ReactiveRecoveredPerFailure),
+			fmt.Sprintf("%.1f", row.BackupAvgBW),
+			fmt.Sprintf("%.1f", row.ReactiveAvgBW),
+			fmt.Sprintf("%d", row.Failures),
+		})
+	}
+	return renderTable(w, []string{
+		"gamma", "backup drops/fail", "reactive drops/fail", "reactive recov/fail",
+		"backup bw", "reactive bw", "failures",
+	}, rows)
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"drqos/internal/core"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/sim"
+)
+
+// AblationARow contrasts elastic QoS with the single-value baselines at one
+// load (the paper's §1 motivation: elastic accepts "substantially more"
+// DR-connections than a high fixed request while utilizing resources far
+// better than a minimal fixed request).
+type AblationARow struct {
+	Load int
+	core.BaselineComparison
+}
+
+// AblationAResult is the elastic-vs-single-value comparison.
+type AblationAResult struct {
+	Rows []AblationARow
+}
+
+// AblationA runs the baseline comparison across loads.
+func AblationA(cfg Config) (*AblationAResult, error) {
+	cfg = cfg.withDefaults()
+	out := &AblationAResult{}
+	events, warmup := cfg.churn()
+	for _, load := range cfg.loads() {
+		sys, err := core.NewSystem(core.Options{
+			Seed:         cfg.Seed,
+			InitialConns: load,
+			ChurnEvents:  events,
+			WarmupEvents: warmup,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cmp, err := sys.CompareBaselines()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation A at load %d: %w", load, err)
+		}
+		out.Rows = append(out.Rows, AblationARow{Load: load, BaselineComparison: *cmp})
+	}
+	return out, nil
+}
+
+// Render writes the comparison.
+func (r *AblationAResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Ablation A: elastic QoS vs single-value QoS baselines"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Load),
+			fmt.Sprintf("%.3f", row.Elastic.AcceptanceRatio),
+			fmt.Sprintf("%.1f", row.Elastic.AvgBandwidth),
+			fmt.Sprintf("%.3f", row.FixedMin.AcceptanceRatio),
+			fmt.Sprintf("%.1f", row.FixedMin.AvgBandwidth),
+			fmt.Sprintf("%.3f", row.FixedMax.AcceptanceRatio),
+			fmt.Sprintf("%.1f", row.FixedMax.AvgBandwidth),
+		})
+	}
+	return renderTable(w, []string{
+		"load", "elastic acc", "elastic bw", "fixmin acc", "fixmin bw", "fixmax acc", "fixmax bw",
+	}, rows)
+}
+
+// AblationBRow compares the two range-QoS adaptation policies (§2.2) on a
+// heterogeneous-utility workload.
+type AblationBRow struct {
+	Policy string
+	// HighUtilAvg / LowUtilAvg are the average bandwidths of the
+	// high-utility (2.0) and low-utility (1.0) halves of the population.
+	HighUtilAvg, LowUtilAvg float64
+	// OverallAvg is the population-wide average.
+	OverallAvg float64
+}
+
+// AblationBResult is the adaptation-policy comparison.
+type AblationBResult struct {
+	Rows []AblationBRow
+}
+
+// AblationB loads a network with alternating utility-1 and utility-2
+// connections under each policy and reports who got the extras: the
+// max-utility scheme lets high-utility channels monopolize, the coefficient
+// scheme shares proportionally (§2.2).
+func AblationB(cfg Config) (*AblationBResult, error) {
+	cfg = cfg.withDefaults()
+	load := 3000
+	if cfg.Scale == ScaleQuick {
+		load = 1500
+	}
+	out := &AblationBResult{}
+	for _, policy := range []qos.Policy{qos.CoefficientPolicy{}, qos.MaxUtilityPolicy{}} {
+		sys, err := core.NewSystem(core.Options{Seed: cfg.Seed, Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := manager.New(sys.Graph(), manager.Config{
+			Capacity:      core.PaperCapacity,
+			Policy:        policy,
+			RequireBackup: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Deterministic heterogeneous loading: alternate utilities.
+		src := newPairSource(cfg.Seed, sys.Graph().NumNodes())
+		lowSpec := qos.DefaultSpec()
+		highSpec := qos.DefaultSpec()
+		highSpec.Utility = 2
+		for i := 0; i < load; i++ {
+			spec := lowSpec
+			if i%2 == 1 {
+				spec = highSpec
+			}
+			a, b := src.next()
+			_, _ = mgr.Establish(a, b, spec)
+		}
+		var hiSum, loSum float64
+		var hiN, loN int
+		for _, id := range mgr.AliveIDs() {
+			c := mgr.Conn(id)
+			if c.Spec.Utility > 1 {
+				hiSum += float64(c.Bandwidth())
+				hiN++
+			} else {
+				loSum += float64(c.Bandwidth())
+				loN++
+			}
+		}
+		row := AblationBRow{Policy: policy.Name(), OverallAvg: mgr.AverageBandwidth()}
+		if hiN > 0 {
+			row.HighUtilAvg = hiSum / float64(hiN)
+		}
+		if loN > 0 {
+			row.LowUtilAvg = loSum / float64(loN)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render writes the comparison.
+func (r *AblationBResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Ablation B: max-utility vs coefficient adaptation (utilities 1 vs 2)"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Policy,
+			fmt.Sprintf("%.1f", row.HighUtilAvg),
+			fmt.Sprintf("%.1f", row.LowUtilAvg),
+			fmt.Sprintf("%.1f", row.OverallAvg),
+		})
+	}
+	return renderTable(w, []string{"policy", "high-util bw", "low-util bw", "overall bw"}, rows)
+}
+
+// AblationCRow compares backup multiplexing on/off at one load.
+type AblationCRow struct {
+	Load int
+	// MuxAcceptance / NoMuxAcceptance are the acceptance ratios.
+	MuxAcceptance, NoMuxAcceptance float64
+	// MuxAvgBW / NoMuxAvgBW are the average primary bandwidths.
+	MuxAvgBW, NoMuxAvgBW float64
+	// MuxAlive / NoMuxAlive are the final populations.
+	MuxAlive, NoMuxAlive int
+}
+
+// AblationCResult is the multiplexing ablation.
+type AblationCResult struct {
+	Rows []AblationCRow
+}
+
+// AblationC quantifies §2.1.2's claim that multiplexing backups
+// ("overbooking") reduces the resources reserved for protection: without it
+// every backup reserves its own spare and far fewer DR-connections fit.
+func AblationC(cfg Config) (*AblationCResult, error) {
+	cfg = cfg.withDefaults()
+	events, warmup := cfg.churn()
+	out := &AblationCResult{}
+	for _, load := range cfg.loads() {
+		run := func(disable bool) (*sim.Result, error) {
+			sys, err := core.NewSystem(core.Options{
+				Seed:                      cfg.Seed,
+				InitialConns:              load,
+				ChurnEvents:               events,
+				WarmupEvents:              warmup,
+				DisableBackupMultiplexing: disable,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ev, err := sys.Evaluate()
+			if err != nil {
+				return nil, err
+			}
+			return ev.Sim, nil
+		}
+		mux, err := run(false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation C mux at %d: %w", load, err)
+		}
+		noMux, err := run(true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation C no-mux at %d: %w", load, err)
+		}
+		ratio := func(r *sim.Result) float64 {
+			if r.Offered == 0 {
+				return 0
+			}
+			return float64(r.Established) / float64(r.Offered)
+		}
+		out.Rows = append(out.Rows, AblationCRow{
+			Load:            load,
+			MuxAcceptance:   ratio(mux),
+			NoMuxAcceptance: ratio(noMux),
+			MuxAvgBW:        mux.AvgBandwidth,
+			NoMuxAvgBW:      noMux.AvgBandwidth,
+			MuxAlive:        mux.AliveAtEnd,
+			NoMuxAlive:      noMux.AliveAtEnd,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the comparison.
+func (r *AblationCResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Ablation C: backup multiplexing on vs off"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Load),
+			fmt.Sprintf("%.3f", row.MuxAcceptance),
+			fmt.Sprintf("%.3f", row.NoMuxAcceptance),
+			fmt.Sprintf("%.1f", row.MuxAvgBW),
+			fmt.Sprintf("%.1f", row.NoMuxAvgBW),
+			fmt.Sprintf("%d", row.MuxAlive),
+			fmt.Sprintf("%d", row.NoMuxAlive),
+		})
+	}
+	return renderTable(w, []string{
+		"load", "mux acc", "nomux acc", "mux bw", "nomux bw", "mux alive", "nomux alive",
+	}, rows)
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteDat emits the Figure 2 series as whitespace-separated numeric
+// columns suitable for gnuplot.
+func (r *Fig2Result) WriteDat(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# offered alive sim simCI markov markov_restart ideal"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%d %d %.3f %.3f %.3f %.3f %.3f\n",
+			p.Offered, p.Alive, p.SimAvg, p.SimCI, p.Analytic, p.AnalyticRestart, p.Ideal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDat emits the Table 1 rows as numeric columns.
+func (r *Table1Result) WriteDat(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# channels random5 random9 randomSim tier5 tier9 tierSim tierAlive"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%d %.3f %.3f %.3f %.3f %.3f %.3f %d\n",
+			row.Channels, row.Random5, row.Random9, row.RandomSim,
+			row.Tier5, row.Tier9, row.TierSim, row.TierAlive); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDat emits the Figure 3 series as numeric columns.
+func (r *Fig3Result) WriteDat(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# nodes links alive sim markov"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%d %d %d %.3f %.3f\n",
+			p.Nodes, p.Links, p.Alive, p.SimAvg, p.Analytic); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDat emits the Figure 4 series as numeric columns.
+func (r *Fig4Result) WriteDat(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "# gamma simA markovA generalA simB markovB generalB failuresB"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%.3e %.3f %.3f %.3f %.3f %.3f %.3f %d\n",
+			p.Gamma, p.Avg2000, p.Analytic2000, p.General2000,
+			p.Avg3000, p.Analytic3000, p.General3000, p.Failures3000); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DatWriter is implemented by results that can emit gnuplot data files.
+type DatWriter interface {
+	WriteDat(io.Writer) error
+}
+
+// WriteDatFile writes one result's data file into dir as <name>.dat.
+func WriteDatFile(dir, name string, r DatWriter) error {
+	f, err := os.Create(filepath.Join(dir, name+".dat"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return r.WriteDat(f)
+}
+
+// GnuplotScript returns a plots.gp that renders the paper's four
+// figures from the .dat files WriteDatFile produces.
+func GnuplotScript() string {
+	return `# Regenerates the paper's figures from the .dat files in this directory.
+# Usage: gnuplot plots.gp     (produces fig2.png ... fig4.png)
+set terminal pngcairo size 900,600
+set grid
+
+set output "fig2.png"
+set title "Figure 2: average bandwidth vs number of DR-connections"
+set xlabel "DR-connections offered"; set ylabel "bandwidth (Kbps)"
+set yrange [0:550]
+plot "fig2.dat" using 1:3:4 with yerrorlines title "simulation", \
+     "fig2.dat" using 1:5 with linespoints title "Markov model", \
+     "fig2.dat" using 1:7 with lines dashtype 2 title "ideal"
+
+set output "fig3.png"
+set title "Figure 3: average bandwidth vs number of nodes"
+set xlabel "nodes"; set ylabel "bandwidth (Kbps)"
+set y2label "links"; set y2tics
+plot "fig3.dat" using 1:4 with linespoints title "simulation", \
+     "fig3.dat" using 1:5 with linespoints title "Markov model", \
+     "fig3.dat" using 1:2 axes x1y2 with lines dashtype 2 title "links"
+
+set y2tics; unset y2label; unset y2tics
+set output "fig4.png"
+set title "Figure 4: average bandwidth vs link failure rate"
+set xlabel "failure rate"; set ylabel "bandwidth (Kbps)"
+set logscale x
+set yrange [0:550]
+plot "fig4.dat" using 1:2 with linespoints title "sim (load A)", \
+     "fig4.dat" using 1:3 with linespoints title "Markov (load A)", \
+     "fig4.dat" using 1:5 with linespoints title "sim (load B)", \
+     "fig4.dat" using 1:6 with linespoints title "Markov (load B)"
+unset logscale x
+
+set output "table1.png"
+set title "Table 1: 5-state vs 9-state chains"
+set xlabel "channels"; set ylabel "bandwidth (Kbps)"
+set yrange [0:550]
+plot "table1.dat" using 1:2 with linespoints title "random, 5 states", \
+     "table1.dat" using 1:3 with linespoints title "random, 9 states", \
+     "table1.dat" using 1:5 with linespoints title "tier, 5 states", \
+     "table1.dat" using 1:6 with linespoints title "tier, 9 states"
+`
+}

@@ -1,0 +1,125 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section (§4), plus the ablations called out in DESIGN.md. Each
+// experiment returns typed rows and can render itself as an aligned text
+// table whose columns mirror what the paper plots.
+//
+// Scale presets: Full reproduces the paper's parameter ranges; Quick keeps
+// the same shape at a fraction of the load so that `go test -bench` and CI
+// runs finish in minutes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"drqos/internal/core"
+	"drqos/internal/rng"
+	"drqos/internal/topology"
+)
+
+// Scale selects the effort level of an experiment run.
+type Scale int
+
+// Scales: Quick for benchmarks and CI, Full for the paper's ranges.
+const (
+	ScaleQuick Scale = iota + 1
+	ScaleFull
+)
+
+// Config carries the knobs shared by all experiments.
+type Config struct {
+	// Seed drives topology generation and the simulations.
+	Seed uint64
+	// Scale selects Quick or Full parameter ranges (default Quick).
+	Scale Scale
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = ScaleQuick
+	}
+	if c.Seed == 0 {
+		c.Seed = 2001 // the paper's year; any fixed value works
+	}
+	return c
+}
+
+// churn returns the per-point churn/warmup budget for the scale.
+func (c Config) churn() (events, warmup int) {
+	if c.Scale == ScaleFull {
+		return 2000, 400
+	}
+	return 600, 150
+}
+
+// loads returns the offered-connection sweep for the scale.
+func (c Config) loads() []int {
+	if c.Scale == ScaleFull {
+		return []int{500, 1000, 2000, 3000, 4000, 5000}
+	}
+	return []int{500, 1500, 3000}
+}
+
+// renderTable writes rows as an aligned table.
+func renderTable(w io.Writer, header []string, rows [][]string) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(header, "\t")); err != nil {
+		return err
+	}
+	underline := make([]string, len(header))
+	for i, h := range header {
+		underline[i] = strings.Repeat("-", len(h))
+	}
+	if _, err := fmt.Fprintln(tw, strings.Join(underline, "\t")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(r, "\t")); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// pairSource deterministically draws distinct (src, dst) node pairs.
+type pairSource struct {
+	src   *rng.Source
+	nodes int
+}
+
+func newPairSource(seed uint64, nodes int) *pairSource {
+	return &pairSource{src: rng.New(seed), nodes: nodes}
+}
+
+func (p *pairSource) next() (topology.NodeID, topology.NodeID) {
+	a := topology.NodeID(p.src.Intn(p.nodes))
+	b := topology.NodeID(p.src.Intn(p.nodes - 1))
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// evaluateAt runs one data point on a fresh system with the given load.
+func evaluateAt(cfg Config, opts core.Options, load int) (*core.Evaluation, *core.System, error) {
+	events, warmup := cfg.churn()
+	opts.Seed = cfg.Seed
+	opts.InitialConns = load
+	if opts.ChurnEvents == 0 {
+		opts.ChurnEvents = events
+	}
+	if opts.WarmupEvents == 0 {
+		opts.WarmupEvents = warmup
+	}
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	ev, err := sys.Evaluate()
+	if err != nil {
+		return nil, nil, err
+	}
+	return ev, sys, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"drqos/internal/core"
+)
+
+// Fig2Point is one data point of Figure 2: average bandwidth of a
+// DR-connection as the number of DR-connections grows (100-node Waxman
+// network, λ = μ = 0.001, γ = 0, 9-state chain with Δ = 50 Kb/s).
+type Fig2Point struct {
+	// Offered is the number of connection requests loaded.
+	Offered int
+	// Alive is the resulting population.
+	Alive int
+	// SimAvg is the simulated average reserved bandwidth (the solid line).
+	SimAvg float64
+	// SimCI is the 95% batch-means half-width of SimAvg.
+	SimCI float64
+	// Analytic is the §3.2 Markov-chain estimate (the dashed × line).
+	Analytic float64
+	// AnalyticRestart is the finite-lifetime refinement of this
+	// reproduction (not in the paper; see DESIGN.md).
+	AnalyticRestart float64
+	// Ideal is the dotted reference line BW·Edge/(NChan·avghop).
+	Ideal float64
+}
+
+// Fig2Result is the full Figure 2 series.
+type Fig2Result struct {
+	Points []Fig2Point
+	// Links is the generated instance's physical link count (the paper's
+	// instance: 177 physical = 354 directed).
+	Links int
+	// AvgHops is the final mean route length.
+	AvgHops float64
+}
+
+// Fig2 regenerates Figure 2.
+func Fig2(cfg Config) (*Fig2Result, error) {
+	cfg = cfg.withDefaults()
+	out := &Fig2Result{}
+	for _, load := range cfg.loads() {
+		ev, sys, err := evaluateAt(cfg, core.Options{}, load)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig2 at load %d: %w", load, err)
+		}
+		out.Links = sys.Metrics().Edges
+		out.AvgHops = ev.Sim.AvgHops
+		out.Points = append(out.Points, Fig2Point{
+			Offered:         load,
+			Alive:           ev.Sim.AliveAtEnd,
+			SimAvg:          ev.Sim.AvgBandwidth,
+			SimCI:           ev.Sim.AvgBandwidthCI95,
+			Analytic:        ev.PaperModel.MeanBandwidth,
+			AnalyticRestart: ev.RestartModel.MeanBandwidth,
+			Ideal:           ev.IdealBandwidth,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the series as a table.
+func (r *Fig2Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Figure 2: average bandwidth vs number of DR-connections (%d links, avg %.2f hops)\n",
+		r.Links, r.AvgHops); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Offered),
+			fmt.Sprintf("%d", p.Alive),
+			fmt.Sprintf("%.1f ±%.1f", p.SimAvg, p.SimCI),
+			fmt.Sprintf("%.1f", p.Analytic),
+			fmt.Sprintf("%.1f", p.AnalyticRestart),
+			fmt.Sprintf("%.0f", p.Ideal),
+		})
+	}
+	return renderTable(w, []string{
+		"offered", "alive", "sim(Kbps)", "markov(Kbps)", "markov+restart", "ideal",
+	}, rows)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"drqos/internal/core"
+)
+
+// Fig4Point is one data point of Figure 4: average bandwidth as the link
+// failure rate γ varies (9-state chain, λ = μ = 0.001).
+type Fig4Point struct {
+	// Gamma is the link failure rate.
+	Gamma float64
+	// Avg2000 and Avg3000 are the average bandwidths with 2000 and 3000
+	// loaded real-time channels (the figure's two lines).
+	Avg2000, Avg3000 float64
+	// Analytic2000/Analytic3000 are the paper-model Markov estimates.
+	Analytic2000, Analytic3000 float64
+	// General2000/General3000 are the general-model estimates, which use
+	// the separately measured per-failure involvement probability instead
+	// of reusing Pf for the γ term (see DESIGN.md refinement 5 and
+	// EXPERIMENTS.md Figure 4).
+	General2000, General3000 float64
+	// Failures3000 counts injected failures in the 3000-channel run.
+	Failures3000 int64
+}
+
+// Fig4Result is the full Figure 4 series.
+type Fig4Result struct {
+	Points []Fig4Point
+}
+
+// Fig4 regenerates Figure 4. The paper's finding: the failure rate has no
+// visible effect on the average bandwidth "since the link failure rate is
+// too small compared to the DR-connection request arrival and termination
+// rates".
+func Fig4(cfg Config) (*Fig4Result, error) {
+	cfg = cfg.withDefaults()
+	gammas := []float64{1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+	loads := []int{2000, 3000}
+	if cfg.Scale == ScaleQuick {
+		gammas = []float64{1e-6, 1e-4, 1e-2}
+		loads = []int{1000, 2000}
+	}
+	out := &Fig4Result{}
+	for _, g := range gammas {
+		p := Fig4Point{Gamma: g}
+		for i, load := range loads {
+			ev, _, err := evaluateAt(cfg, core.Options{Gamma: g, RepairRate: 0.01}, load)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig4 at γ=%v load=%d: %w", g, load, err)
+			}
+			if i == 0 {
+				p.Avg2000 = ev.Sim.AvgBandwidth
+				p.Analytic2000 = ev.RestartModel.MeanBandwidth
+				p.General2000 = ev.GeneralModel.MeanBandwidth
+			} else {
+				p.Avg3000 = ev.Sim.AvgBandwidth
+				p.Analytic3000 = ev.RestartModel.MeanBandwidth
+				p.General3000 = ev.GeneralModel.MeanBandwidth
+				p.Failures3000 = ev.Sim.Failures
+			}
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}
+
+// Render writes the series as a table.
+func (r *Fig4Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Figure 4: average bandwidth vs link failure rate"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0e", p.Gamma),
+			fmt.Sprintf("%.1f", p.Avg2000),
+			fmt.Sprintf("%.1f", p.Analytic2000),
+			fmt.Sprintf("%.1f", p.General2000),
+			fmt.Sprintf("%.1f", p.Avg3000),
+			fmt.Sprintf("%.1f", p.Analytic3000),
+			fmt.Sprintf("%.1f", p.General3000),
+			fmt.Sprintf("%d", p.Failures3000),
+		})
+	}
+	return renderTable(w, []string{
+		"gamma", "simA", "markovA", "generalA", "simB", "markovB", "generalB", "failures@B",
+	}, rows)
+}

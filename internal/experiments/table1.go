@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"drqos/internal/core"
+	"drqos/internal/qos"
+)
+
+// Table1Row is one row of Table 1: average bandwidth under Markov chains
+// with different numbers of states (Δ = 100 Kb/s → 5 states, Δ = 50 Kb/s →
+// 9 states) on the Random (Waxman) and Tier (transit-stub) networks.
+type Table1Row struct {
+	// Channels is the number of connection requests loaded ("the number of
+	// connections which have been tried to be set up" — the paper notes
+	// most are rejected on the tier network).
+	Channels int
+	// Random5/Random9 are the analytic averages on the Waxman network.
+	Random5, Random9 float64
+	// RandomSim is the simulated average (9-state run) for reference.
+	RandomSim float64
+	// Tier5/Tier9 are the analytic averages on the transit-stub network.
+	Tier5, Tier9 float64
+	// TierSim is the simulated average (9-state run).
+	TierSim float64
+	// TierAlive is the accepted population on the tier network.
+	TierAlive int
+}
+
+// Table1Result is the reproduced Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 regenerates Table 1. For each (network, increment) cell it runs
+// the simulation with the corresponding elastic spec, solves the measured
+// chain, and reports the analytic mean — the quantity the paper tabulates.
+func Table1(cfg Config) (*Table1Result, error) {
+	cfg = cfg.withDefaults()
+	spec5 := qos.ElasticSpec{Min: 100, Max: 500, Increment: 100, Utility: 1}
+	spec9 := qos.DefaultSpec() // Δ = 50
+
+	type cell struct {
+		analytic float64
+		sim      float64
+		alive    int
+	}
+	run := func(kind core.TopologyKind, spec qos.ElasticSpec, load int) (cell, error) {
+		ev, _, err := evaluateAt(cfg, core.Options{Kind: kind, Spec: spec}, load)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{
+			analytic: ev.RestartModel.MeanBandwidth,
+			sim:      ev.Sim.AvgBandwidth,
+			alive:    ev.Sim.AliveAtEnd,
+		}, nil
+	}
+
+	out := &Table1Result{}
+	for _, load := range cfg.loads() {
+		r5, err := run(core.TopologyWaxman, spec5, load)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1 random/5 at %d: %w", load, err)
+		}
+		r9, err := run(core.TopologyWaxman, spec9, load)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1 random/9 at %d: %w", load, err)
+		}
+		t5, err := run(core.TopologyTransitStub, spec5, load)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1 tier/5 at %d: %w", load, err)
+		}
+		t9, err := run(core.TopologyTransitStub, spec9, load)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table1 tier/9 at %d: %w", load, err)
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			Channels:  load,
+			Random5:   r5.analytic,
+			Random9:   r9.analytic,
+			RandomSim: r9.sim,
+			Tier5:     t5.analytic,
+			Tier9:     t9.analytic,
+			TierSim:   t9.sim,
+			TierAlive: t9.alive,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the table.
+func (r *Table1Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Table 1: average bandwidth (Kbps) of Markov chains with 5 vs 9 states"); err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Channels),
+			fmt.Sprintf("%.1f", row.Random5),
+			fmt.Sprintf("%.1f", row.Random9),
+			fmt.Sprintf("%.1f", row.RandomSim),
+			fmt.Sprintf("%.1f", row.Tier5),
+			fmt.Sprintf("%.1f", row.Tier9),
+			fmt.Sprintf("%.1f", row.TierSim),
+			fmt.Sprintf("%d", row.TierAlive),
+		})
+	}
+	return renderTable(w, []string{
+		"channels", "random/5", "random/9", "random/sim", "tier/5", "tier/9", "tier/sim", "tier alive",
+	}, rows)
+}

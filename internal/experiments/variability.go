@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"drqos/internal/core"
+	"drqos/internal/stats"
+)
+
+// VariabilityResult reports how the headline comparison (simulated vs
+// analytic average bandwidth) varies across independently generated
+// topology instances and workloads. The paper reports single instances;
+// this experiment quantifies how much instance luck matters.
+type VariabilityResult struct {
+	// Load is the per-replication offered load.
+	Load int
+	// Replications is the number of independent seeds.
+	Replications int
+	// Sim and Model summarize the per-replication averages.
+	Sim, Model stats.Running
+	// RelErr summarizes per-replication |model − sim|/sim.
+	RelErr stats.Running
+}
+
+// Variability runs the mid-load Figure 2 point across several seeds.
+func Variability(cfg Config) (*VariabilityResult, error) {
+	cfg = cfg.withDefaults()
+	reps := 5
+	load := 3000
+	if cfg.Scale == ScaleQuick {
+		reps = 3
+		load = 1500
+	}
+	out := &VariabilityResult{Load: load, Replications: reps}
+	events, warmup := cfg.churn()
+	for r := 0; r < reps; r++ {
+		sys, err := core.NewSystem(core.Options{
+			Seed:         cfg.Seed + uint64(r)*7919, // distinct prime-spaced seeds
+			InitialConns: load,
+			ChurnEvents:  events,
+			WarmupEvents: warmup,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ev, err := sys.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: variability rep %d: %w", r, err)
+		}
+		simAvg := ev.Sim.AvgBandwidth
+		model := ev.RestartModel.MeanBandwidth
+		out.Sim.Observe(simAvg)
+		out.Model.Observe(model)
+		rel := model - simAvg
+		if rel < 0 {
+			rel = -rel
+		}
+		out.RelErr.Observe(rel / simAvg)
+	}
+	return out, nil
+}
+
+// Render writes the summary.
+func (r *VariabilityResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Variability: %d replications at load %d\n", r.Replications, r.Load); err != nil {
+		return err
+	}
+	rows := [][]string{
+		{"simulation", fmt.Sprintf("%.1f", r.Sim.Mean()), fmt.Sprintf("%.1f", r.Sim.StdDev()),
+			fmt.Sprintf("%.1f", r.Sim.Min()), fmt.Sprintf("%.1f", r.Sim.Max())},
+		{"markov model", fmt.Sprintf("%.1f", r.Model.Mean()), fmt.Sprintf("%.1f", r.Model.StdDev()),
+			fmt.Sprintf("%.1f", r.Model.Min()), fmt.Sprintf("%.1f", r.Model.Max())},
+		{"rel. error", fmt.Sprintf("%.3f", r.RelErr.Mean()), fmt.Sprintf("%.3f", r.RelErr.StdDev()),
+			fmt.Sprintf("%.3f", r.RelErr.Min()), fmt.Sprintf("%.3f", r.RelErr.Max())},
+	}
+	return renderTable(w, []string{"series", "mean", "stddev", "min", "max"}, rows)
+}

@@ -1,0 +1,30 @@
+package intervalqos_test
+
+import (
+	"fmt"
+
+	"drqos/internal/intervalqos"
+)
+
+// Example shows the k-out-of-M contract from §2.2: a 2-of-3 stream may
+// lose one packet per window, and the link manager checks CanSkip before
+// ignoring one.
+func Example() {
+	s, err := intervalqos.NewStream(intervalqos.Spec{K: 2, M: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fresh stream may skip:", s.CanSkip())
+	s.Skip()
+	fmt.Println("after one skip, may skip again:", s.CanSkip())
+	s.Deliver()
+	s.Deliver()
+	fmt.Println("after two deliveries, may skip:", s.CanSkip())
+	_, _, violations := s.Counts()
+	fmt.Println("violations:", violations)
+	// Output:
+	// fresh stream may skip: true
+	// after one skip, may skip again: false
+	// after two deliveries, may skip: true
+	// violations: 0
+}

@@ -1,0 +1,156 @@
+// Package intervalqos implements the paper's second elastic-QoS model
+// (§2.2): interval QoS, "expressed in the form of k-out-of-M within a fixed
+// time interval, meaning that at least k but less than or equal to M
+// packets should arrive within a fixed time interval. The link manager can
+// selectively ignore a packet as long as it can satisfy the minimum
+// k-out-of-M requirement."
+//
+// The implementation follows the (m,k)-firm stream literature the paper
+// cites (skip-over [12], skips for aperiodic responsiveness [13]): each
+// stream tracks the delivery outcomes of its last M packets; a packet may
+// be skipped when every window still meets the k-of-M floor; and streams
+// competing for a congested link are ordered by distance-based priority
+// (DBP) — the number of consecutive future misses a stream can still
+// absorb before violating its contract.
+//
+// The range-QoS model (package qos) governs channel ESTABLISHMENT; this
+// package governs RUN-TIME packet management on a link, exactly the split
+// the paper describes.
+package intervalqos
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidSpec reports a malformed k-out-of-M specification.
+var ErrInvalidSpec = errors.New("intervalqos: invalid spec")
+
+// Spec is a k-out-of-M interval QoS contract: at least K of any M
+// consecutive packets must be delivered.
+type Spec struct {
+	K, M int
+}
+
+// Validate checks 1 ≤ K ≤ M.
+func (s Spec) Validate() error {
+	if s.K < 1 || s.M < s.K {
+		return fmt.Errorf("%w: %d-out-of-%d", ErrInvalidSpec, s.K, s.M)
+	}
+	return nil
+}
+
+// SkipBudget returns M−K, the number of packets skippable per window.
+func (s Spec) SkipBudget() int { return s.M - s.K }
+
+// Stream tracks one channel's delivery history against its contract.
+type Stream struct {
+	spec Spec
+	// history holds the outcomes of the last M packets as a ring buffer;
+	// true = delivered.
+	history []bool
+	head    int
+	filled  int
+
+	delivered int64
+	skipped   int64
+	violated  int64
+}
+
+// NewStream returns a stream with an empty (all-delivered) history, the
+// customary optimistic initialization of (m,k)-firm analysis.
+func NewStream(spec Spec) (*Stream, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Stream{
+		spec:    spec,
+		history: make([]bool, spec.M),
+	}, nil
+}
+
+// Spec returns the stream's contract.
+func (s *Stream) Spec() Spec { return s.spec }
+
+// deliveredInWindow counts delivered packets among the last n outcomes
+// (n ≤ filled).
+func (s *Stream) deliveredInWindow(n int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		idx := (s.head - 1 - i + len(s.history) + len(s.history)) % len(s.history)
+		if s.history[idx] {
+			count++
+		}
+	}
+	return count
+}
+
+// CanSkip reports whether skipping the NEXT packet keeps the contract: the
+// window consisting of the last M−1 outcomes plus the skip must still
+// contain at least K deliveries. Before the history fills, missing slots
+// count as delivered (the stream starts with a clean record).
+func (s *Stream) CanSkip() bool {
+	m := s.spec.M
+	window := m - 1
+	n := window
+	if s.filled < n {
+		n = s.filled
+	}
+	delivered := s.deliveredInWindow(n) + (window - n) // unfilled ⇒ clean
+	return delivered >= s.spec.K
+}
+
+// Distance returns the DBP distance to failure: the number of consecutive
+// future misses the stream can absorb while still meeting K-of-M in every
+// window. A freshly initialized stream has distance M−K+1; a stream at its
+// floor has distance 1; a violated window reports 0.
+func (s *Stream) Distance() int {
+	m := s.spec.M
+	// Simulate consecutive misses until some window of M outcomes drops
+	// below K. With j misses appended, the most recent window contains the
+	// j misses plus the last M−j recorded outcomes.
+	for j := 0; j <= m; j++ {
+		n := m - j
+		if n < 0 {
+			n = 0
+		}
+		avail := n
+		if s.filled < avail {
+			avail = s.filled
+		}
+		delivered := s.deliveredInWindow(avail) + (n - avail)
+		if delivered < s.spec.K {
+			return j
+		}
+	}
+	return m + 1 // K = 0 would be here; Validate excludes it
+}
+
+// record appends one outcome.
+func (s *Stream) record(deliveredOutcome bool) {
+	s.history[s.head] = deliveredOutcome
+	s.head = (s.head + 1) % len(s.history)
+	if s.filled < len(s.history) {
+		s.filled++
+	}
+	if deliveredOutcome {
+		s.delivered++
+		return
+	}
+	s.skipped++
+	// A violation occurs when the full window drops below K.
+	if s.filled == len(s.history) && s.deliveredInWindow(len(s.history)) < s.spec.K {
+		s.violated++
+	}
+}
+
+// Deliver records a delivered packet.
+func (s *Stream) Deliver() { s.record(true) }
+
+// Skip records a skipped packet.
+func (s *Stream) Skip() { s.record(false) }
+
+// Counts returns the cumulative delivered, skipped and violation counts.
+func (s *Stream) Counts() (delivered, skipped, violations int64) {
+	return s.delivered, s.skipped, s.violated
+}

@@ -1,0 +1,101 @@
+package intervalqos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scheduler is a link manager that applies interval QoS under congestion:
+// every tick each registered stream offers one packet, the link can carry
+// at most Capacity of them, and the scheduler selectively skips packets of
+// streams that can afford it (§2.2). Mandatory packets (streams that can no
+// longer skip) are sent first; remaining slots go to the streams closest to
+// violation (smallest DBP distance), which is the standard (m,k)-firm
+// scheduling heuristic.
+type Scheduler struct {
+	capacity int
+	streams  []*Stream
+}
+
+// NewScheduler returns a link scheduler carrying at most capacity packets
+// per tick.
+func NewScheduler(capacity int) (*Scheduler, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("intervalqos: non-positive capacity %d", capacity)
+	}
+	return &Scheduler{capacity: capacity}, nil
+}
+
+// Add registers a stream and returns its index.
+func (ls *Scheduler) Add(s *Stream) int {
+	ls.streams = append(ls.streams, s)
+	return len(ls.streams) - 1
+}
+
+// Streams returns the registered streams.
+func (ls *Scheduler) Streams() []*Stream { return ls.streams }
+
+// TickResult reports one scheduling round.
+type TickResult struct {
+	// Sent and Skipped list stream indices.
+	Sent, Skipped []int
+	// Overload reports that mandatory packets alone exceeded capacity, so
+	// some contract was necessarily put at risk.
+	Overload bool
+}
+
+// Tick schedules one round: every stream offers a packet; at most Capacity
+// are delivered.
+func (ls *Scheduler) Tick() TickResult {
+	type offer struct {
+		idx       int
+		mandatory bool
+		distance  int
+	}
+	offers := make([]offer, len(ls.streams))
+	for i, s := range ls.streams {
+		offers[i] = offer{idx: i, mandatory: !s.CanSkip(), distance: s.Distance()}
+	}
+	// Mandatory first, then ascending distance (closest to violation
+	// first), then index for determinism.
+	sort.SliceStable(offers, func(a, b int) bool {
+		oa, ob := offers[a], offers[b]
+		if oa.mandatory != ob.mandatory {
+			return oa.mandatory
+		}
+		if oa.distance != ob.distance {
+			return oa.distance < ob.distance
+		}
+		return oa.idx < ob.idx
+	})
+	var res TickResult
+	mandatoryCount := 0
+	for _, o := range offers {
+		if o.mandatory {
+			mandatoryCount++
+		}
+	}
+	res.Overload = mandatoryCount > ls.capacity
+	for rank, o := range offers {
+		if rank < ls.capacity {
+			ls.streams[o.idx].Deliver()
+			res.Sent = append(res.Sent, o.idx)
+		} else {
+			ls.streams[o.idx].Skip()
+			res.Skipped = append(res.Skipped, o.idx)
+		}
+	}
+	sort.Ints(res.Sent)
+	sort.Ints(res.Skipped)
+	return res
+}
+
+// Violations sums contract violations across streams.
+func (ls *Scheduler) Violations() int64 {
+	var v int64
+	for _, s := range ls.streams {
+		_, _, viol := s.Counts()
+		v += viol
+	}
+	return v
+}

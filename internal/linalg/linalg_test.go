@@ -1,0 +1,324 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drqos/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) not zero", i, j)
+			}
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(0, 1) did not panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("wrong layout: %v", m)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged rows: err = %v, want ErrShape", err)
+	}
+	if _, err := FromRows(nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("nil rows: err = %v, want ErrShape", err)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAddClone(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 5)
+	m.Add(0, 0, 2)
+	c := m.Clone()
+	m.Set(0, 0, 0)
+	if c.At(0, 0) != 7 {
+		t.Fatalf("clone not deep: %v", c.At(0, 0))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("product (%d,%d) = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatMulShapeError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := MatMul(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := m.MatVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MatVec = %v", y)
+	}
+	if _, err := m.MatVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestVecMat(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := m.VecMat([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 4 || y[1] != 6 {
+		t.Fatalf("VecMat = %v", y)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-10) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	a, _ := FromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := SolveLinear(a, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 4, 1e-12) || !almostEq(x[1], 3, 1e-12) {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Factorize(a); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{4, 3},
+		{6, 3},
+	})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -6, 1e-12) {
+		t.Fatalf("det = %v, want -6", f.Det())
+	}
+}
+
+func TestIdentitySolve(t *testing.T) {
+	b := []float64{1, 2, 3, 4, 5}
+	x, err := SolveLinear(Identity(5), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("identity solve changed rhs: %v", x)
+		}
+	}
+}
+
+// Property: for random well-conditioned matrices, A·solve(A, b) ≈ b.
+func TestQuickSolveResidual(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 2 + src.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, src.Float64()*2-1)
+			}
+			// Diagonal dominance keeps the matrix comfortably nonsingular.
+			a.Add(i, i, float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = src.Float64()*10 - 5
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		ax, err := a.MatVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if !almostEq(ax[i], b[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{-3, 4, -1}
+	if Norm1(x) != 8 {
+		t.Fatalf("Norm1 = %v", Norm1(x))
+	}
+	if NormInf(x) != 4 {
+		t.Fatalf("NormInf = %v", NormInf(x))
+	}
+}
+
+func TestDotAXPY(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("AXPY = %v", y)
+		}
+	}
+}
+
+func TestScaleMaxAbs(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, -5}, {2, 3}})
+	m.Scale(2)
+	if m.At(0, 1) != -10 {
+		t.Fatalf("Scale: %v", m.At(0, 1))
+	}
+	if m.MaxAbs() != 10 {
+		t.Fatalf("MaxAbs = %v", m.MaxAbs())
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	if s := Identity(2).String(); len(s) == 0 {
+		t.Fatal("String empty")
+	}
+}
+
+func BenchmarkSolve16(b *testing.B) {
+	src := rng.New(1)
+	n := 16
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, src.Float64())
+		}
+		a.Add(i, i, float64(n))
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveLinear(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, where L has
+// a unit diagonal and is stored in the strict lower triangle of lu, and U in
+// the upper triangle (including the diagonal).
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  int
+}
+
+// Factorize computes the LU factorization of a square matrix with partial
+// pivoting. It returns ErrSingular if a pivot is exactly zero.
+func Factorize(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: Factorize on %dx%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	pivot := make([]int, n)
+	sign := 1
+
+	for k := 0; k < n; k++ {
+		// Select the pivot row: largest |value| in column k at or below row k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		pivot[k] = p
+		if max == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			swapRows(lu, p, k)
+			sign = -sign
+		}
+		pk := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pk
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, sign: sign}, nil
+}
+
+func swapRows(m *Matrix, a, b int) {
+	ra := m.data[a*m.cols : (a+1)*m.cols]
+	rb := m.data[b*m.cols : (b+1)*m.cols]
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// Solve solves A·x = b using the factorization.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), n)
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Apply the row permutation.
+	for k := 0; k < n; k++ {
+		if p := f.pivot[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("%w: zero diagonal in U at %d", ErrSingular, i)
+		}
+		x[i] = (x[i] - s) / d
+	}
+	return x, nil
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.lu.rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLinear is a convenience wrapper: factorize A and solve A·x = b.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Norm1 returns the L1 norm of a vector.
+func Norm1(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormInf returns the max-abs norm of a vector.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Dot returns the inner product of two equal-length vectors. It panics on a
+// length mismatch, which is always a programming error in this codebase.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: AXPY length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}

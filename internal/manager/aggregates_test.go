@@ -1,0 +1,84 @@
+package manager
+
+import (
+	"testing"
+
+	"drqos/internal/qos"
+)
+
+func TestAggregatesTrackLifecycle(t *testing.T) {
+	m := mustMgr(t, diamond(t), Config{Capacity: 600})
+	if m.AliveCount() != 0 || m.AverageBandwidth() != 0 {
+		t.Fatal("zero state dirty")
+	}
+	r1, err := m.Establish(0, 5, qos.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Establish(0, 5, qos.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AliveCount() != 2 {
+		t.Fatalf("alive = %d", m.AliveCount())
+	}
+	if m.AliveIDAt(0) != r1.Conn.ID || m.AliveIDAt(1) != r2.Conn.ID {
+		t.Fatal("AliveIDAt order wrong")
+	}
+	hist := m.LevelHistogram(nil)
+	var total int
+	for _, c := range hist {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("histogram total = %d (%v)", total, hist)
+	}
+	want := (float64(r1.Conn.Bandwidth()) + float64(r2.Conn.Bandwidth())) / 2
+	if got := m.AverageBandwidth(); got != want {
+		t.Fatalf("avg = %v, want %v", got, want)
+	}
+	checkMgr(t, m) // aggregate cross-check is part of CheckInvariants
+
+	if _, err := m.Terminate(r1.Conn.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m.AliveCount() != 1 || m.AliveIDAt(0) != r2.Conn.ID {
+		t.Fatal("termination did not update alive list")
+	}
+	checkMgr(t, m)
+}
+
+func TestLevelHistogramReusesBuffer(t *testing.T) {
+	m := mustMgr(t, diamond(t), Config{Capacity: 10000})
+	if _, err := m.Establish(0, 5, qos.DefaultSpec()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]int, 0, 16)
+	h1 := m.LevelHistogram(buf)
+	h2 := m.LevelHistogram(h1)
+	if &h1[0] != &h2[0] {
+		t.Fatal("buffer not reused")
+	}
+}
+
+func TestAggregatesAcrossFailure(t *testing.T) {
+	m := mustMgr(t, diamond(t), Config{Capacity: 600, RequireBackup: true})
+	rep, err := m.Establish(0, 5, qos.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	preAvg := m.AverageBandwidth()
+	if preAvg != float64(rep.Conn.Bandwidth()) {
+		t.Fatalf("avg %v vs conn %v", preAvg, rep.Conn.Bandwidth())
+	}
+	if _, err := m.FailLink(rep.Conn.Primary.Links[0]); err != nil {
+		t.Fatal(err)
+	}
+	checkMgr(t, m)
+	if m.AliveCount() != 1 {
+		t.Fatalf("alive = %d after failover", m.AliveCount())
+	}
+	if got := m.AverageBandwidth(); got != float64(rep.Conn.Bandwidth()) {
+		t.Fatalf("aggregate avg %v vs conn bandwidth %v", got, rep.Conn.Bandwidth())
+	}
+}

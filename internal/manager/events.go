@@ -1,0 +1,318 @@
+package manager
+
+import (
+	"fmt"
+
+	"drqos/internal/channel"
+	"drqos/internal/routing"
+	"drqos/internal/topology"
+)
+
+// Terminate releases a DR-connection normally. The channels that shared
+// links with it may grow into the freed capacity (§3.1: "the primary
+// channels that have shared links with this terminating connection can now
+// reserve more resources").
+func (m *Manager) Terminate(id channel.ConnID) (*TerminationReport, error) {
+	c := m.conns[id]
+	if c == nil || !c.Alive() {
+		return nil, fmt.Errorf("manager: terminate unknown or dead conn %d", id)
+	}
+	affected := m.sharersOf(c)
+	before := m.levelSnapshot(affected)
+
+	region := make(map[topology.DirLinkID]bool, len(c.Primary.Links))
+	for _, d := range c.Primary.DirLinks(m.g) {
+		region[d] = true
+	}
+	if err := m.net.ReleasePrimary(id, c.Primary); err != nil {
+		return nil, fmt.Errorf("manager: terminate conn %d: %w", id, err)
+	}
+	if c.HasBackup {
+		if err := m.net.ReleaseBackup(id, c.Backup); err != nil {
+			return nil, fmt.Errorf("manager: terminate backup of conn %d: %w", id, err)
+		}
+	}
+	m.trackRemove(c)
+	if err := c.Close(); err != nil {
+		return nil, err
+	}
+	delete(m.conns, id)
+
+	m.redistribute(region)
+	return &TerminationReport{
+		Affected: affected,
+		Changes:  m.levelChanges(before),
+	}, nil
+}
+
+// sharersOf lists alive connections (other than c) whose primary shares at
+// least one link with c's primary.
+func (m *Manager) sharersOf(c *channel.Conn) []channel.ConnID {
+	set := make(map[channel.ConnID]bool)
+	for _, d := range c.Primary.DirLinks(m.g) {
+		for _, id := range m.net.PrimariesOn(d) {
+			if id != c.ID {
+				set[id] = true
+			}
+		}
+	}
+	return setToSorted(set)
+}
+
+// FailLink injects a failure of link l (§3.1): every DR-connection whose
+// primary traverses l activates its backup; primaries sharing links with the
+// activated backups retreat to their minima; remaining extras are then
+// redistributed. Connections without a usable backup are dropped.
+// Connections whose BACKUP traversed l lose protection and try to
+// re-establish a backup elsewhere.
+func (m *Manager) FailLink(l topology.LinkID) (*FailureReport, error) {
+	if int(l) < 0 || int(l) >= m.g.NumLinks() {
+		return nil, fmt.Errorf("manager: no such link %d", l)
+	}
+	if m.net.Failed(l) {
+		return nil, fmt.Errorf("manager: link %d already failed", l)
+	}
+	m.net.SetFailed(l, true)
+
+	// Classify the affected connections before mutating.
+	var victims []*channel.Conn    // primary crosses l
+	var backupLost []*channel.Conn // backup crosses l, primary intact
+	for _, id := range m.AliveIDs() {
+		c := m.conns[id]
+		switch {
+		case c.UsesLink(l):
+			victims = append(victims, c)
+		case c.BackupUsesLink(l):
+			backupLost = append(backupLost, c)
+		}
+	}
+
+	report := &FailureReport{}
+	region := make(map[topology.DirLinkID]bool)
+
+	// The directed links where backups will activate: primaries there must
+	// retreat first so the reclaimed spare is actually free (§3.1).
+	victimSet := make(map[channel.ConnID]bool, len(victims))
+	activationLinks := make(map[topology.DirLinkID]bool)
+	for _, v := range victims {
+		victimSet[v.ID] = true
+		if v.HasBackup && !v.BackupUsesLink(l) {
+			for _, bd := range v.Backup.DirLinks(m.g) {
+				activationLinks[bd] = true
+			}
+		}
+	}
+
+	// The populations this failure can move: channels on the activation
+	// links (to be squeezed, then possibly re-grown) and channels sharing
+	// links with the victims' released primaries (they grow afterwards).
+	// Victims themselves transition out of the chain.
+	affectedSet := make(map[channel.ConnID]bool)
+	for bd := range activationLinks {
+		for _, id := range m.net.PrimariesOn(bd) {
+			if !victimSet[id] {
+				affectedSet[id] = true
+			}
+		}
+	}
+	for _, v := range victims {
+		for _, pd := range v.Primary.DirLinks(m.g) {
+			for _, id := range m.net.PrimariesOn(pd) {
+				if !victimSet[id] {
+					affectedSet[id] = true
+				}
+			}
+		}
+	}
+	before := m.levelSnapshot(setToSorted(affectedSet))
+
+	squeezedSet := make(map[channel.ConnID]bool)
+	for bd := range activationLinks {
+		for _, id := range m.net.PrimariesOn(bd) {
+			if !victimSet[id] && !squeezedSet[id] {
+				squeezedSet[id] = true
+				m.squeezeToMin(id)
+			}
+		}
+	}
+	report.Squeezed = setToSorted(squeezedSet)
+
+	// Fail the victims over (or drop them).
+	for _, v := range victims {
+		for _, pd := range v.Primary.DirLinks(m.g) {
+			region[pd] = true
+		}
+		if err := m.net.ReleasePrimary(v.ID, v.Primary); err != nil {
+			return nil, fmt.Errorf("manager: release failed primary of conn %d: %w", v.ID, err)
+		}
+		usable := v.HasBackup && !v.BackupUsesLink(l)
+		if usable {
+			if err := m.net.ActivateBackup(v.ID, v.Backup); err == nil {
+				oldLevel := v.Level
+				if err := v.FailOver(); err != nil {
+					return nil, err
+				}
+				m.trackLevel(v, oldLevel, 0)
+				m.unprotected++ // the activated backup IS the primary now
+				report.Activated = append(report.Activated, v.ID)
+				continue
+			}
+			// Even after the squeeze the backup's minimum does not fit
+			// (e.g. overlapping earlier failures): the connection drops.
+			if err := m.net.ReleaseBackup(v.ID, v.Backup); err != nil {
+				return nil, fmt.Errorf("manager: release unusable backup of conn %d: %w", v.ID, err)
+			}
+			if err := v.DetachBackup(); err != nil {
+				return nil, err
+			}
+			m.unprotected++
+		} else if v.HasBackup {
+			// The backup crosses the failed link too.
+			if err := m.net.ReleaseBackup(v.ID, v.Backup); err != nil {
+				return nil, fmt.Errorf("manager: release dead backup of conn %d: %w", v.ID, err)
+			}
+			if err := v.DetachBackup(); err != nil {
+				return nil, err
+			}
+			m.unprotected++
+		}
+		if m.cfg.ReactiveRecovery {
+			if m.tryReestablish(v) {
+				for _, pd := range v.Primary.DirLinks(m.g) {
+					region[pd] = true
+				}
+				report.Recovered = append(report.Recovered, v.ID)
+				continue
+			}
+		}
+		m.trackRemove(v)
+		if err := v.Drop(); err != nil {
+			return nil, err
+		}
+		delete(m.conns, v.ID)
+		report.Dropped = append(report.Dropped, v.ID)
+	}
+
+	// Connections that only lost their backup: release the registration
+	// and try to protect them again elsewhere.
+	for _, c := range backupLost {
+		if err := m.net.ReleaseBackup(c.ID, c.Backup); err != nil {
+			return nil, fmt.Errorf("manager: release lost backup of conn %d: %w", c.ID, err)
+		}
+		if err := c.DetachBackup(); err != nil {
+			return nil, err
+		}
+		m.unprotected++
+		report.BackupsLost = append(report.BackupsLost, c.ID)
+		m.tryReprotect(c)
+	}
+
+	// Freshly failed-over connections run unprotected; try to establish a
+	// replacement backup for them.
+	for _, id := range report.Activated {
+		if c := m.conns[id]; c != nil {
+			m.tryReprotect(c)
+		}
+	}
+
+	for bd := range activationLinks {
+		region[bd] = true
+	}
+	m.redistribute(region)
+
+	report.Changes = m.levelChanges(before)
+	return report, nil
+}
+
+// RepairLink marks a failed link repaired and opportunistically re-protects
+// connections that currently lack a backup. It returns how many backups
+// were re-established. Connections do not fail back: the activated backup
+// remains their primary route (the paper's scheme restores protection, not
+// placement).
+func (m *Manager) RepairLink(l topology.LinkID) (int, error) {
+	if int(l) < 0 || int(l) >= m.g.NumLinks() {
+		return 0, fmt.Errorf("manager: no such link %d", l)
+	}
+	if !m.net.Failed(l) {
+		return 0, fmt.Errorf("manager: link %d is not failed", l)
+	}
+	m.net.SetFailed(l, false)
+	restored := 0
+	for _, id := range m.AliveIDs() {
+		c := m.conns[id]
+		if c.HasBackup {
+			continue
+		}
+		if m.tryReprotect(c) {
+			restored++
+		}
+	}
+	return restored, nil
+}
+
+// tryReestablish attempts to rebuild a failed connection's primary from
+// scratch (reactive-recovery mode): discover an admissible route avoiding
+// failed links, reserve the minimum, and continue the same connection on
+// the new route at its minimum level. The caller has already released the
+// old primary. Returns true on success.
+func (m *Manager) tryReestablish(c *channel.Conn) bool {
+	cands, err := m.discoverRoutes(c.Src, c.Dst, c.Spec)
+	if err != nil {
+		return false
+	}
+	newPrimary := cands[0].Path
+	if err := m.net.ReservePrimary(c.ID, newPrimary, c.Spec.Min); err != nil {
+		// The headroom seen by discovery may be borrowed as grants;
+		// squeeze the route's primaries to their minima and retry once.
+		for _, d := range newPrimary.DirLinks(m.g) {
+			m.net.ForEachPrimaryOn(d, func(id channel.ConnID) {
+				if id != c.ID {
+					m.squeezeToMin(id)
+				}
+			})
+		}
+		if err := m.net.ReservePrimary(c.ID, newPrimary, c.Spec.Min); err != nil {
+			return false
+		}
+	}
+	oldLevel := c.Level
+	c.Primary = newPrimary
+	m.trackLevel(c, oldLevel, 0)
+	c.Level = 0
+	return true
+}
+
+// tryReprotect attempts to establish a backup for an unprotected
+// connection. Best-effort: returns true on success.
+func (m *Manager) tryReprotect(c *channel.Conn) bool {
+	if c.HasBackup || !c.Alive() || m.cfg.ReactiveRecovery {
+		return false
+	}
+	filter := func(l topology.LinkID) bool { return !m.net.Failed(l) }
+	p, shared, err := routing.BackupRoute(m.g, c.Primary, filter)
+	if err != nil {
+		return false
+	}
+	if err := m.net.ReserveBackup(c.ID, p, c.Primary.Links, c.Spec.Min); err != nil {
+		return false
+	}
+	if err := c.AttachBackup(p, shared); err != nil {
+		panic(fmt.Sprintf("manager: attach reprotect backup for conn %d: %v", c.ID, err))
+	}
+	m.unprotected--
+	if m.unprotected < 0 {
+		panic("manager: negative unprotected count")
+	}
+	return true
+}
+
+// Unprotected returns the IDs of alive connections lacking a backup.
+func (m *Manager) Unprotected() []channel.ConnID {
+	var out []channel.ConnID
+	for _, id := range m.AliveIDs() {
+		if !m.conns[id].HasBackup {
+			out = append(out, id)
+		}
+	}
+	return out
+}

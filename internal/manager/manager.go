@@ -1,0 +1,658 @@
+// Package manager implements the paper's network manager for DR-connections
+// with elastic QoS (§3.1): bounded-flooding route discovery, primary and
+// link-disjoint backup establishment with backup multiplexing, minimum-level
+// admission, and the run-time bandwidth adaptation rules — squeeze directly
+// chained channels on arrival, redistribute extras by utility, grow channels
+// on termination, and activate backups on link failure.
+//
+// Every public operation returns a report describing which channels changed
+// bandwidth level and why; the simulator's parameter estimator consumes
+// these reports to measure Pf, Ps and the A/B/T transition matrices (§3.3).
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"drqos/internal/channel"
+	"drqos/internal/network"
+	"drqos/internal/qos"
+	"drqos/internal/routing"
+	"drqos/internal/topology"
+)
+
+// ErrRejected reports that a DR-connection request was not admitted.
+var ErrRejected = errors.New("manager: connection rejected")
+
+// errNoProtection marks connections deliberately left without a backup
+// (reactive-recovery mode).
+var errNoProtection = errors.New("manager: protection disabled")
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Capacity is the uniform link bandwidth (the paper uses 10 Mb/s).
+	Capacity qos.Kbps
+	// HopBound bounds the flooding region (§3.1). Zero selects a default
+	// of 2×diameter-ish 16 hops.
+	HopBound int
+	// MaxCandidates caps routes collected per request (0 = unlimited).
+	MaxCandidates int
+	// Policy distributes extra increments; nil selects the coefficient
+	// (utility-proportional) scheme the paper's experiments use.
+	Policy qos.Policy
+	// RequireBackup rejects connections for which no backup channel can be
+	// established (the dependability QoS is a hard, single-value
+	// requirement in the paper, §2.2).
+	RequireBackup bool
+	// DisableBackupMultiplexing makes every backup reserve its own spare
+	// instead of sharing it under the single-failure rule (the §2.1.2
+	// "overbooking" ablation).
+	DisableBackupMultiplexing bool
+	// RouteSelection picks the §2.1.1 route-discovery strategy; the
+	// default is the paper's bounded flooding.
+	RouteSelection RouteSelection
+	// ReactiveRecovery disables backup channels entirely and instead
+	// attempts to re-establish a failed connection's primary from scratch
+	// when a link fails — the restoration approach the paper's §2.1.2
+	// argues against ("such channel re-establishment attempts can fail
+	// because of resource shortage"). Implies no backups are reserved.
+	ReactiveRecovery bool
+}
+
+// RouteSelection enumerates the §2.1.1 route-discovery strategies.
+type RouteSelection int
+
+// Route-discovery strategies: parallel bounded flooding (the paper's
+// scheme) and the sequential baseline that checks shortest routes one by
+// one "until a qualified one is found".
+const (
+	RouteFlood RouteSelection = iota
+	RouteSequential
+)
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.HopBound <= 0 {
+		out.HopBound = 16
+	}
+	if out.Policy == nil {
+		out.Policy = qos.CoefficientPolicy{}
+	}
+	return out
+}
+
+// LevelChange records one channel's bandwidth-state jump during an event.
+type LevelChange struct {
+	ID   channel.ConnID
+	From int
+	To   int
+}
+
+// ArrivalReport describes the outcome of an Establish call.
+type ArrivalReport struct {
+	// Conn is the established connection (nil when rejected).
+	Conn *channel.Conn
+	// DirectlyChained lists pre-existing channels sharing ≥1 link with the
+	// new primary (the Pf population).
+	DirectlyChained []channel.ConnID
+	// IndirectlyChained lists channels link-disjoint from the new primary
+	// but sharing a link with a directly-chained channel (the Ps
+	// population).
+	IndirectlyChained []channel.ConnID
+	// Changes lists every level change caused by the arrival, including
+	// the new connection's own growth from its minimum.
+	Changes []LevelChange
+}
+
+// TerminationReport describes the outcome of a Terminate call.
+type TerminationReport struct {
+	// Affected lists the channels that shared ≥1 link with the terminated
+	// connection's primary.
+	Affected []channel.ConnID
+	// Changes lists the resulting level changes.
+	Changes []LevelChange
+}
+
+// FailureReport describes the outcome of a FailLink call.
+type FailureReport struct {
+	// Activated lists connections that switched to their backups.
+	Activated []channel.ConnID
+	// Dropped lists connections that lost service.
+	Dropped []channel.ConnID
+	// Recovered lists connections re-established reactively after losing
+	// their primary (ReactiveRecovery mode only).
+	Recovered []channel.ConnID
+	// BackupsLost lists connections whose backup (not primary) crossed the
+	// failed link and was released.
+	BackupsLost []channel.ConnID
+	// Squeezed lists pre-existing channels that shared links with the
+	// activated backups (the paper's retreat population).
+	Squeezed []channel.ConnID
+	// Changes lists the resulting level changes of surviving channels.
+	Changes []LevelChange
+}
+
+// Manager owns the network ledger and every DR-connection.
+type Manager struct {
+	cfg    Config
+	g      *topology.Graph
+	net    *network.Network
+	conns  map[channel.ConnID]*channel.Conn
+	nextID channel.ConnID
+
+	// Aggregates maintained incrementally so the simulator's per-event
+	// sampling is O(1) instead of O(connections).
+	alive       []channel.ConnID // sorted ascending
+	bwSum       qos.Kbps         // Σ Bandwidth() over alive connections
+	levelHist   []int            // alive connections per level index
+	unprotected int              // alive connections without a backup
+
+	// Counters for acceptance statistics.
+	requests int64
+	rejects  int64
+}
+
+// New builds a Manager over graph g.
+func New(g *topology.Graph, cfg Config) (*Manager, error) {
+	c := cfg.withDefaults()
+	if c.Capacity <= 0 {
+		return nil, fmt.Errorf("manager: non-positive capacity %v", c.Capacity)
+	}
+	net, err := network.New(g, c.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	if c.DisableBackupMultiplexing {
+		if err := net.SetMultiplexing(false); err != nil {
+			return nil, err
+		}
+	}
+	return &Manager{
+		cfg:    c,
+		g:      g,
+		net:    net,
+		conns:  make(map[channel.ConnID]*channel.Conn),
+		nextID: 1,
+	}, nil
+}
+
+// trackAdd registers a newly alive connection in the aggregates. IDs are
+// assigned in increasing order, so appending keeps the alive list sorted.
+func (m *Manager) trackAdd(c *channel.Conn) {
+	m.alive = append(m.alive, c.ID)
+	m.bwSum += c.Bandwidth()
+	m.bumpHist(c.Level, +1)
+	if !c.HasBackup {
+		m.unprotected++
+	}
+}
+
+// trackRemove deregisters a dying connection (terminated or dropped).
+func (m *Manager) trackRemove(c *channel.Conn) {
+	i := sort.Search(len(m.alive), func(i int) bool { return m.alive[i] >= c.ID })
+	if i >= len(m.alive) || m.alive[i] != c.ID {
+		panic(fmt.Sprintf("manager: conn %d missing from alive list", c.ID))
+	}
+	m.alive = append(m.alive[:i], m.alive[i+1:]...)
+	m.bwSum -= c.Bandwidth()
+	m.bumpHist(c.Level, -1)
+	if !c.HasBackup {
+		m.unprotected--
+		if m.unprotected < 0 {
+			panic("manager: negative unprotected count")
+		}
+	}
+}
+
+// trackLevel moves a connection between levels in the aggregates.
+func (m *Manager) trackLevel(c *channel.Conn, oldLevel, newLevel int) {
+	if oldLevel == newLevel {
+		return
+	}
+	m.bwSum += c.Spec.Bandwidth(newLevel) - c.Spec.Bandwidth(oldLevel)
+	m.bumpHist(oldLevel, -1)
+	m.bumpHist(newLevel, +1)
+}
+
+func (m *Manager) bumpHist(level, delta int) {
+	for len(m.levelHist) <= level {
+		m.levelHist = append(m.levelHist, 0)
+	}
+	m.levelHist[level] += delta
+	if m.levelHist[level] < 0 {
+		panic(fmt.Sprintf("manager: negative level histogram at %d", level))
+	}
+}
+
+// LevelHistogram copies the per-level alive-connection counts into dst
+// (grown as needed) and returns it.
+func (m *Manager) LevelHistogram(dst []int) []int {
+	dst = dst[:0]
+	dst = append(dst, m.levelHist...)
+	return dst
+}
+
+// AliveIDAt returns the i-th alive connection ID in ascending order.
+func (m *Manager) AliveIDAt(i int) channel.ConnID { return m.alive[i] }
+
+// UnprotectedCount returns the number of alive connections without a
+// backup channel, maintained in O(1).
+func (m *Manager) UnprotectedCount() int { return m.unprotected }
+
+// Network exposes the resource ledger (read-mostly; used by tests and
+// metrics).
+func (m *Manager) Network() *network.Network { return m.net }
+
+// Graph returns the topology.
+func (m *Manager) Graph() *topology.Graph { return m.g }
+
+// Conn returns the connection with the given ID, or nil.
+func (m *Manager) Conn(id channel.ConnID) *channel.Conn { return m.conns[id] }
+
+// AliveIDs returns a copy of the alive connection IDs in ascending order.
+func (m *Manager) AliveIDs() []channel.ConnID {
+	out := make([]channel.ConnID, len(m.alive))
+	copy(out, m.alive)
+	return out
+}
+
+// AliveCount returns the number of alive connections.
+func (m *Manager) AliveCount() int { return len(m.alive) }
+
+// Requests returns how many Establish calls were made.
+func (m *Manager) Requests() int64 { return m.requests }
+
+// Rejects returns how many Establish calls were rejected.
+func (m *Manager) Rejects() int64 { return m.rejects }
+
+// AverageBandwidth returns the mean reserved bandwidth over alive primaries
+// in Kb/s (the paper's headline metric), or 0 with no connections.
+func (m *Manager) AverageBandwidth() float64 {
+	if len(m.alive) == 0 {
+		return 0
+	}
+	return float64(m.bwSum) / float64(len(m.alive))
+}
+
+// Establish admits a new DR-connection from src to dst with the given
+// elastic spec, following §3.1: flood for candidate routes, reserve the
+// primary at its minimum (squeezing directly chained channels to their
+// minima), establish a (maximally) link-disjoint multiplexed backup, then
+// redistribute extras by utility.
+func (m *Manager) Establish(src, dst topology.NodeID, spec qos.ElasticSpec) (*ArrivalReport, error) {
+	m.requests++
+	if err := spec.Validate(); err != nil {
+		m.rejects++
+		return nil, err
+	}
+	if src == dst {
+		m.rejects++
+		return nil, fmt.Errorf("%w: src == dst (%d)", ErrRejected, src)
+	}
+
+	cands, err := m.discoverRoutes(src, dst, spec)
+	if err != nil {
+		m.rejects++
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	primary := cands[0].Path
+
+	// Identify the chained populations BEFORE mutating anything.
+	direct, indirect := m.chainedWith(primary)
+
+	// Snapshot the populations this arrival can move.
+	before := m.levelSnapshot(direct, indirect)
+
+	// Squeeze every directly chained channel to its minimum (§3.2: "all
+	// the existing primary channels that share at least one link with the
+	// new channel should release their extra resources").
+	for _, id := range direct {
+		m.squeezeToMin(id)
+	}
+
+	id := m.nextID
+	conn := channel.New(id, src, dst, spec, primary)
+	if err := m.net.ReservePrimary(id, primary, spec.Min); err != nil {
+		// Squeezing freed every elastic byte; a capacity error now means
+		// the route genuinely cannot host the minimum. Re-grow what we
+		// squeezed and reject.
+		m.redistribute(m.regionOf(direct))
+		m.rejects++
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+
+	// Backup selection: prefer a flooding candidate (these arrived as real
+	// request copies), fall back to an explicit disjoint search. Reactive
+	// recovery forgoes protection entirely (the restoration baseline).
+	var backup routing.Path
+	var shared int
+	berr := errNoProtection
+	if !m.cfg.ReactiveRecovery {
+		backup, shared, berr = m.findBackup(conn, cands)
+	}
+	if berr == nil {
+		if err := m.net.ReserveBackup(id, backup, primary.Links, spec.Min); err == nil {
+			if err := conn.AttachBackup(backup, shared); err != nil {
+				return nil, fmt.Errorf("manager: attach backup: %w", err)
+			}
+		} else {
+			berr = err
+		}
+	}
+	if berr != nil && m.cfg.RequireBackup {
+		if err := m.net.ReleasePrimary(id, primary); err != nil {
+			return nil, fmt.Errorf("manager: rollback primary: %w", err)
+		}
+		m.redistribute(m.regionOf(direct))
+		m.rejects++
+		return nil, fmt.Errorf("%w: no backup channel: %v", ErrRejected, berr)
+	}
+
+	m.conns[id] = conn
+	m.nextID++
+	m.trackAdd(conn)
+
+	// Redistribute the released extras plus whatever headroom remains.
+	region := m.regionOf(direct)
+	for _, d := range primary.DirLinks(m.g) {
+		region[d] = true
+	}
+	m.redistribute(region)
+
+	changes := m.levelChanges(before)
+	// The new connection's own growth from its minimum is part of the
+	// event (it is not in the snapshot because it did not exist yet).
+	changes = append(changes, LevelChange{ID: id, From: 0, To: conn.Level})
+	return &ArrivalReport{
+		Conn:              conn,
+		DirectlyChained:   direct,
+		IndirectlyChained: indirect,
+		Changes:           changes,
+	}, nil
+}
+
+// discoverRoutes finds candidate routes that can admit a new connection at
+// its minimum level, using the configured §2.1.1 strategy. The first
+// candidate becomes the primary route.
+func (m *Manager) discoverRoutes(src, dst topology.NodeID, spec qos.ElasticSpec) ([]routing.Candidate, error) {
+	switch m.cfg.RouteSelection {
+	case RouteFlood:
+		// Parallel search: the per-link allowance is the minimum-level
+		// admission headroom, so flooding only explores routes that could
+		// actually admit the connection.
+		allowance := func(l topology.LinkID, from topology.NodeID) float64 {
+			return float64(m.net.AdmissionHeadroom(m.g.DirID(l, from)))
+		}
+		return routing.BoundedFlood(m.g, src, dst, allowance, routing.FloodConfig{
+			HopBound:      m.cfg.HopBound,
+			MinBandwidth:  float64(spec.Min),
+			MaxCandidates: m.cfg.MaxCandidates,
+		})
+	case RouteSequential:
+		// Sequential search: shortest routes are checked one by one until
+		// a qualified one is found (§2.1.1). Admission tests run against
+		// the ledger; routes that cannot host the minimum are skipped.
+		k := m.cfg.MaxCandidates
+		if k <= 0 {
+			k = 8
+		}
+		filter := func(l topology.LinkID) bool { return !m.net.Failed(l) }
+		paths, err := routing.KShortest(m.g, src, dst, k, filter)
+		if err != nil {
+			return nil, err
+		}
+		var cands []routing.Candidate
+		for _, p := range paths {
+			if p.Hops() > m.cfg.HopBound {
+				continue
+			}
+			if !m.net.CanAdmitPrimary(p, spec.Min) {
+				continue
+			}
+			// The allowance is the route's bottleneck admission headroom.
+			alw := 1e300
+			for _, d := range p.DirLinks(m.g) {
+				if h := float64(m.net.AdmissionHeadroom(d)); h < alw {
+					alw = h
+				}
+			}
+			cands = append(cands, routing.Candidate{Path: p, Allowance: alw})
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: no admissible route among %d shortest", routing.ErrNoRoute, len(paths))
+		}
+		return cands, nil
+	default:
+		return nil, fmt.Errorf("manager: unknown route selection %d", m.cfg.RouteSelection)
+	}
+}
+
+// findBackup picks a backup route for conn: the most link-disjoint flooding
+// candidate that passes multiplexed admission, else a dedicated search.
+func (m *Manager) findBackup(conn *channel.Conn, cands []routing.Candidate) (routing.Path, int, error) {
+	primary := conn.Primary
+	// Try flooding candidates in most-disjoint-first order.
+	type scored struct {
+		path   routing.Path
+		shared int
+	}
+	var options []scored
+	for _, c := range cands {
+		if c.Path.Equal(primary) {
+			continue
+		}
+		shared := c.Path.SharedLinks(primary)
+		if shared == len(primary.Links) {
+			continue // covers the whole primary: zero protection value
+		}
+		options = append(options, scored{path: c.Path, shared: shared})
+	}
+	sort.SliceStable(options, func(i, j int) bool {
+		if options[i].shared != options[j].shared {
+			return options[i].shared < options[j].shared
+		}
+		return options[i].path.Hops() < options[j].path.Hops()
+	})
+	for _, o := range options {
+		if m.net.CanAdmitBackup(o.path, primary.Links, conn.Spec.Min) {
+			return o.path, o.shared, nil
+		}
+	}
+	// Dedicated disjoint search over links that could host the backup.
+	filter := func(l topology.LinkID) bool { return !m.net.Failed(l) }
+	p, shared, err := routing.BackupRoute(m.g, primary, filter)
+	if err != nil {
+		return routing.Path{}, 0, err
+	}
+	if !m.net.CanAdmitBackup(p, primary.Links, conn.Spec.Min) {
+		return routing.Path{}, 0, fmt.Errorf("%w: backup admission failed", network.ErrCapacity)
+	}
+	return p, shared, nil
+}
+
+// chainedWith classifies alive connections against a prospective route:
+// directly chained (share ≥1 directed link, i.e. actually contending for
+// the same capacity) and indirectly chained (share a directed link with a
+// directly chained channel but not with the route itself).
+func (m *Manager) chainedWith(route routing.Path) (direct, indirect []channel.ConnID) {
+	routeDirs := route.DirLinks(m.g)
+	onRoute := make(map[topology.DirLinkID]bool, len(routeDirs))
+	for _, d := range routeDirs {
+		onRoute[d] = true
+	}
+	directSet := make(map[channel.ConnID]bool)
+	for _, d := range routeDirs {
+		for _, id := range m.net.PrimariesOn(d) {
+			directSet[id] = true
+		}
+	}
+	// Directed links of directly chained channels that are off the new
+	// route.
+	offRoute := make(map[topology.DirLinkID]bool)
+	for id := range directSet {
+		c := m.conns[id]
+		if c == nil {
+			continue
+		}
+		for _, d := range c.Primary.DirLinks(m.g) {
+			if !onRoute[d] {
+				offRoute[d] = true
+			}
+		}
+	}
+	indirectSet := make(map[channel.ConnID]bool)
+	for d := range offRoute {
+		for _, id := range m.net.PrimariesOn(d) {
+			if !directSet[id] {
+				indirectSet[id] = true
+			}
+		}
+	}
+	direct = setToSorted(directSet)
+	indirect = setToSorted(indirectSet)
+	return direct, indirect
+}
+
+func setToSorted(s map[channel.ConnID]bool) []channel.ConnID {
+	out := make([]channel.ConnID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// regionOf returns the set of directed links touched by the given
+// connections' primary routes.
+func (m *Manager) regionOf(ids []channel.ConnID) map[topology.DirLinkID]bool {
+	region := make(map[topology.DirLinkID]bool)
+	for _, id := range ids {
+		c := m.conns[id]
+		if c == nil || !c.Alive() {
+			continue
+		}
+		for _, d := range c.Primary.DirLinks(m.g) {
+			region[d] = true
+		}
+	}
+	return region
+}
+
+// squeezeToMin retreats a connection to its minimum level.
+func (m *Manager) squeezeToMin(id channel.ConnID) {
+	c := m.conns[id]
+	if c == nil || !c.Alive() || c.Level == 0 {
+		return
+	}
+	if err := m.net.AdjustPrimary(id, c.Primary, c.Spec.Min); err != nil {
+		// Shrinking to the registered minimum can never fail; a failure
+		// here means ledger corruption.
+		panic(fmt.Sprintf("manager: squeeze of conn %d failed: %v", id, err))
+	}
+	m.trackLevel(c, c.Level, 0)
+	c.Level = 0
+}
+
+// levelSnapshot records the current level of the alive connections in the
+// given ID sets (the populations an event can move). Scoping the snapshot
+// keeps event handling O(affected), not O(all connections).
+func (m *Manager) levelSnapshot(idSets ...[]channel.ConnID) map[channel.ConnID]int {
+	snap := make(map[channel.ConnID]int)
+	for _, ids := range idSets {
+		for _, id := range ids {
+			if c := m.conns[id]; c != nil && c.Alive() {
+				snap[id] = c.Level
+			}
+		}
+	}
+	return snap
+}
+
+// levelChanges diffs the current levels of the snapshotted connections.
+// Connections that died since the snapshot are omitted (their release is
+// not a state transition of the §3.2 chain).
+func (m *Manager) levelChanges(before map[channel.ConnID]int) []LevelChange {
+	ids := make([]channel.ConnID, 0, len(before))
+	for id := range before {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []LevelChange
+	for _, id := range ids {
+		c := m.conns[id]
+		if c == nil || !c.Alive() {
+			continue
+		}
+		if from := before[id]; from != c.Level {
+			out = append(out, LevelChange{ID: id, From: from, To: c.Level})
+		}
+	}
+	return out
+}
+
+// CheckInvariants verifies the ledger and the manager-level consistency
+// rules: every alive connection's grant on every primary link equals its
+// level bandwidth, and dead connections hold no reservations.
+func (m *Manager) CheckInvariants() error {
+	if err := m.net.CheckInvariants(); err != nil {
+		return err
+	}
+	for id, c := range m.conns {
+		if !c.Alive() {
+			continue
+		}
+		want := c.Bandwidth()
+		for _, d := range c.Primary.DirLinks(m.g) {
+			if got := m.net.Grant(d, id); got != want {
+				return fmt.Errorf("manager: conn %d grant on directed link %d is %v, level says %v",
+					id, d, got, want)
+			}
+		}
+		if c.Level < 0 || c.Level >= c.Spec.States() {
+			return fmt.Errorf("manager: conn %d level %d outside [0,%d)", id, c.Level, c.Spec.States())
+		}
+	}
+	// Aggregates agree with first-principles recomputation.
+	var bwSum qos.Kbps
+	var aliveCount int
+	hist := make([]int, len(m.levelHist))
+	for _, c := range m.conns {
+		if !c.Alive() {
+			continue
+		}
+		aliveCount++
+		bwSum += c.Bandwidth()
+		if c.Level < len(hist) {
+			hist[c.Level]++
+		} else {
+			return fmt.Errorf("manager: level %d beyond histogram", c.Level)
+		}
+	}
+	if aliveCount != len(m.alive) {
+		return fmt.Errorf("manager: alive list has %d entries, actual %d", len(m.alive), aliveCount)
+	}
+	unprotected := 0
+	for _, c := range m.conns {
+		if c.Alive() && !c.HasBackup {
+			unprotected++
+		}
+	}
+	if unprotected != m.unprotected {
+		return fmt.Errorf("manager: cached unprotected %d, actual %d", m.unprotected, unprotected)
+	}
+	if bwSum != m.bwSum {
+		return fmt.Errorf("manager: cached bwSum %v, actual %v", m.bwSum, bwSum)
+	}
+	for i := range hist {
+		if hist[i] != m.levelHist[i] {
+			return fmt.Errorf("manager: levelHist[%d] cached %d, actual %d", i, m.levelHist[i], hist[i])
+		}
+	}
+	for i := 1; i < len(m.alive); i++ {
+		if m.alive[i-1] >= m.alive[i] {
+			return fmt.Errorf("manager: alive list not sorted at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package manager
+
+import (
+	"container/heap"
+	"fmt"
+
+	"drqos/internal/channel"
+	"drqos/internal/qos"
+	"drqos/internal/topology"
+)
+
+// growHeap orders growth candidates by the configured policy. Entries carry
+// the key fields they were pushed with; a popped entry whose key is stale
+// (the connection grew since the push) is re-pushed with fresh keys.
+type growHeap struct {
+	policy qos.Policy
+	items  []growItem
+}
+
+type growItem struct {
+	conn *channel.Conn
+	key  qos.GrowthCandidate
+}
+
+func (h *growHeap) Len() int { return len(h.items) }
+func (h *growHeap) Less(i, j int) bool {
+	return h.policy.Less(h.items[i].key, h.items[j].key)
+}
+func (h *growHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *growHeap) Push(x interface{}) { h.items = append(h.items, x.(growItem)) }
+func (h *growHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func keyOf(c *channel.Conn) qos.GrowthCandidate {
+	return qos.GrowthCandidate{
+		Utility:         c.Spec.Utility,
+		ExtraIncrements: c.Level,
+		Order:           int64(c.ID),
+	}
+}
+
+// redistribute performs the incremental, utility-weighted water-filling of
+// §3.2: while any channel touching the affected region can grow by one
+// increment on every link of its route, the configured policy picks the
+// next recipient.
+//
+// Correctness of the lazy pruning: capacity only DECREASES while increments
+// are granted, so a channel observed unable to grow can be dropped
+// permanently, and a popped entry with a stale key only needs re-queueing.
+// The region is the set of directed links where capacity changed (new
+// route, released route, activated backup links); channels with no link in
+// the region were maximal before the event and stay maximal, so they are
+// never candidates.
+func (m *Manager) redistribute(region map[topology.DirLinkID]bool) {
+	if len(region) == 0 {
+		return
+	}
+	candidateIDs := make(map[channel.ConnID]bool)
+	for d := range region {
+		m.net.ForEachPrimaryOn(d, func(id channel.ConnID) {
+			candidateIDs[id] = true
+		})
+	}
+	h := &growHeap{policy: m.cfg.Policy}
+	for _, id := range setToSorted(candidateIDs) {
+		c := m.conns[id]
+		if c == nil || !c.Alive() {
+			continue
+		}
+		if c.Level < c.Spec.States()-1 && m.canGrow(c) {
+			h.items = append(h.items, growItem{conn: c, key: keyOf(c)})
+		}
+	}
+	heap.Init(h)
+
+	for h.Len() > 0 {
+		it := heap.Pop(h).(growItem)
+		c := it.conn
+		if it.key.ExtraIncrements != c.Level {
+			// Stale entry: the connection grew since this key was pushed.
+			heap.Push(h, growItem{conn: c, key: keyOf(c)})
+			continue
+		}
+		if !m.canGrow(c) {
+			continue // capacity only shrinks: permanently ineligible
+		}
+		newBW := c.Spec.Bandwidth(c.Level + 1)
+		if err := m.net.AdjustPrimary(c.ID, c.Primary, newBW); err != nil {
+			// canGrow verified room on every link; failure is corruption.
+			panic(fmt.Sprintf("manager: redistribute grow conn %d: %v", c.ID, err))
+		}
+		m.trackLevel(c, c.Level, c.Level+1)
+		c.Level++
+		if c.Level < c.Spec.States()-1 {
+			heap.Push(h, growItem{conn: c, key: keyOf(c)})
+		}
+	}
+}
+
+// canGrow reports whether every directed link of c's primary has room for
+// one more increment and the level ceiling is not reached.
+func (m *Manager) canGrow(c *channel.Conn) bool {
+	if c.Level >= c.Spec.States()-1 {
+		return false
+	}
+	inc := c.Spec.Increment
+	for i, l := range c.Primary.Links {
+		d := m.g.DirID(l, c.Primary.Nodes[i])
+		if m.net.FreeForGrowth(d) < inc {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,71 @@
+package markov
+
+import (
+	"fmt"
+
+	"drqos/internal/linalg"
+)
+
+// Term is one event stream contributing to an empirical generator: the
+// stream fires at Rate; a given channel is affected with probability
+// Weight; and an affected channel in state i jumps to state j with
+// probability Jump[i][j] (any direction; rows may sum to <1, the remainder
+// being "no change").
+type Term struct {
+	// Name labels the stream in error messages ("arrival-direct", ...).
+	Name string
+	// Rate is the stream's event rate (λ, μ or γ).
+	Rate float64
+	// Weight is the per-channel involvement probability (Pf or Ps).
+	Weight float64
+	// Jump is the full conditional jump matrix, including the movement
+	// probability (diagonal entries are ignored).
+	Jump [][]float64
+}
+
+// BuildGeneral assembles a chain from empirical event streams without the
+// paper's triangular restriction: rate(i→j) = Σ_terms Rate·Weight·Jump[i][j].
+// It is the "extended" model used to quantify how much accuracy the paper's
+// downward-A/upward-B,T structure gives away (see EXPERIMENTS.md).
+func BuildGeneral(n int, terms []Term) (*Chain, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: N=%d, need >=2", ErrInvalidParams, n)
+	}
+	q := linalg.NewMatrix(n, n)
+	for _, t := range terms {
+		if t.Rate < 0 || t.Weight < 0 || t.Weight > 1 {
+			return nil, fmt.Errorf("%w: term %q rate=%v weight=%v", ErrInvalidParams, t.Name, t.Rate, t.Weight)
+		}
+		if len(t.Jump) != n {
+			return nil, fmt.Errorf("%w: term %q jump has %d rows, want %d", ErrInvalidParams, t.Name, len(t.Jump), n)
+		}
+		for i, row := range t.Jump {
+			if len(row) != n {
+				return nil, fmt.Errorf("%w: term %q row %d has %d cols", ErrInvalidParams, t.Name, i, len(row))
+			}
+			var sum float64
+			for j, v := range row {
+				if v < 0 || v > 1 {
+					return nil, fmt.Errorf("%w: term %q jump[%d][%d]=%v", ErrInvalidParams, t.Name, i, j, v)
+				}
+				if i != j {
+					sum += v
+					q.Add(i, j, t.Rate*t.Weight*v)
+				}
+			}
+			if sum > 1+1e-9 {
+				return nil, fmt.Errorf("%w: term %q row %d sums to %v > 1", ErrInvalidParams, t.Name, i, sum)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		var out float64
+		for j := 0; j < n; j++ {
+			if i != j {
+				out += q.At(i, j)
+			}
+		}
+		q.Set(i, i, -out)
+	}
+	return &Chain{q: q}, nil
+}

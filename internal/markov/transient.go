@@ -1,0 +1,102 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// Transient computes the state distribution at time t starting from the
+// initial distribution p0, using uniformization (Jensen's method): with
+// Λ ≥ max exit rate and P = I + Q/Λ,
+//
+//	π(t) = Σ_{k≥0} e^{-Λt} (Λt)^k / k! · p0·P^k
+//
+// The series is truncated when the accumulated Poisson mass exceeds
+// 1 − tol. This is the standard transient engine in SHARPE-class tools.
+func (c *Chain) Transient(p0 []float64, t, tol float64) ([]float64, error) {
+	n := c.N()
+	if len(p0) != n {
+		return nil, fmt.Errorf("markov: initial distribution over %d states, chain has %d", len(p0), n)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("markov: negative time %v", t)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	var sum float64
+	for _, v := range p0 {
+		if v < 0 {
+			return nil, fmt.Errorf("markov: negative initial probability %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return nil, fmt.Errorf("markov: initial distribution sums to %v", sum)
+	}
+
+	lam := 0.0
+	for i := 0; i < n; i++ {
+		if r := -c.q.At(i, i); r > lam {
+			lam = r
+		}
+	}
+	out := make([]float64, n)
+	if lam == 0 || t == 0 {
+		copy(out, p0)
+		return out, nil
+	}
+
+	// v_k = p0·P^k computed iteratively; Poisson weights computed in a
+	// numerically safe recurrence starting from the log term.
+	vk := make([]float64, n)
+	copy(vk, p0)
+	lt := lam * t
+	// weight_0 = e^{-Λt}; handle large Λt by working in log space until
+	// the weights become representable.
+	logW := -lt
+	accumulated := 0.0
+	next := make([]float64, n)
+	for k := 0; ; k++ {
+		w := math.Exp(logW)
+		if w > 0 {
+			for j := 0; j < n; j++ {
+				out[j] += w * vk[j]
+			}
+			accumulated += w
+			if 1-accumulated < tol {
+				break
+			}
+		}
+		if k > int(lt)+200+20*int(math.Sqrt(lt)) {
+			// Far beyond the Poisson bulk: whatever mass remains is below
+			// numeric resolution.
+			break
+		}
+		// vk = vk · P where P = I + Q/Λ.
+		for j := 0; j < n; j++ {
+			next[j] = vk[j]
+		}
+		for i := 0; i < n; i++ {
+			if vk[i] == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				next[j] += vk[i] * c.q.At(i, j) / lam
+			}
+		}
+		copy(vk, next)
+		logW += math.Log(lt) - math.Log(float64(k+1))
+	}
+	// Normalize away truncation residue.
+	var total float64
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for j := range out {
+			out[j] /= total
+		}
+	}
+	return out, nil
+}

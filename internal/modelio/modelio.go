@@ -1,0 +1,77 @@
+// Package modelio serializes measured model parameters so that simulation
+// (cmd/drsim) and analysis (cmd/drmarkov) can run as separate steps, the
+// same split the paper describes in §3.3: obtain Pf, Ps and the jump
+// matrices from the simulator, then feed them to the chain solver.
+package modelio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"drqos/internal/markov"
+	"drqos/internal/qos"
+)
+
+// Document is the on-disk parameter bundle.
+type Document struct {
+	// Params are the paper-model parameters (rates, Pf/Ps, A/B/T).
+	Params markov.Params `json:"params"`
+	// BirthDist is the post-establishment level distribution β.
+	BirthDist []float64 `json:"birth_dist"`
+	// Delta is the per-channel death rate μ/N̄ for the restart extension.
+	Delta float64 `json:"delta"`
+	// Spec reconstructs the bandwidth levels.
+	SpecMin       qos.Kbps `json:"spec_min"`
+	SpecMax       qos.Kbps `json:"spec_max"`
+	SpecIncrement qos.Kbps `json:"spec_increment"`
+}
+
+// Spec returns the elastic spec encoded in the document.
+func (d *Document) Spec() qos.ElasticSpec {
+	return qos.ElasticSpec{Min: d.SpecMin, Max: d.SpecMax, Increment: d.SpecIncrement, Utility: 1}
+}
+
+// Validate checks internal consistency.
+func (d *Document) Validate() error {
+	spec := d.Spec()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if err := d.Params.Validate(); err != nil {
+		return err
+	}
+	if d.Params.N != spec.States() {
+		return fmt.Errorf("modelio: params over %d states but spec has %d", d.Params.N, spec.States())
+	}
+	if len(d.BirthDist) != 0 && len(d.BirthDist) != d.Params.N {
+		return fmt.Errorf("modelio: birth distribution over %d states, params have %d",
+			len(d.BirthDist), d.Params.N)
+	}
+	if d.Delta < 0 {
+		return fmt.Errorf("modelio: negative delta %v", d.Delta)
+	}
+	return nil
+}
+
+// Write serializes the document as indented JSON.
+func Write(w io.Writer, d *Document) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Read deserializes and validates a document.
+func Read(r io.Reader) (*Document, error) {
+	var d Document
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("modelio: decoding: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

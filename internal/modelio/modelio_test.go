@@ -1,0 +1,114 @@
+package modelio
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"drqos/internal/markov"
+	"drqos/internal/qos"
+)
+
+func validDoc() *Document {
+	a, b, tm := markov.ZeroJumpMatrices(5)
+	a[2][0] = 0.5
+	b[0][3] = 0.25
+	tm[1][4] = 1
+	return &Document{
+		Params: markov.Params{
+			N: 5, Lambda: 0.001, Mu: 0.001, Gamma: 0,
+			Pf: 0.04, Ps: 0.3, A: a, B: b, T: tm,
+		},
+		BirthDist:     []float64{0, 0, 0, 0.5, 0.5},
+		Delta:         1e-6,
+		SpecMin:       100,
+		SpecMax:       500,
+		SpecIncrement: 100,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	doc := validDoc()
+	var buf bytes.Buffer
+	if err := Write(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, doc) {
+		t.Fatalf("round trip changed document:\n%+v\nvs\n%+v", got, doc)
+	}
+}
+
+func TestSpecReconstruction(t *testing.T) {
+	doc := validDoc()
+	spec := doc.Spec()
+	if spec.Min != 100 || spec.Max != 500 || spec.Increment != 100 {
+		t.Fatalf("spec %+v", spec)
+	}
+	if spec.States() != doc.Params.N {
+		t.Fatal("state count mismatch")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Document)
+	}{
+		{"bad spec", func(d *Document) { d.SpecMin = 0 }},
+		{"state mismatch", func(d *Document) { d.SpecIncrement = 50 }},
+		{"bad params", func(d *Document) { d.Params.Pf = 2 }},
+		{"birth length", func(d *Document) { d.BirthDist = []float64{1} }},
+		{"negative delta", func(d *Document) { d.Delta = -1 }},
+	}
+	for _, tc := range cases {
+		doc := validDoc()
+		tc.mutate(doc)
+		if err := doc.Validate(); err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, doc); err == nil {
+			t.Fatalf("%s written", tc.name)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"params":{"N":1}}`)); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestSolveFromDocument(t *testing.T) {
+	// The document carries everything needed to rebuild and solve the
+	// chain — the cross-tool contract.
+	doc := validDoc()
+	chain, err := markov.Build(doc.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rchain, err := chain.WithRestart(doc.BirthDist, doc.Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := rchain.SteadyStateFrom(doc.BirthDist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := markov.MeanBandwidth(pi, doc.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < float64(qos.Kbps(100)) || mean > float64(qos.Kbps(500)) || math.IsNaN(mean) {
+		t.Fatalf("mean = %v", mean)
+	}
+}

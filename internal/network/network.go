@@ -1,0 +1,522 @@
+// Package network tracks per-link resource state for DR-connections: primary
+// reservations (which grow and shrink with elastic QoS), and the multiplexed
+// spare pools reserved for passive backup channels (§2.1.2).
+//
+// Real-time channels are unidirectional virtual circuits [3], so every
+// reservation lives on a DIRECTED link (topology.DirLinkID): the two
+// directions of a physical link carry independent capacities, matching the
+// paper's resource model (its "354 edges" on the 100-node network count
+// directed edges). A physical failure takes out both directions.
+//
+// The accounting realizes three rules from the paper:
+//
+//  1. Backups reserve capacity but do not consume it: the spare pool on a
+//     directed link is sized by the worst single-failure activation burst,
+//     not the sum of all backups ("overbooking", §2.1.2).
+//  2. Primaries may borrow the idle spare: grants are limited by physical
+//     capacity only. On failure the spare is reclaimed by squeezing
+//     primaries back to their minima (§3.1).
+//  3. Admission is judged at minimum levels: a new primary fits on a link
+//     iff Σ minima + spare + newMin ≤ capacity, because every elastic
+//     primary can always be squeezed to its minimum.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"drqos/internal/channel"
+	"drqos/internal/qos"
+	"drqos/internal/routing"
+	"drqos/internal/topology"
+)
+
+// ErrCapacity reports an admission or adjustment that would exceed link
+// capacity.
+var ErrCapacity = errors.New("network: insufficient capacity")
+
+// ErrLinkFailed reports use of a failed link.
+var ErrLinkFailed = errors.New("network: link is failed")
+
+// ErrUnknownConn reports an operation on a connection that holds no
+// reservation on the link.
+var ErrUnknownConn = errors.New("network: unknown connection")
+
+// backupReg records one backup channel registered on a directed link: its
+// guaranteed activation bandwidth and the physical links of its primary
+// route (the failures that would activate it).
+type backupReg struct {
+	min          qos.Kbps
+	primaryLinks []topology.LinkID
+}
+
+// dirState is the resource ledger of one directed link.
+type dirState struct {
+	grants   map[channel.ConnID]qos.Kbps // current primary reservations
+	mins     map[channel.ConnID]qos.Kbps // per-connection minima
+	grantSum qos.Kbps
+	minSum   qos.Kbps
+
+	backups map[channel.ConnID]backupReg
+	// conflict[f] is the bandwidth that must be freed on this directed
+	// link when physical link f fails: the sum of minima of backups here
+	// whose primary uses f.
+	conflict map[topology.LinkID]qos.Kbps
+	spare    qos.Kbps // cached max over conflict
+}
+
+func (ds *dirState) recomputeSpare(noMultiplex bool) {
+	var m qos.Kbps
+	if noMultiplex {
+		for _, reg := range ds.backups {
+			m += reg.min
+		}
+	} else {
+		for _, v := range ds.conflict {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	ds.spare = m
+}
+
+// Network is the resource ledger for an entire topology.
+type Network struct {
+	g        *topology.Graph
+	capacity qos.Kbps
+	dirs     []dirState
+	failed   []bool // per physical link
+	// noMultiplex disables backup multiplexing: the spare on a directed
+	// link becomes the SUM of all backup minima instead of the worst
+	// single-failure burst. Used by the multiplexing ablation.
+	noMultiplex bool
+}
+
+// New builds a Network over g with a uniform per-direction link capacity,
+// matching the paper's setting ("we assume that the bandwidth is the same
+// for all links in a given network", 10 Mb/s).
+func New(g *topology.Graph, capacity qos.Kbps) (*Network, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("network: non-positive capacity %v", capacity)
+	}
+	n := &Network{
+		g:        g,
+		capacity: capacity,
+		dirs:     make([]dirState, g.NumDirLinks()),
+		failed:   make([]bool, g.NumLinks()),
+	}
+	for i := range n.dirs {
+		n.dirs[i] = dirState{
+			grants:   make(map[channel.ConnID]qos.Kbps),
+			mins:     make(map[channel.ConnID]qos.Kbps),
+			backups:  make(map[channel.ConnID]backupReg),
+			conflict: make(map[topology.LinkID]qos.Kbps),
+		}
+	}
+	return n, nil
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.g }
+
+// SetMultiplexing enables or disables backup multiplexing (enabled by
+// default). It must be called before any backup is registered; flipping it
+// with live backups would corrupt the cached spare values, so that case
+// returns an error.
+func (n *Network) SetMultiplexing(enabled bool) error {
+	for i := range n.dirs {
+		if len(n.dirs[i].backups) > 0 {
+			return fmt.Errorf("network: cannot change multiplexing with %d backups on directed link %d",
+				len(n.dirs[i].backups), i)
+		}
+	}
+	n.noMultiplex = !enabled
+	return nil
+}
+
+// Capacity returns the per-direction capacity (uniform across links).
+func (n *Network) Capacity() qos.Kbps { return n.capacity }
+
+// Failed reports whether physical link l is currently failed.
+func (n *Network) Failed(l topology.LinkID) bool { return n.failed[l] }
+
+// SetFailed marks physical link l failed or repaired. Resource reservations
+// are not touched: the manager decides what to fail over and release.
+func (n *Network) SetFailed(l topology.LinkID, failed bool) { n.failed[l] = failed }
+
+// Spare returns the multiplexed backup spare currently required on directed
+// link d.
+func (n *Network) Spare(d topology.DirLinkID) qos.Kbps { return n.dirs[d].spare }
+
+// GrantSum returns the total primary reservation on directed link d.
+func (n *Network) GrantSum(d topology.DirLinkID) qos.Kbps { return n.dirs[d].grantSum }
+
+// MinSum returns the total of primary minima on directed link d.
+func (n *Network) MinSum(d topology.DirLinkID) qos.Kbps { return n.dirs[d].minSum }
+
+// FreeForGrowth returns the bandwidth a primary on directed link d could
+// still grow into right now: physical capacity minus current grants (idle
+// backup spare is borrowable, rule 2).
+func (n *Network) FreeForGrowth(d topology.DirLinkID) qos.Kbps {
+	if n.failed[d.Link()] {
+		return 0
+	}
+	return n.capacity - n.dirs[d].grantSum
+}
+
+// AdmissionHeadroom returns the bandwidth available to a NEW primary on
+// directed link d under minimum-level admission (rule 3).
+func (n *Network) AdmissionHeadroom(d topology.DirLinkID) qos.Kbps {
+	if n.failed[d.Link()] {
+		return 0
+	}
+	ds := &n.dirs[d]
+	free := n.capacity - ds.minSum - ds.spare
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Grant returns the current reservation of conn on directed link d, or 0.
+func (n *Network) Grant(d topology.DirLinkID, id channel.ConnID) qos.Kbps {
+	return n.dirs[d].grants[id]
+}
+
+// PrimariesOn returns the IDs of connections with a primary reservation on
+// directed link d, in ascending ID order for determinism.
+func (n *Network) PrimariesOn(d topology.DirLinkID) []channel.ConnID {
+	ds := &n.dirs[d]
+	out := make([]channel.ConnID, 0, len(ds.grants))
+	for id := range ds.grants {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForEachPrimaryOn calls fn for every connection with a primary reservation
+// on directed link d, in UNSPECIFIED order. Callers that need determinism
+// must accumulate into a set and sort; this avoids the per-call allocation
+// and sort of PrimariesOn in hot paths.
+func (n *Network) ForEachPrimaryOn(d topology.DirLinkID, fn func(channel.ConnID)) {
+	for id := range n.dirs[d].grants {
+		fn(id)
+	}
+}
+
+// BackupsOn returns the IDs of connections with a backup registered on
+// directed link d, in ascending ID order.
+func (n *Network) BackupsOn(d topology.DirLinkID) []channel.ConnID {
+	ds := &n.dirs[d]
+	out := make([]channel.ConnID, 0, len(ds.backups))
+	for id := range ds.backups {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CanAdmitPrimary reports whether a new primary with the given minimum
+// could be admitted along route under minimum-level admission.
+func (n *Network) CanAdmitPrimary(route routing.Path, min qos.Kbps) bool {
+	for _, d := range route.DirLinks(n.g) {
+		if n.AdmissionHeadroom(d) < min {
+			return false
+		}
+	}
+	return true
+}
+
+// ReservePrimary reserves min bandwidth for conn id along route. Grants on
+// every route link must currently leave room for min (the manager squeezes
+// elastic channels first if necessary). The operation is atomic: on error
+// nothing is reserved.
+func (n *Network) ReservePrimary(id channel.ConnID, route routing.Path, min qos.Kbps) error {
+	if min <= 0 {
+		return fmt.Errorf("network: non-positive reservation %v", min)
+	}
+	dls := route.DirLinks(n.g)
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		if n.failed[d.Link()] {
+			return fmt.Errorf("%w: link %d on route of conn %d", ErrLinkFailed, d.Link(), id)
+		}
+		if _, dup := ds.grants[id]; dup {
+			return fmt.Errorf("network: conn %d already reserved on directed link %d", id, d)
+		}
+		if ds.grantSum+min > n.capacity {
+			return fmt.Errorf("%w: directed link %d has %v granted of %v, cannot add %v",
+				ErrCapacity, d, ds.grantSum, n.capacity, min)
+		}
+		if ds.minSum+ds.spare+min > n.capacity {
+			return fmt.Errorf("%w: directed link %d minima %v + spare %v + new %v exceeds %v",
+				ErrCapacity, d, ds.minSum, ds.spare, min, n.capacity)
+		}
+	}
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		ds.grants[id] = min
+		ds.mins[id] = min
+		ds.grantSum += min
+		ds.minSum += min
+	}
+	return nil
+}
+
+// AdjustPrimary changes conn id's reservation to newGrant on every link of
+// its route. newGrant must be at least the connection's minimum; growth must
+// fit the physical capacity of every link. Atomic.
+func (n *Network) AdjustPrimary(id channel.ConnID, route routing.Path, newGrant qos.Kbps) error {
+	dls := route.DirLinks(n.g)
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		cur, ok := ds.grants[id]
+		if !ok {
+			return fmt.Errorf("%w: conn %d on directed link %d", ErrUnknownConn, id, d)
+		}
+		if newGrant < ds.mins[id] {
+			return fmt.Errorf("network: grant %v below minimum %v for conn %d", newGrant, ds.mins[id], id)
+		}
+		if ds.grantSum-cur+newGrant > n.capacity {
+			return fmt.Errorf("%w: directed link %d cannot grow conn %d from %v to %v",
+				ErrCapacity, d, id, cur, newGrant)
+		}
+	}
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		cur := ds.grants[id]
+		ds.grants[id] = newGrant
+		ds.grantSum += newGrant - cur
+	}
+	return nil
+}
+
+// ReleasePrimary removes conn id's primary reservation along route.
+func (n *Network) ReleasePrimary(id channel.ConnID, route routing.Path) error {
+	dls := route.DirLinks(n.g)
+	for _, d := range dls {
+		if _, ok := n.dirs[d].grants[id]; !ok {
+			return fmt.Errorf("%w: conn %d on directed link %d", ErrUnknownConn, id, d)
+		}
+	}
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		ds.grantSum -= ds.grants[id]
+		ds.minSum -= ds.mins[id]
+		delete(ds.grants, id)
+		delete(ds.mins, id)
+	}
+	return nil
+}
+
+// CanAdmitBackup reports whether a backup with activation bandwidth min and
+// the given physical primary links can be multiplexed onto every directed
+// link of backupRoute without violating minimum-level admission (rule 1:
+// the spare only grows where this backup conflicts with existing ones).
+func (n *Network) CanAdmitBackup(backupRoute routing.Path, primaryLinks []topology.LinkID, min qos.Kbps) bool {
+	for _, d := range backupRoute.DirLinks(n.g) {
+		ds := &n.dirs[d]
+		if n.failed[d.Link()] {
+			return false
+		}
+		newSpare := ds.spare
+		if n.noMultiplex {
+			newSpare += min
+		} else {
+			for _, f := range primaryLinks {
+				if c := ds.conflict[f] + min; c > newSpare {
+					newSpare = c
+				}
+			}
+		}
+		if ds.minSum+newSpare > n.capacity {
+			return false
+		}
+	}
+	return true
+}
+
+// ReserveBackup registers a backup channel on every directed link of
+// backupRoute. Atomic: on error nothing is registered.
+func (n *Network) ReserveBackup(id channel.ConnID, backupRoute routing.Path, primaryLinks []topology.LinkID, min qos.Kbps) error {
+	if min <= 0 {
+		return fmt.Errorf("network: non-positive backup reservation %v", min)
+	}
+	if len(primaryLinks) == 0 {
+		return fmt.Errorf("network: backup for conn %d has no primary links", id)
+	}
+	if !n.CanAdmitBackup(backupRoute, primaryLinks, min) {
+		return fmt.Errorf("%w: backup of conn %d", ErrCapacity, id)
+	}
+	dls := backupRoute.DirLinks(n.g)
+	for _, d := range dls {
+		if _, dup := n.dirs[d].backups[id]; dup {
+			return fmt.Errorf("network: backup of conn %d already on directed link %d", id, d)
+		}
+	}
+	reg := backupReg{min: min, primaryLinks: append([]topology.LinkID(nil), primaryLinks...)}
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		ds.backups[id] = reg
+		for _, f := range primaryLinks {
+			ds.conflict[f] += min
+		}
+		if n.noMultiplex {
+			ds.spare += min
+			continue
+		}
+		for _, f := range primaryLinks {
+			if ds.conflict[f] > ds.spare {
+				ds.spare = ds.conflict[f]
+			}
+		}
+	}
+	return nil
+}
+
+// ReleaseBackup removes conn id's backup registration along backupRoute.
+func (n *Network) ReleaseBackup(id channel.ConnID, backupRoute routing.Path) error {
+	dls := backupRoute.DirLinks(n.g)
+	for _, d := range dls {
+		if _, ok := n.dirs[d].backups[id]; !ok {
+			return fmt.Errorf("%w: backup of conn %d on directed link %d", ErrUnknownConn, id, d)
+		}
+	}
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		reg := ds.backups[id]
+		delete(ds.backups, id)
+		for _, f := range reg.primaryLinks {
+			ds.conflict[f] -= reg.min
+			if ds.conflict[f] == 0 {
+				delete(ds.conflict, f)
+			}
+		}
+		ds.recomputeSpare(n.noMultiplex)
+	}
+	return nil
+}
+
+// ActivateBackup converts conn id's backup registration along backupRoute
+// into a primary reservation at the registered minimum (the activated
+// channel runs at Bmin, §3.1). The spare it occupied is released. The
+// manager must already have squeezed primaries on these links so the
+// minimum fits within physical capacity.
+func (n *Network) ActivateBackup(id channel.ConnID, backupRoute routing.Path) error {
+	dls := backupRoute.DirLinks(n.g)
+	var min qos.Kbps
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		reg, ok := ds.backups[id]
+		if !ok {
+			return fmt.Errorf("%w: backup of conn %d on directed link %d", ErrUnknownConn, id, d)
+		}
+		min = reg.min
+		if _, dup := ds.grants[id]; dup {
+			return fmt.Errorf("network: conn %d already primary on directed link %d", id, d)
+		}
+	}
+	// Feasibility against physical capacity, before mutating anything.
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		if ds.grantSum+min > n.capacity {
+			return fmt.Errorf("%w: activating backup of conn %d on directed link %d (%v granted of %v)",
+				ErrCapacity, id, d, ds.grantSum, n.capacity)
+		}
+	}
+	if err := n.ReleaseBackup(id, backupRoute); err != nil {
+		return err
+	}
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		ds.grants[id] = min
+		ds.mins[id] = min
+		ds.grantSum += min
+		ds.minSum += min
+	}
+	return nil
+}
+
+// CheckInvariants recomputes every cached quantity from first principles
+// and verifies the conservation rules in DESIGN.md §6. It is O(links ×
+// reservations) and intended for tests and debugging.
+//
+// The dependability reserve rule (minima + spare ≤ capacity) is NOT part of
+// this check: it is guaranteed at admission time but transiently violated
+// between a backup activation and the re-establishment of protection (the
+// paper's single-failure assumption). Use DependabilityDeficit to inspect it.
+func (n *Network) CheckInvariants() error {
+	for di := range n.dirs {
+		ds := &n.dirs[di]
+		var grantSum, minSum qos.Kbps
+		for id, g := range ds.grants {
+			m, ok := ds.mins[id]
+			if !ok {
+				return fmt.Errorf("dir link %d: conn %d has grant but no min", di, id)
+			}
+			if g < m {
+				return fmt.Errorf("dir link %d: conn %d grant %v below min %v", di, id, g, m)
+			}
+			grantSum += g
+			minSum += m
+		}
+		if len(ds.grants) != len(ds.mins) {
+			return fmt.Errorf("dir link %d: %d grants vs %d mins", di, len(ds.grants), len(ds.mins))
+		}
+		if grantSum != ds.grantSum {
+			return fmt.Errorf("dir link %d: cached grantSum %v, actual %v", di, ds.grantSum, grantSum)
+		}
+		if minSum != ds.minSum {
+			return fmt.Errorf("dir link %d: cached minSum %v, actual %v", di, ds.minSum, minSum)
+		}
+		if grantSum > n.capacity {
+			return fmt.Errorf("dir link %d: grants %v exceed capacity %v", di, grantSum, n.capacity)
+		}
+		conflict := make(map[topology.LinkID]qos.Kbps)
+		for _, reg := range ds.backups {
+			for _, f := range reg.primaryLinks {
+				conflict[f] += reg.min
+			}
+		}
+		var spare qos.Kbps
+		for f, v := range conflict {
+			if ds.conflict[f] != v {
+				return fmt.Errorf("dir link %d: conflict[%d] cached %v, actual %v", di, f, ds.conflict[f], v)
+			}
+			if !n.noMultiplex && v > spare {
+				spare = v
+			}
+		}
+		if n.noMultiplex {
+			for _, reg := range ds.backups {
+				spare += reg.min
+			}
+		}
+		if len(conflict) != len(ds.conflict) {
+			return fmt.Errorf("dir link %d: stale conflict entries", di)
+		}
+		if spare != ds.spare {
+			return fmt.Errorf("dir link %d: cached spare %v, actual %v", di, ds.spare, spare)
+		}
+	}
+	return nil
+}
+
+// DependabilityDeficit returns the directed links where the dependability
+// reserve rule (Σ minima + spare ≤ capacity) currently does not hold. In
+// the absence of failures and backup activations the slice is empty; after
+// a failover it lists links whose backup coverage is degraded until
+// protection is re-established.
+func (n *Network) DependabilityDeficit() []topology.DirLinkID {
+	var out []topology.DirLinkID
+	for di := range n.dirs {
+		ds := &n.dirs[di]
+		if ds.minSum+ds.spare > n.capacity {
+			out = append(out, topology.DirLinkID(di))
+		}
+	}
+	return out
+}

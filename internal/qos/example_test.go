@@ -1,0 +1,34 @@
+package qos_test
+
+import (
+	"fmt"
+
+	"drqos/internal/qos"
+)
+
+// ExampleElasticSpec shows the paper's default video workload: a stream
+// usable at 100 Kb/s and ideal at 500 Kb/s, adapted in 50 Kb/s steps.
+func ExampleElasticSpec() {
+	spec := qos.DefaultSpec()
+	fmt.Println("states:", spec.States())
+	fmt.Println("floor:", spec.Bandwidth(0))
+	fmt.Println("ceiling:", spec.Bandwidth(spec.States()-1))
+	// Output:
+	// states: 9
+	// floor: 100Kbps
+	// ceiling: 500Kbps
+}
+
+// ExamplePick shows how the two adaptation policies split one extra
+// increment between channels with different utilities.
+func ExamplePick() {
+	cands := []qos.GrowthCandidate{
+		{Utility: 1, ExtraIncrements: 2, Order: 1},
+		{Utility: 3, ExtraIncrements: 2, Order: 2},
+	}
+	fmt.Println("max-utility picks:", qos.Pick(qos.MaxUtilityPolicy{}, cands))
+	fmt.Println("coefficient picks:", qos.Pick(qos.CoefficientPolicy{}, cands))
+	// Output:
+	// max-utility picks: 1
+	// coefficient picks: 1
+}

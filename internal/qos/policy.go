@@ -1,0 +1,101 @@
+package qos
+
+import "fmt"
+
+// GrowthCandidate describes one channel competing for the next bandwidth
+// increment during redistribution.
+type GrowthCandidate struct {
+	// Utility is the channel's utility weight from its ElasticSpec.
+	Utility float64
+	// ExtraIncrements is the number of Δ-increments the channel currently
+	// holds above its minimum.
+	ExtraIncrements int
+	// Order is a deterministic tiebreaker (typically establishment order).
+	Order int64
+}
+
+// Policy defines a strict priority order over growth candidates: when extra
+// resources are distributed (§2.2), the candidate that Less ranks first
+// receives the next increment. Implementations must be deterministic; ties
+// are broken by Order so that no two distinct candidates compare equal.
+type Policy interface {
+	// Less reports whether a should receive an increment before b.
+	Less(a, b GrowthCandidate) bool
+	Name() string
+}
+
+// Pick returns the index of the candidate the policy serves first. It
+// panics on an empty slice: callers decide termination before picking.
+func Pick(p Policy, cands []GrowthCandidate) int {
+	if len(cands) == 0 {
+		panic("qos: Pick on empty candidate list")
+	}
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if p.Less(cands[i], cands[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// MaxUtilityPolicy implements Han's max-utility scheme [11]: every spare
+// increment goes to the candidate with the highest utility, which maximizes
+// total reward but "allows a real-time channel to monopolize all the extra
+// resources even when its utility is slightly higher than the others".
+type MaxUtilityPolicy struct{}
+
+// Name implements Policy.
+func (MaxUtilityPolicy) Name() string { return "max-utility" }
+
+// Less implements Policy: highest utility first; ties go to fewer extras,
+// then lower order, keeping the outcome deterministic.
+func (MaxUtilityPolicy) Less(a, b GrowthCandidate) bool {
+	if a.Utility != b.Utility {
+		return a.Utility > b.Utility
+	}
+	if a.ExtraIncrements != b.ExtraIncrements {
+		return a.ExtraIncrements < b.ExtraIncrements
+	}
+	return a.Order < b.Order
+}
+
+// CoefficientPolicy implements the coefficient scheme [5]: extra resources
+// are allocated proportionally to each channel's utility coefficient. The
+// proportional share is realized greedily: each increment goes to the
+// candidate whose (extras+1)/utility ratio is smallest, i.e. the channel
+// furthest below its proportional entitlement.
+type CoefficientPolicy struct{}
+
+// Name implements Policy.
+func (CoefficientPolicy) Name() string { return "coefficient" }
+
+// Less implements Policy.
+func (CoefficientPolicy) Less(a, b GrowthCandidate) bool {
+	ka, kb := propKey(a), propKey(b)
+	if ka != kb {
+		return ka < kb
+	}
+	return a.Order < b.Order
+}
+
+// propKey is the normalized post-grant allocation; smaller means more
+// underserved relative to utility. Zero-utility channels sort last.
+func propKey(c GrowthCandidate) float64 {
+	if c.Utility <= 0 {
+		return 1e300
+	}
+	return float64(c.ExtraIncrements+1) / c.Utility
+}
+
+// PolicyByName returns the named policy ("max-utility" or "coefficient").
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "max-utility":
+		return MaxUtilityPolicy{}, nil
+	case "coefficient":
+		return CoefficientPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("qos: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,91 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+
+	"drqos/internal/topology"
+)
+
+// BackupRoute finds a backup route for the given primary path: totally
+// link-disjoint when one exists, otherwise maximally link-disjoint (the
+// paper's footnote 1). filter restricts usable links (nil admits all); links
+// of the primary are additionally admitted only in the maximally-disjoint
+// fallback. It returns the route and the number of links shared with the
+// primary.
+func BackupRoute(g *topology.Graph, primary Path, filter LinkFilter) (Path, int, error) {
+	if len(primary.Nodes) < 2 {
+		return Path{}, 0, errors.New("routing: primary path has no links")
+	}
+	src, dst := primary.Src(), primary.Dst()
+	onPrimary := make(map[topology.LinkID]bool, len(primary.Links))
+	for _, l := range primary.Links {
+		onPrimary[l] = true
+	}
+	disjointFilter := func(l topology.LinkID) bool {
+		if onPrimary[l] {
+			return false
+		}
+		return filter == nil || filter(l)
+	}
+	if p, err := ShortestHops(g, src, dst, disjointFilter); err == nil {
+		return p, 0, nil
+	} else if !errors.Is(err, ErrNoRoute) {
+		return Path{}, 0, err
+	}
+
+	// No fully disjoint route: minimize shared links first, hops second, by
+	// pricing a shared link above any loop-free detour.
+	penalty := float64(g.NumNodes()) * 10
+	weight := func(l topology.LinkID) float64 {
+		if onPrimary[l] {
+			return penalty
+		}
+		return 1
+	}
+	softFilter := func(l topology.LinkID) bool { return filter == nil || filter(l) }
+	p, err := Dijkstra(g, src, dst, weight, softFilter)
+	if err != nil {
+		return Path{}, 0, fmt.Errorf("routing: no backup route %d -> %d: %w", src, dst, err)
+	}
+	shared := p.SharedLinks(primary)
+	if shared == len(primary.Links) {
+		// The "backup" covers every primary link (typically it IS the
+		// primary): any primary failure also kills it, so it provides zero
+		// protection and does not satisfy the dependability QoS.
+		return Path{}, 0, fmt.Errorf("%w: only routes covering the whole primary remain", ErrNoRoute)
+	}
+	return p, shared, nil
+}
+
+// MostDisjointCandidate picks, from flooding candidates, the one sharing the
+// fewest links with the primary (ties: fewer hops, then larger allowance).
+// It skips candidates identical to the primary. It returns ErrNoRoute when
+// no distinct candidate exists.
+func MostDisjointCandidate(primary Path, cands []Candidate) (Candidate, error) {
+	var best Candidate
+	found := false
+	bestShared := 0
+	for _, c := range cands {
+		if c.Path.Equal(primary) {
+			continue
+		}
+		shared := c.Path.SharedLinks(primary)
+		if !found {
+			best, bestShared, found = c, shared, true
+			continue
+		}
+		switch {
+		case shared < bestShared:
+			best, bestShared = c, shared
+		case shared == bestShared && c.Path.Hops() < best.Path.Hops():
+			best = c
+		case shared == bestShared && c.Path.Hops() == best.Path.Hops() && c.Allowance > best.Allowance:
+			best = c
+		}
+	}
+	if !found {
+		return Candidate{}, fmt.Errorf("%w: no backup candidate distinct from primary", ErrNoRoute)
+	}
+	return best, nil
+}

@@ -1,0 +1,173 @@
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"drqos/internal/topology"
+)
+
+// Candidate is one route discovered by bounded flooding, together with the
+// bottleneck bandwidth allowance the request copy accumulated on its way to
+// the destination (§3.1: "tries to forward it with its bandwidth allowance").
+type Candidate struct {
+	Path      Path
+	Allowance float64
+}
+
+// FloodConfig parameterizes bounded-flooding route discovery [7].
+type FloodConfig struct {
+	// HopBound is the flooding bound: request copies exceeding it are
+	// discarded (§3.1).
+	HopBound int
+	// MinBandwidth is the connection's minimum requirement; a node does not
+	// forward a request over a link that cannot allocate it (§3.1).
+	MinBandwidth float64
+	// MaxCandidates caps the number of routes returned (the destination
+	// stops waiting for more copies after this many useful arrivals).
+	// Zero means no cap.
+	MaxCandidates int
+}
+
+// label is the flooding state at one node: the best allowance seen for a
+// given hop count, with back-pointers for route reconstruction.
+type label struct {
+	hops      int
+	allowance float64
+	prevNode  topology.NodeID
+	prevLabel int // index into labels[prevNode]; -1 at the source
+	link      topology.LinkID
+}
+
+// BoundedFlood emulates the paper's distributed route discovery: the request
+// floods outward from src within HopBound hops; each copy carries the
+// bottleneck of the residual bandwidths (allowance(link)) along its route;
+// nodes discard copies that are dominated by an earlier copy (fewer-or-equal
+// hops AND greater-or-equal allowance); the destination collects the
+// surviving copies.
+//
+// The returned candidates are sorted by (hops asc, allowance desc), i.e. in
+// the order request copies would plausibly arrive — the paper notes the
+// first arrival "is likely to have traversed the shortest path" and becomes
+// the primary route.
+func BoundedFlood(g *topology.Graph, src, dst topology.NodeID, allowance DirCost, cfg FloodConfig) ([]Candidate, error) {
+	if err := checkEndpoints(g, src, dst); err != nil {
+		return nil, err
+	}
+	if src == dst {
+		return nil, fmt.Errorf("routing: flooding with src == dst (%d)", src)
+	}
+	if cfg.HopBound <= 0 {
+		return nil, fmt.Errorf("routing: non-positive hop bound %d", cfg.HopBound)
+	}
+	labels := make([][]label, g.NumNodes())
+	labels[src] = []label{{hops: 0, allowance: 1e300, prevNode: -1, prevLabel: -1, link: -1}}
+
+	type ref struct {
+		node topology.NodeID
+		idx  int
+	}
+	frontier := []ref{{node: src, idx: 0}}
+
+	// At intermediate nodes a copy is discarded when an earlier copy was at
+	// least as good (first arrival wins ties), which keeps the flood
+	// tractable. The destination is special: it collects copies arriving
+	// over different routes (§3.1, backup selection), so there a copy is
+	// only discarded against earlier copies that entered via the same link.
+	dominated := func(n topology.NodeID, hops int, alw float64, via topology.LinkID) bool {
+		for _, l := range labels[n] {
+			if n == dst && l.link != via {
+				continue
+			}
+			if l.hops <= hops && l.allowance >= alw {
+				return true
+			}
+		}
+		return false
+	}
+
+	for h := 0; h < cfg.HopBound && len(frontier) > 0; h++ {
+		var next []ref
+		for _, f := range frontier {
+			cur := labels[f.node][f.idx]
+			if cur.hops != h {
+				continue
+			}
+			fNode, fIdx := f.node, f.idx
+			g.ForEachNeighbor(f.node, func(peer topology.NodeID, link topology.LinkID) {
+				if peer == cur.prevNode {
+					return // never send a copy back where it came from
+				}
+				res := allowance(link, fNode)
+				if res < cfg.MinBandwidth {
+					return // not enough bandwidth to be allocated (§3.1)
+				}
+				alw := cur.allowance
+				if res < alw {
+					alw = res
+				}
+				if dominated(peer, h+1, alw, link) {
+					return // an earlier copy had a better allowance (§3.1)
+				}
+				labels[peer] = append(labels[peer], label{
+					hops:      h + 1,
+					allowance: alw,
+					prevNode:  fNode,
+					prevLabel: fIdx,
+					link:      link,
+				})
+				if peer != dst { // the destination does not forward
+					next = append(next, ref{node: peer, idx: len(labels[peer]) - 1})
+				}
+			})
+		}
+		frontier = next
+	}
+
+	// Every surviving destination label is one arrived request copy.
+	var out []Candidate
+	for i, l := range labels[dst] {
+		p := rebuildLabelPath(labels, dst, i)
+		out = append(out, Candidate{Path: p, Allowance: l.allowance})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: flooding %d -> %d within %d hops at %v bandwidth",
+			ErrNoRoute, src, dst, cfg.HopBound, cfg.MinBandwidth)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Path.Hops() != out[j].Path.Hops() {
+			return out[i].Path.Hops() < out[j].Path.Hops()
+		}
+		return out[i].Allowance > out[j].Allowance
+	})
+	if cfg.MaxCandidates > 0 && len(out) > cfg.MaxCandidates {
+		out = out[:cfg.MaxCandidates]
+	}
+	return out, nil
+}
+
+func rebuildLabelPath(labels [][]label, dst topology.NodeID, idx int) Path {
+	var revNodes []topology.NodeID
+	var revLinks []topology.LinkID
+	node, i := dst, idx
+	for {
+		l := labels[node][i]
+		revNodes = append(revNodes, node)
+		if l.prevNode < 0 {
+			break
+		}
+		revLinks = append(revLinks, l.link)
+		node, i = l.prevNode, l.prevLabel
+	}
+	p := Path{
+		Nodes: make([]topology.NodeID, 0, len(revNodes)),
+		Links: make([]topology.LinkID, 0, len(revLinks)),
+	}
+	for i := len(revNodes) - 1; i >= 0; i-- {
+		p.Nodes = append(p.Nodes, revNodes[i])
+	}
+	for i := len(revLinks) - 1; i >= 0; i-- {
+		p.Links = append(p.Links, revLinks[i])
+	}
+	return p
+}

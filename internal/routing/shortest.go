@@ -1,0 +1,222 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+
+	"drqos/internal/topology"
+)
+
+// ShortestHops returns a minimum-hop path from src to dst using BFS over
+// links admitted by filter (nil admits all). It returns ErrNoRoute when dst
+// is unreachable.
+func ShortestHops(g *topology.Graph, src, dst topology.NodeID, filter LinkFilter) (Path, error) {
+	if err := checkEndpoints(g, src, dst); err != nil {
+		return Path{}, err
+	}
+	if src == dst {
+		return Path{Nodes: []topology.NodeID{src}}, nil
+	}
+	prevNode := make([]topology.NodeID, g.NumNodes())
+	prevLink := make([]topology.LinkID, g.NumNodes())
+	visited := make([]bool, g.NumNodes())
+	visited[src] = true
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		done := false
+		g.ForEachNeighbor(u, func(peer topology.NodeID, link topology.LinkID) {
+			if done || visited[peer] || (filter != nil && !filter(link)) {
+				return
+			}
+			visited[peer] = true
+			prevNode[peer] = u
+			prevLink[peer] = link
+			if peer == dst {
+				done = true
+				return
+			}
+			queue = append(queue, peer)
+		})
+		if done {
+			return reconstruct(src, dst, prevNode, prevLink), nil
+		}
+	}
+	return Path{}, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+}
+
+func checkEndpoints(g *topology.Graph, src, dst topology.NodeID) error {
+	if src < 0 || int(src) >= g.NumNodes() || dst < 0 || int(dst) >= g.NumNodes() {
+		return fmt.Errorf("%w: endpoints %d, %d out of range", topology.ErrNoSuchNode, src, dst)
+	}
+	return nil
+}
+
+func reconstruct(src, dst topology.NodeID, prevNode []topology.NodeID, prevLink []topology.LinkID) Path {
+	var revNodes []topology.NodeID
+	var revLinks []topology.LinkID
+	for at := dst; at != src; at = prevNode[at] {
+		revNodes = append(revNodes, at)
+		revLinks = append(revLinks, prevLink[at])
+	}
+	revNodes = append(revNodes, src)
+	p := Path{
+		Nodes: make([]topology.NodeID, 0, len(revNodes)),
+		Links: make([]topology.LinkID, 0, len(revLinks)),
+	}
+	for i := len(revNodes) - 1; i >= 0; i-- {
+		p.Nodes = append(p.Nodes, revNodes[i])
+	}
+	for i := len(revLinks) - 1; i >= 0; i-- {
+		p.Links = append(p.Links, revLinks[i])
+	}
+	return p
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node topology.NodeID
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra returns a minimum-weight path from src to dst. weight must return
+// positive costs; filter (nil admits all) restricts usable links.
+func Dijkstra(g *topology.Graph, src, dst topology.NodeID, weight LinkWeight, filter LinkFilter) (Path, error) {
+	if err := checkEndpoints(g, src, dst); err != nil {
+		return Path{}, err
+	}
+	if weight == nil {
+		weight = func(topology.LinkID) float64 { return 1 }
+	}
+	if src == dst {
+		return Path{Nodes: []topology.NodeID{src}}, nil
+	}
+	const unreached = -1.0
+	dist := make([]float64, g.NumNodes())
+	for i := range dist {
+		dist[i] = unreached
+	}
+	prevNode := make([]topology.NodeID, g.NumNodes())
+	prevLink := make([]topology.LinkID, g.NumNodes())
+	settled := make([]bool, g.NumNodes())
+
+	q := &pq{{node: src, dist: 0}}
+	dist[src] = 0
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		if u == dst {
+			return reconstruct(src, dst, prevNode, prevLink), nil
+		}
+		g.ForEachNeighbor(u, func(peer topology.NodeID, link topology.LinkID) {
+			if settled[peer] || (filter != nil && !filter(link)) {
+				return
+			}
+			w := weight(link)
+			if w <= 0 {
+				panic(fmt.Sprintf("routing: non-positive weight %v on link %d", w, link))
+			}
+			nd := it.dist + w
+			if dist[peer] == unreached || nd < dist[peer] {
+				dist[peer] = nd
+				prevNode[peer] = u
+				prevLink[peer] = link
+				heap.Push(q, pqItem{node: peer, dist: nd})
+			}
+		})
+	}
+	return Path{}, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+}
+
+// WidestPath returns the path from src to dst maximizing the bottleneck
+// value of capacity(link), breaking ties by hop count. It is used to find
+// the route with the best bandwidth allowance.
+func WidestPath(g *topology.Graph, src, dst topology.NodeID, capacity LinkWeight, filter LinkFilter) (Path, float64, error) {
+	if err := checkEndpoints(g, src, dst); err != nil {
+		return Path{}, 0, err
+	}
+	if src == dst {
+		return Path{Nodes: []topology.NodeID{src}}, 0, nil
+	}
+	// Modified Dijkstra on (bottleneck desc, hops asc).
+	width := make([]float64, g.NumNodes())
+	hops := make([]int, g.NumNodes())
+	prevNode := make([]topology.NodeID, g.NumNodes())
+	prevLink := make([]topology.LinkID, g.NumNodes())
+	settled := make([]bool, g.NumNodes())
+	for i := range width {
+		width[i] = -1
+	}
+	type wItem struct {
+		node  topology.NodeID
+		width float64
+		hops  int
+	}
+	better := func(a, b wItem) bool {
+		if a.width != b.width {
+			return a.width > b.width
+		}
+		return a.hops < b.hops
+	}
+	// Simple O(V^2) selection keeps the code obvious; graphs are small.
+	frontier := map[topology.NodeID]wItem{src: {node: src, width: 1e300, hops: 0}}
+	width[src] = 1e300
+	for len(frontier) > 0 {
+		var best wItem
+		first := true
+		for _, it := range frontier {
+			if first || better(it, best) {
+				best, first = it, false
+			}
+		}
+		delete(frontier, best.node)
+		if settled[best.node] {
+			continue
+		}
+		settled[best.node] = true
+		if best.node == dst {
+			return reconstruct(src, dst, prevNode, prevLink), best.width, nil
+		}
+		g.ForEachNeighbor(best.node, func(peer topology.NodeID, link topology.LinkID) {
+			if settled[peer] || (filter != nil && !filter(link)) {
+				return
+			}
+			c := capacity(link)
+			if c <= 0 {
+				return
+			}
+			w := best.width
+			if c < w {
+				w = c
+			}
+			cand := wItem{node: peer, width: w, hops: best.hops + 1}
+			if width[peer] < 0 || better(cand, wItem{node: peer, width: width[peer], hops: hops[peer]}) {
+				width[peer] = w
+				hops[peer] = cand.hops
+				prevNode[peer] = best.node
+				prevLink[peer] = link
+				frontier[peer] = cand
+			}
+		})
+	}
+	return Path{}, 0, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+}

@@ -1,0 +1,103 @@
+package routing
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"drqos/internal/topology"
+)
+
+// KShortest returns up to k loop-free minimum-hop paths from src to dst in
+// increasing hop order (Yen's algorithm over the unit-weight metric). It is
+// used by the sequential route-selection baseline (§2.1.1: "shortest routes
+// are picked and checked first, sequentially one by one").
+func KShortest(g *topology.Graph, src, dst topology.NodeID, k int, filter LinkFilter) ([]Path, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("routing: KShortest with k=%d", k)
+	}
+	first, err := ShortestHops(g, src, dst, filter)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Path{first}
+	var candidates []Path
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// For each spur node on the previous path, search a deviation.
+		for i := 0; i < len(prev.Nodes)-1; i++ {
+			spur := prev.Nodes[i]
+			rootNodes := prev.Nodes[:i+1]
+			rootLinks := prev.Links[:i]
+
+			banned := make(map[topology.LinkID]bool)
+			for _, p := range paths {
+				if sharesPrefix(p, rootNodes) && len(p.Links) > i {
+					banned[p.Links[i]] = true
+				}
+			}
+			rootSet := make(map[topology.NodeID]bool, i)
+			for _, n := range rootNodes[:len(rootNodes)-1] {
+				rootSet[n] = true
+			}
+			spurFilter := func(l topology.LinkID) bool {
+				if banned[l] {
+					return false
+				}
+				// Exclude links touching interior root nodes to keep the
+				// whole path loop-free.
+				lk := g.Link(l)
+				if rootSet[lk.A] || rootSet[lk.B] {
+					return false
+				}
+				return filter == nil || filter(l)
+			}
+			spurPath, err := ShortestHops(g, spur, dst, spurFilter)
+			if errors.Is(err, ErrNoRoute) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			total := Path{
+				Nodes: append(append([]topology.NodeID{}, rootNodes...), spurPath.Nodes[1:]...),
+				Links: append(append([]topology.LinkID{}, rootLinks...), spurPath.Links...),
+			}
+			if containsPath(paths, total) || containsPath(candidates, total) {
+				continue
+			}
+			candidates = append(candidates, total)
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		sort.Slice(candidates, func(a, b int) bool {
+			return candidates[a].Hops() < candidates[b].Hops()
+		})
+		paths = append(paths, candidates[0])
+		candidates = candidates[1:]
+	}
+	return paths, nil
+}
+
+func sharesPrefix(p Path, nodes []topology.NodeID) bool {
+	if len(p.Nodes) < len(nodes) {
+		return false
+	}
+	for i, n := range nodes {
+		if p.Nodes[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+func containsPath(list []Path, p Path) bool {
+	for _, q := range list {
+		if q.Equal(p) {
+			return true
+		}
+	}
+	return false
+}

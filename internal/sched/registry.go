@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"fmt"
+
+	"drqos/internal/topology"
+)
+
+// Registry tracks the admitted packet-level flows of every directed link
+// and composes per-link delay bounds into end-to-end guarantees: "to
+// guarantee a given delivery deadline, the maximum network delay should be
+// less than the difference between the issuance time and deadline of each
+// packet" (§2.2) — the transformation between the deadline and bandwidth
+// forms of performance QoS.
+type Registry struct {
+	capacity float64
+	flows    map[topology.DirLinkID][]FlowSpec
+}
+
+// NewRegistry returns a registry for links of the given capacity (Kb/s).
+func NewRegistry(capacity float64) (*Registry, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("sched: non-positive capacity %v", capacity)
+	}
+	return &Registry{
+		capacity: capacity,
+		flows:    make(map[topology.DirLinkID][]FlowSpec),
+	}, nil
+}
+
+// Flows returns the admitted flows on directed link d.
+func (r *Registry) Flows(d topology.DirLinkID) []FlowSpec {
+	out := make([]FlowSpec, len(r.flows[d]))
+	copy(out, r.flows[d])
+	return out
+}
+
+// AdmitRoute admits one channel's flow on every directed link of its route,
+// choosing per-link local deadlines: each link contributes its minimal
+// feasible bound (plus 10% slack against later arrivals), and the sum is
+// the channel's end-to-end delay bound. If the sum exceeds maxDelay, or any
+// link is rate-saturated, nothing is admitted and ErrInfeasible is
+// returned. On success it returns the end-to-end bound.
+func (r *Registry) AdmitRoute(dirs []topology.DirLinkID, flow FlowSpec, maxDelay float64) (float64, error) {
+	if err := flow.Validate(); err != nil {
+		return 0, err
+	}
+	if maxDelay <= 0 {
+		return 0, fmt.Errorf("sched: non-positive end-to-end bound %v", maxDelay)
+	}
+	if len(dirs) == 0 {
+		return 0, fmt.Errorf("sched: empty route")
+	}
+	// First pass: find per-link minimal deadlines without mutating.
+	locals := make([]float64, len(dirs))
+	var total float64
+	for i, d := range dirs {
+		min, err := MinDeadline(r.flows[d], flow, r.capacity)
+		if err != nil {
+			return 0, fmt.Errorf("link %d: %w", d, err)
+		}
+		locals[i] = min * 1.1 // slack so later admissions do not sit on the edge
+		total += locals[i]
+	}
+	if total > maxDelay {
+		return 0, fmt.Errorf("%w: end-to-end bound %.4fs exceeds requested %.4fs",
+			ErrInfeasible, total, maxDelay)
+	}
+	// Second pass: register with the chosen local deadlines.
+	for i, d := range dirs {
+		f := flow
+		f.Deadline = locals[i]
+		r.flows[d] = append(r.flows[d], f)
+	}
+	return total, nil
+}
+
+// ReleaseRoute removes the LAST admitted flow with the given rate from each
+// listed link (flows are anonymous; channels release in reverse admission
+// order in practice). It returns an error if a link has no matching flow.
+func (r *Registry) ReleaseRoute(dirs []topology.DirLinkID, rate float64) error {
+	for _, d := range dirs {
+		fl := r.flows[d]
+		idx := -1
+		for i := len(fl) - 1; i >= 0; i-- {
+			if fl[i].Rate == rate {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("sched: no flow with rate %v on directed link %d", rate, d)
+		}
+		r.flows[d] = append(fl[:idx], fl[idx+1:]...)
+	}
+	return nil
+}
+
+// Verify replays every link's worst-case trace and reports the total number
+// of deadline misses (0 for a correctly admitted registry).
+func (r *Registry) Verify(horizon float64) (misses int, err error) {
+	for d, flows := range r.flows {
+		if len(flows) == 0 {
+			continue
+		}
+		trace, err := GreedyTrace(flows, horizon)
+		if err != nil {
+			return 0, fmt.Errorf("link %d: %w", d, err)
+		}
+		res, err := Simulate(trace, r.capacity, horizon)
+		if err != nil {
+			return 0, fmt.Errorf("link %d: %w", d, err)
+		}
+		misses += res.Misses
+	}
+	return misses, nil
+}

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"drqos/internal/topology"
+)
+
+func route(dirs ...int) []topology.DirLinkID {
+	out := make([]topology.DirLinkID, len(dirs))
+	for i, d := range dirs {
+		out[i] = topology.DirLinkID(d)
+	}
+	return out
+}
+
+func TestRegistryAdmitRoute(t *testing.T) {
+	r, err := NewRegistry(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := r.AdmitRoute(route(0, 2, 4), videoFlow(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound <= 0 || bound > 1 {
+		t.Fatalf("end-to-end bound %v", bound)
+	}
+	// A 3-hop route accumulates three per-link bounds.
+	oneHop, err := r.AdmitRoute(route(6), videoFlow(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneHop >= bound {
+		t.Fatalf("1-hop bound %v should be below 3-hop bound %v", oneHop, bound)
+	}
+	if len(r.Flows(0)) != 1 || len(r.Flows(6)) != 1 {
+		t.Fatal("flows not registered")
+	}
+}
+
+func TestRegistryBoundsGrowWithLoad(t *testing.T) {
+	r, err := NewRegistry(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := r.AdmitRoute(route(0), videoFlow(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 15; i++ {
+		last, err = r.AdmitRoute(route(0), videoFlow(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last <= first {
+		t.Fatalf("bound did not grow with load: %v -> %v", first, last)
+	}
+}
+
+func TestRegistryRejectsTightEndToEnd(t *testing.T) {
+	r, err := NewRegistry(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 5-hop route cannot fit an (effectively) sub-10ms end-to-end bound.
+	if _, err := r.AdmitRoute(route(0, 1, 2, 3, 4), videoFlow(), 0.01); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	// Rejection is atomic: nothing was registered.
+	for d := 0; d < 5; d++ {
+		if len(r.Flows(topology.DirLinkID(d))) != 0 {
+			t.Fatalf("partial admission left a flow on link %d", d)
+		}
+	}
+}
+
+func TestRegistryRejectsRateOverload(t *testing.T) {
+	r, err := NewRegistry(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AdmitRoute(route(0), videoFlow(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AdmitRoute(route(0), videoFlow(), 10); err != nil {
+		t.Fatal(err)
+	}
+	// Third 500 Kb/s flow exceeds the 1 Mb/s link.
+	if _, err := r.AdmitRoute(route(0), videoFlow(), 10); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegistryReleaseRoute(t *testing.T) {
+	r, err := NewRegistry(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AdmitRoute(route(0, 1), videoFlow(), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ReleaseRoute(route(0, 1), videoFlow().Rate); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Flows(0)) != 0 || len(r.Flows(1)) != 0 {
+		t.Fatal("release left flows")
+	}
+	if err := r.ReleaseRoute(route(0), videoFlow().Rate); err == nil {
+		t.Fatal("release of absent flow accepted")
+	}
+}
+
+func TestRegistryVerifyNoMisses(t *testing.T) {
+	r, err := NewRegistry(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load several routes sharing links, then verify every link's
+	// worst-case trace meets its deadlines.
+	for i := 0; i < 12; i++ {
+		if _, err := r.AdmitRoute(route(i%3, 3+i%2), videoFlow(), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	misses, err := r.Verify(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if misses != 0 {
+		t.Fatalf("admitted registry missed %d deadlines", misses)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	if _, err := NewRegistry(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	r, _ := NewRegistry(1000)
+	if _, err := r.AdmitRoute(nil, videoFlow(), 1); err == nil {
+		t.Fatal("empty route accepted")
+	}
+	if _, err := r.AdmitRoute(route(0), videoFlow(), 0); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+	if _, err := r.AdmitRoute(route(0), FlowSpec{}, 1); err == nil {
+		t.Fatal("invalid flow accepted")
+	}
+}

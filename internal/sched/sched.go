@@ -1,0 +1,147 @@
+// Package sched implements the run-time message-scheduling phase of a
+// real-time channel (§2.1.1: "each link resource manager schedules messages
+// belonging to different real-time channels to satisfy their respective
+// timeliness requirements" [3]).
+//
+// Channels are modelled as (σ, ρ)-regulated sources — a token bucket with
+// burst σ bits and sustained rate ρ Kb/s, the standard linear bounded
+// arrival process of the real-time channel literature — each with a local
+// delay bound d on the link. The link runs non-preemptive
+// earliest-deadline-first. Admission uses the classical busy-period demand
+// test evaluated at deadline epochs, with the non-preemption blocking term
+// (one maximal packet of any other channel).
+//
+// This layer shows WHY the reservation ledger (package network) can treat
+// "bandwidth" as the one fungible QoS currency: a channel reserving ρ Kb/s
+// with bounded burstiness can be given a hard local delay bound, which
+// composes into the end-to-end deadline the client contracted (§2, "one
+// form of performance QoS can be transformed into another").
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInfeasible reports an admission test failure.
+var ErrInfeasible = errors.New("sched: delay bounds infeasible")
+
+// FlowSpec describes one channel's traffic on a link.
+type FlowSpec struct {
+	// Burst is the token-bucket depth σ in kilobits.
+	Burst float64
+	// Rate is the sustained rate ρ in Kb/s.
+	Rate float64
+	// MaxPacket is the maximum packet size in kilobits.
+	MaxPacket float64
+	// Deadline is the local delay bound d in seconds.
+	Deadline float64
+}
+
+// Validate checks the spec's domain.
+func (f FlowSpec) Validate() error {
+	switch {
+	case f.Rate <= 0:
+		return fmt.Errorf("sched: non-positive rate %v", f.Rate)
+	case f.Burst < f.MaxPacket:
+		return fmt.Errorf("sched: burst %v below max packet %v", f.Burst, f.MaxPacket)
+	case f.MaxPacket <= 0:
+		return fmt.Errorf("sched: non-positive packet size %v", f.MaxPacket)
+	case f.Deadline <= 0:
+		return fmt.Errorf("sched: non-positive deadline %v", f.Deadline)
+	}
+	return nil
+}
+
+// demand returns the maximum work (kilobits) with deadlines within an
+// interval of length t that flow f can inject: σ + ρ·(t − d) for t ≥ d,
+// else 0 — the standard (σ,ρ) demand-bound function.
+func (f FlowSpec) demand(t float64) float64 {
+	if t < f.Deadline {
+		return 0
+	}
+	return f.Burst + f.Rate*(t-f.Deadline)
+}
+
+// CanAdmit checks whether the flow set is EDF-schedulable on a link of the
+// given capacity (Kb/s): total rate must fit, and at every deadline epoch
+// the demand bound plus the worst-case non-preemption blocking must not
+// exceed the capacity's supply. It returns ErrInfeasible with the violated
+// epoch when the test fails.
+func CanAdmit(flows []FlowSpec, capacity float64) error {
+	if capacity <= 0 {
+		return fmt.Errorf("sched: non-positive capacity %v", capacity)
+	}
+	var totalRate, maxPacket float64
+	for i, f := range flows {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("flow %d: %w", i, err)
+		}
+		totalRate += f.Rate
+		if f.MaxPacket > maxPacket {
+			maxPacket = f.MaxPacket
+		}
+	}
+	if totalRate > capacity {
+		return fmt.Errorf("%w: total rate %v exceeds capacity %v", ErrInfeasible, totalRate, capacity)
+	}
+	// Demand test at each flow's deadline epoch and at the busy-period
+	// bound. With Σρ ≤ C the demand-minus-supply gap is maximized at
+	// deadline epochs, so checking them suffices.
+	epochs := make([]float64, 0, len(flows))
+	for _, f := range flows {
+		epochs = append(epochs, f.Deadline)
+	}
+	sort.Float64s(epochs)
+	for _, t := range epochs {
+		var demand float64
+		for _, f := range flows {
+			demand += f.demand(t)
+		}
+		// Non-preemption: a just-started maximal packet of a longer-
+		// deadline flow can block a shorter-deadline one.
+		if demand+maxPacket > capacity*t {
+			return fmt.Errorf("%w: demand %.3f + blocking %.3f exceeds supply %.3f at t=%v",
+				ErrInfeasible, demand, maxPacket, capacity*t, t)
+		}
+	}
+	return nil
+}
+
+// MinDeadline returns the smallest local delay bound that makes the flow
+// set (with the candidate flow's deadline replaced) admissible, found by
+// bisection. It returns ErrInfeasible if even a very large bound fails
+// (rate overload).
+func MinDeadline(existing []FlowSpec, candidate FlowSpec, capacity float64) (float64, error) {
+	if err := candidate.Validate(); err != nil {
+		return 0, err
+	}
+	try := func(d float64) bool {
+		c := candidate
+		c.Deadline = d
+		return CanAdmit(append(append([]FlowSpec{}, existing...), c), capacity) == nil
+	}
+	hi := 1.0
+	for ; hi < 1e6; hi *= 2 {
+		if try(hi) {
+			break
+		}
+	}
+	if hi >= 1e6 {
+		return 0, fmt.Errorf("%w: no deadline below 1e6s works", ErrInfeasible)
+	}
+	lo := 0.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		if try(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,279 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drqos/internal/rng"
+)
+
+// videoFlow is the paper's 500 Kb/s high-quality stream with a modest
+// burst and a 50 ms local delay bound.
+func videoFlow() FlowSpec {
+	return FlowSpec{Burst: 12, Rate: 500, MaxPacket: 12, Deadline: 0.05}
+}
+
+func TestFlowSpecValidate(t *testing.T) {
+	ok := videoFlow()
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []FlowSpec{
+		{Burst: 12, Rate: 0, MaxPacket: 12, Deadline: 0.05},
+		{Burst: 4, Rate: 500, MaxPacket: 12, Deadline: 0.05},
+		{Burst: 12, Rate: 500, MaxPacket: 0, Deadline: 0.05},
+		{Burst: 12, Rate: 500, MaxPacket: 12, Deadline: 0},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Fatalf("bad flow %d accepted", i)
+		}
+	}
+}
+
+func TestCanAdmitRateBound(t *testing.T) {
+	// 21 × 500 Kb/s on a 10 Mb/s link overloads by rate alone.
+	flows := make([]FlowSpec, 21)
+	for i := range flows {
+		flows[i] = videoFlow()
+	}
+	if err := CanAdmit(flows, 10000); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+	// 19 flows fit comfortably.
+	if err := CanAdmit(flows[:19], 10000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanAdmitDeadlineBound(t *testing.T) {
+	// Low rate but huge burst with a tight deadline: rate fits, demand
+	// does not.
+	tight := FlowSpec{Burst: 500, Rate: 100, MaxPacket: 12, Deadline: 0.01}
+	if err := CanAdmit([]FlowSpec{tight}, 10000); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v (500Kb burst cannot drain in 10ms at 10Mb/s)", err)
+	}
+	relaxed := tight
+	relaxed.Deadline = 0.1
+	if err := CanAdmit([]FlowSpec{relaxed}, 10000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanAdmitValidatesInputs(t *testing.T) {
+	if err := CanAdmit(nil, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if err := CanAdmit([]FlowSpec{{Rate: -1}}, 100); err == nil {
+		t.Fatal("invalid flow accepted")
+	}
+}
+
+func TestMinDeadline(t *testing.T) {
+	existing := []FlowSpec{videoFlow(), videoFlow()}
+	cand := FlowSpec{Burst: 100, Rate: 1000, MaxPacket: 12, Deadline: 1}
+	d, err := MinDeadline(existing, cand, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("deadline %v", d)
+	}
+	// The returned bound must itself be admissible, and 0.9× of it not.
+	c := cand
+	c.Deadline = d
+	if err := CanAdmit(append(append([]FlowSpec{}, existing...), c), 10000); err != nil {
+		t.Fatalf("returned deadline not admissible: %v", err)
+	}
+	c.Deadline = d * 0.5
+	if err := CanAdmit(append(append([]FlowSpec{}, existing...), c), 10000); err == nil {
+		t.Fatal("half the minimal deadline admissible — not minimal")
+	}
+	// Rate overload is reported as infeasible.
+	hog := FlowSpec{Burst: 12, Rate: 20000, MaxPacket: 12, Deadline: 1}
+	if _, err := MinDeadline(existing, hog, 10000); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSimulateAdmittedSetMeetsDeadlines(t *testing.T) {
+	// 18 video flows on a 10 Mb/s link pass the admission test; the
+	// worst-case greedy trace must then meet every deadline.
+	flows := make([]FlowSpec, 18)
+	for i := range flows {
+		flows[i] = videoFlow()
+	}
+	if err := CanAdmit(flows, 10000); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := GreedyTrace(flows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(trace, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("admitted set missed %d deadlines (max lateness %v)", res.Misses, res.MaxLateness)
+	}
+	if res.Packets == 0 {
+		t.Fatal("no packets simulated")
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %v", res.Utilization)
+	}
+}
+
+func TestSimulateOverloadMissesDeadlines(t *testing.T) {
+	// Rate-overloaded link must miss deadlines under the greedy trace.
+	flows := make([]FlowSpec, 25)
+	for i := range flows {
+		flows[i] = videoFlow()
+	}
+	trace, err := GreedyTrace(flows, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(trace, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses == 0 {
+		t.Fatal("overloaded link missed nothing")
+	}
+	if res.MaxLateness <= 0 {
+		t.Fatalf("max lateness %v on an overloaded link", res.MaxLateness)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	if _, err := Simulate(nil, 0, 1); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := Simulate(nil, 100, 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestSimulateEDFOrdering(t *testing.T) {
+	// Two packets arrive together; the tighter deadline must go first.
+	packets := []Packet{
+		{Flow: 0, Arrival: 0, Deadline: 1.0, Size: 100},
+		{Flow: 1, Arrival: 0, Deadline: 0.02, Size: 100},
+	}
+	res, err := Simulate(packets, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100Kb at 10Mb/s = 10ms each; EDF order meets both deadlines,
+	// FIFO-by-flow order would miss flow 1's 20ms bound.
+	if res.Misses != 0 {
+		t.Fatalf("EDF missed %d (max lateness %v)", res.Misses, res.MaxLateness)
+	}
+}
+
+func TestGreedyTraceShape(t *testing.T) {
+	f := FlowSpec{Burst: 36, Rate: 120, MaxPacket: 12, Deadline: 0.1}
+	trace, err := GreedyTrace([]FlowSpec{f}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 burst packets at t=0, then one every 0.1s through t=1.
+	burst := 0
+	for _, p := range trace {
+		if p.Arrival == 0 {
+			burst++
+		}
+		if p.Deadline < p.Arrival {
+			t.Fatalf("deadline before arrival: %+v", p)
+		}
+	}
+	if burst != 3 {
+		t.Fatalf("burst packets = %d, want 3", burst)
+	}
+	if len(trace) != 3+10 {
+		t.Fatalf("trace length = %d, want 13", len(trace))
+	}
+	if _, err := GreedyTrace([]FlowSpec{{Rate: -1}}, 1); err == nil {
+		t.Fatal("invalid flow accepted")
+	}
+}
+
+// Property: any randomly generated flow set that passes CanAdmit meets all
+// deadlines in the worst-case simulation — the admission test is safe.
+func TestQuickAdmissionIsSafe(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(12)
+		flows := make([]FlowSpec, n)
+		for i := range flows {
+			pkt := 4 + 12*src.Float64()
+			flows[i] = FlowSpec{
+				MaxPacket: pkt,
+				Burst:     pkt * float64(1+src.Intn(4)),
+				Rate:      100 + 400*src.Float64(),
+				Deadline:  0.02 + 0.2*src.Float64(),
+			}
+		}
+		if err := CanAdmit(flows, 10000); err != nil {
+			return true // rejection is always safe
+		}
+		trace, err := GreedyTrace(flows, 3)
+		if err != nil {
+			return false
+		}
+		res, err := Simulate(trace, 10000, 3)
+		if err != nil {
+			return false
+		}
+		return res.Misses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: utilization never exceeds 1 and lateness is finite.
+func TestQuickSimulateSanity(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(30)
+		packets := make([]Packet, n)
+		for i := range packets {
+			packets[i] = Packet{
+				Flow:     i % 4,
+				Arrival:  src.Float64() * 2,
+				Deadline: src.Float64() * 3,
+				Size:     1 + src.Float64()*20,
+			}
+		}
+		res, err := Simulate(packets, 5000, 3)
+		if err != nil {
+			return false
+		}
+		return res.Packets == n && res.Utilization <= 1+1e-9 && !math.IsInf(res.MaxLateness, 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEDFSimulate(b *testing.B) {
+	flows := make([]FlowSpec, 18)
+	for i := range flows {
+		flows[i] = videoFlow()
+	}
+	trace, err := GreedyTrace(flows, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(trace, 10000, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"drqos/internal/manager"
+	"drqos/internal/markov"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/stats"
+	"drqos/internal/topology"
+)
+
+// Config parameterizes one simulation run. All stochastic behaviour derives
+// from Seed, so identical configs replay identical trajectories.
+type Config struct {
+	// Seed drives every random choice in the run.
+	Seed uint64
+	// Spec is the elastic QoS requested by every DR-connection (the paper
+	// uses a homogeneous population; heterogeneous workloads can be built
+	// with the manager API directly).
+	Spec qos.ElasticSpec
+	// Manager configures admission and adaptation.
+	Manager manager.Config
+	// Lambda is the system-level DR-connection request arrival rate (the
+	// paper's λ = 0.001).
+	Lambda float64
+	// Mu is the system-level termination rate: terminations of a uniformly
+	// random alive connection occur as a Poisson stream with this rate,
+	// which keeps the population near its initial level as in §4.
+	Mu float64
+	// Gamma is the link failure rate. Zero disables failures.
+	Gamma float64
+	// RepairRate is the repair rate of a failed link (mean outage 1/rate).
+	// Zero leaves failed links down for the rest of the run.
+	RepairRate float64
+	// InitialConns is the number of DR-connection requests issued while
+	// loading the network before the measured churn phase. Rejected
+	// requests count as issued, matching Table 1's note that the "tier"
+	// column counts attempts.
+	InitialConns int
+	// ChurnEvents is the number of measured arrival/termination/failure
+	// events to simulate after loading.
+	ChurnEvents int
+	// WarmupEvents is the number of churn events discarded before
+	// measurement starts.
+	WarmupEvents int
+	// Trace, when non-nil, receives one JSON line per simulation event
+	// (see TraceEvent). Tracing covers the whole run including loading.
+	Trace io.Writer
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Lambda <= 0:
+		return fmt.Errorf("sim: non-positive lambda %v", c.Lambda)
+	case c.Mu <= 0:
+		return fmt.Errorf("sim: non-positive mu %v", c.Mu)
+	case c.Gamma < 0:
+		return fmt.Errorf("sim: negative gamma %v", c.Gamma)
+	case c.RepairRate < 0:
+		return fmt.Errorf("sim: negative repair rate %v", c.RepairRate)
+	case c.InitialConns < 0:
+		return fmt.Errorf("sim: negative initial connections %d", c.InitialConns)
+	case c.ChurnEvents < 0:
+		return fmt.Errorf("sim: negative churn events %d", c.ChurnEvents)
+	case c.WarmupEvents < 0 || c.WarmupEvents >= c.ChurnEvents && c.ChurnEvents > 0:
+		return fmt.Errorf("sim: warmup %d must be below churn events %d", c.WarmupEvents, c.ChurnEvents)
+	}
+	return nil
+}
+
+// Result summarizes one run.
+type Result struct {
+	// AvgBandwidth is the time-weighted mean of the per-connection average
+	// reserved bandwidth during the measured phase (Kb/s) — the metric of
+	// Figures 2-4 and Table 1.
+	AvgBandwidth float64
+	// AvgBandwidthCI95 is the half-width of the 95% confidence interval of
+	// AvgBandwidth, estimated by the method of batch means (10 batches)
+	// over the measurement window. Zero when the window is too short.
+	AvgBandwidthCI95 float64
+	// FinalAvgBandwidth is the instantaneous average at the end of the run.
+	FinalAvgBandwidth float64
+	// EmpiricalPi is the time-weighted occupancy of each bandwidth state —
+	// directly comparable with the Markov chain's stationary distribution.
+	EmpiricalPi []float64
+	// Params are the measured model parameters ready for markov.Build,
+	// with rates set to the EFFECTIVE event rates observed during the
+	// measured phase (see EffectiveLambda): rejected arrivals perturb no
+	// existing channel, so the chain must be driven by the accepted rate.
+	Params markov.Params
+	// GeneralTerms feeds markov.BuildGeneral: the extended model keeping
+	// the jump directions the paper's structure discards.
+	GeneralTerms []markov.Term
+	// EffectiveLambda/Mu/Gamma are the measured event rates (accepted
+	// arrivals, terminations, failures per unit time) during measurement.
+	EffectiveLambda, EffectiveMu, EffectiveGamma float64
+	// BirthDist is the distribution of post-establishment bandwidth levels
+	// of newly accepted channels — the β of markov.Chain.WithRestart.
+	BirthDist []float64
+	// AvgAlive is the time-weighted average population during measurement;
+	// the per-channel death rate is EffectiveMu / AvgAlive.
+	AvgAlive float64
+	// DiscardedA/B/T is the fraction of observed jumps pointing in the
+	// direction the §3.2 model omits (diagnostics; small is good).
+	DiscardedA, DiscardedB, DiscardedT float64
+	// Offered/Established/Rejected/Terminated/Dropped are event counts over
+	// the whole run (loading + churn).
+	Offered, Established, Rejected, Terminated, Dropped int64
+	// Failures and Repairs count injected link events.
+	Failures, Repairs int64
+	// Recovered counts reactive re-establishments (ReactiveRecovery mode).
+	Recovered int64
+	// UnprotectedFrac is the time-weighted fraction of alive connections
+	// without a backup during measurement (dependability coverage).
+	UnprotectedFrac float64
+	// AliveAtEnd is the final population.
+	AliveAtEnd int
+	// AvgHops is the mean primary-route hop count at the end (feeds the
+	// paper's ideal-bandwidth formula).
+	AvgHops float64
+	// Duration is the simulated time span of the measured phase.
+	Duration float64
+}
+
+// Sim drives one simulation run.
+type Sim struct {
+	cfg   Config
+	g     *topology.Graph
+	mgr   *manager.Manager
+	src   *rng.Source
+	est   *Estimator
+	q     queue
+	clock float64
+
+	measuring   bool
+	trc         *tracer
+	bw          stats.TimeWeighted
+	occupancy   []stats.TimeWeighted
+	counts      Result
+	failedLinks map[topology.LinkID]bool
+
+	// Event counts within the measured window, for effective rates.
+	measAccepted, measTerminated, measFailures int64
+	birthCounts                                []int64
+	alive                                      stats.TimeWeighted
+	unprot                                     stats.TimeWeighted
+	histBuf                                    []int
+	bwSeries                                   []sample
+}
+
+// sample is one (time, value) point of the bandwidth series, kept so the
+// batch-means CI can be computed once the window length is known.
+type sample struct{ t, v float64 }
+
+// New builds a simulator over graph g.
+func New(g *topology.Graph, cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mgr, err := manager.New(g, cfg.Manager)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:         cfg,
+		g:           g,
+		mgr:         mgr,
+		src:         rng.New(cfg.Seed),
+		est:         NewEstimator(cfg.Spec.States()),
+		occupancy:   make([]stats.TimeWeighted, cfg.Spec.States()),
+		birthCounts: make([]int64, cfg.Spec.States()),
+		failedLinks: make(map[topology.LinkID]bool),
+		trc:         newTracer(cfg.Trace),
+	}
+	return s, nil
+}
+
+// Manager exposes the underlying manager (for inspection in tests and
+// examples).
+func (s *Sim) Manager() *manager.Manager { return s.mgr }
+
+// Clock returns the current simulated time.
+func (s *Sim) Clock() float64 { return s.clock }
+
+// randomPair draws a uniform random (src, dst) pair of distinct nodes.
+func (s *Sim) randomPair() (topology.NodeID, topology.NodeID) {
+	n := s.g.NumNodes()
+	a := topology.NodeID(s.src.Intn(n))
+	b := topology.NodeID(s.src.Intn(n - 1))
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// arrive issues one DR-connection request and feeds the estimator when
+// measurement is active.
+func (s *Sim) arrive() {
+	s.counts.Offered++
+	alivePrior := s.mgr.AliveCount()
+	src, dst := s.randomPair()
+	rep, err := s.mgr.Establish(src, dst, s.cfg.Spec)
+	if err != nil {
+		if errors.Is(err, manager.ErrRejected) {
+			s.counts.Rejected++
+			s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "reject", Src: src, Dst: dst}))
+			return
+		}
+		// Establish only returns ErrRejected or spec errors; the spec was
+		// validated, so anything else is a bug worth surfacing loudly.
+		panic(fmt.Sprintf("sim: establish failed unexpectedly: %v", err))
+	}
+	s.counts.Established++
+	s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "arrival", Conn: rep.Conn.ID, Src: src, Dst: dst}))
+	if s.measuring {
+		s.measAccepted++
+		s.birthCounts[rep.Conn.Level]++
+		s.est.ObserveArrival(s.mgr, rep, alivePrior)
+	}
+}
+
+// terminateRandom terminates a uniformly random alive connection.
+func (s *Sim) terminateRandom() {
+	n := s.mgr.AliveCount()
+	if n == 0 {
+		return
+	}
+	id := s.mgr.AliveIDAt(s.src.Intn(n))
+	rep, err := s.mgr.Terminate(id)
+	if err != nil {
+		panic(fmt.Sprintf("sim: terminate %d: %v", id, err))
+	}
+	s.counts.Terminated++
+	s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "termination", Conn: id}))
+	if s.measuring {
+		s.measTerminated++
+		s.est.ObserveTermination(s.mgr, rep)
+	}
+}
+
+// failRandomLink fails a uniformly random healthy link and schedules its
+// repair.
+func (s *Sim) failRandomLink() {
+	healthy := make([]topology.LinkID, 0, s.g.NumLinks())
+	for i := 0; i < s.g.NumLinks(); i++ {
+		if !s.failedLinks[topology.LinkID(i)] {
+			healthy = append(healthy, topology.LinkID(i))
+		}
+	}
+	if len(healthy) == 0 {
+		return
+	}
+	l := healthy[s.src.Intn(len(healthy))]
+	alivePrior := s.mgr.AliveCount()
+	rep, err := s.mgr.FailLink(l)
+	if err != nil {
+		panic(fmt.Sprintf("sim: fail link %d: %v", l, err))
+	}
+	s.failedLinks[l] = true
+	s.counts.Failures++
+	s.counts.Dropped += int64(len(rep.Dropped))
+	s.counts.Recovered += int64(len(rep.Recovered))
+	s.trc.emit(s.traceSnapshot(TraceEvent{
+		Kind: "failure", Link: l,
+		Activated: len(rep.Activated), Dropped: len(rep.Dropped),
+	}))
+	if s.measuring {
+		s.measFailures++
+		s.est.ObserveFailure(s.mgr, rep, alivePrior)
+	}
+	if s.cfg.RepairRate > 0 {
+		s.q.push(s.clock+s.src.Exp(s.cfg.RepairRate), evRepair, int(l))
+	}
+}
+
+// repairLink repairs a previously failed link.
+func (s *Sim) repairLink(l topology.LinkID) {
+	if !s.failedLinks[l] {
+		return
+	}
+	if _, err := s.mgr.RepairLink(l); err != nil {
+		panic(fmt.Sprintf("sim: repair link %d: %v", l, err))
+	}
+	delete(s.failedLinks, l)
+	s.counts.Repairs++
+	s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "repair", Link: l}))
+}
+
+// sample records the instantaneous average bandwidth and state occupancy
+// into the time-weighted accumulators.
+func (s *Sim) sample() {
+	if !s.measuring {
+		return
+	}
+	avgBW := s.mgr.AverageBandwidth()
+	s.bw.Observe(s.clock, avgBW)
+	s.bwSeries = append(s.bwSeries, sample{t: s.clock, v: avgBW})
+	total := s.mgr.AliveCount()
+	s.alive.Observe(s.clock, float64(total))
+	frac := 0.0
+	if total > 0 {
+		frac = float64(s.mgr.UnprotectedCount()) / float64(total)
+	}
+	s.unprot.Observe(s.clock, frac)
+	s.histBuf = s.mgr.LevelHistogram(s.histBuf)
+	for i := range s.occupancy {
+		frac := 0.0
+		if total > 0 && i < len(s.histBuf) {
+			frac = float64(s.histBuf[i]) / float64(total)
+		}
+		s.occupancy[i].Observe(s.clock, frac)
+	}
+}
+
+// Run executes the full simulation: loading phase, warmup, measured churn.
+// It returns the aggregated result.
+func (s *Sim) Run() (*Result, error) {
+	// Loading phase: issue the initial requests back to back (time does
+	// not advance; the paper measures steady state, not the loading
+	// transient).
+	for i := 0; i < s.cfg.InitialConns; i++ {
+		s.arrive()
+	}
+
+	// Churn phase: three Poisson streams. Each processed event draws the
+	// next event of its own stream.
+	s.q.push(s.clock+s.src.Exp(s.cfg.Lambda), evArrival, -1)
+	s.q.push(s.clock+s.src.Exp(s.cfg.Mu), evTermination, -1)
+	if s.cfg.Gamma > 0 {
+		s.q.push(s.clock+s.src.Exp(s.cfg.Gamma), evFailure, -1)
+	}
+
+	processed := 0
+	measureStart := 0.0
+	for processed < s.cfg.ChurnEvents {
+		ev, ok := s.q.pop()
+		if !ok {
+			return nil, errors.New("sim: event queue drained unexpectedly")
+		}
+		s.clock = ev.at
+		switch ev.kind {
+		case evArrival:
+			s.arrive()
+			s.q.push(s.clock+s.src.Exp(s.cfg.Lambda), evArrival, -1)
+			processed++
+		case evTermination:
+			s.terminateRandom()
+			s.q.push(s.clock+s.src.Exp(s.cfg.Mu), evTermination, -1)
+			processed++
+		case evFailure:
+			s.failRandomLink()
+			s.q.push(s.clock+s.src.Exp(s.cfg.Gamma), evFailure, -1)
+			processed++
+		case evRepair:
+			s.repairLink(topology.LinkID(ev.link))
+			// Repairs do not count toward the churn budget: they are a
+			// consequence, not offered load.
+		}
+		if !s.measuring && processed >= s.cfg.WarmupEvents {
+			s.measuring = true
+			measureStart = s.clock
+			// Open the time-weighted accumulators at the current state.
+			s.bw.Observe(s.clock, s.mgr.AverageBandwidth())
+		}
+		s.sample()
+	}
+	if s.measuring {
+		s.bw.CloseAt(s.clock)
+		s.alive.CloseAt(s.clock)
+		s.unprot.CloseAt(s.clock)
+		for i := range s.occupancy {
+			s.occupancy[i].CloseAt(s.clock)
+		}
+	}
+
+	res := s.counts
+	res.AvgBandwidth = s.bw.Mean()
+	if s.measuring && s.clock > measureStart && len(s.bwSeries) >= 2 {
+		if bm, err := stats.NewBatchMeans(measureStart, s.clock, 10); err == nil {
+			for _, p := range s.bwSeries {
+				bm.Observe(p.t, p.v)
+			}
+			bm.CloseAt(s.clock)
+			if _, hw, err := bm.Estimate(); err == nil {
+				res.AvgBandwidthCI95 = hw
+			}
+		}
+	}
+	res.FinalAvgBandwidth = s.mgr.AverageBandwidth()
+	res.EmpiricalPi = make([]float64, len(s.occupancy))
+	for i := range s.occupancy {
+		res.EmpiricalPi[i] = s.occupancy[i].Mean()
+	}
+	res.AliveAtEnd = s.mgr.AliveCount()
+	res.Duration = s.clock - measureStart
+	// Effective rates: the chain is driven by events that actually touch
+	// existing channels. Rejected arrivals reserve nothing and squeeze
+	// nobody, so at high load the accepted rate is well below the offered
+	// λ. With zero duration (degenerate configs) fall back to configured
+	// rates.
+	res.EffectiveLambda, res.EffectiveMu, res.EffectiveGamma = s.cfg.Lambda, s.cfg.Mu, s.cfg.Gamma
+	if res.Duration > 0 {
+		res.EffectiveLambda = float64(s.measAccepted) / res.Duration
+		res.EffectiveMu = float64(s.measTerminated) / res.Duration
+		res.EffectiveGamma = float64(s.measFailures) / res.Duration
+	}
+	res.AvgAlive = s.alive.Mean()
+	res.UnprotectedFrac = s.unprot.Mean()
+	res.BirthDist = make([]float64, len(s.birthCounts))
+	var births int64
+	for _, c := range s.birthCounts {
+		births += c
+	}
+	if births > 0 {
+		for i, c := range s.birthCounts {
+			res.BirthDist[i] = float64(c) / float64(births)
+		}
+	} else {
+		// No accepted arrival during measurement: fall back to the final
+		// empirical occupancy (or the minimum level on a cold start).
+		copy(res.BirthDist, res.EmpiricalPi)
+		var sum float64
+		for _, v := range res.BirthDist {
+			sum += v
+		}
+		if sum == 0 {
+			res.BirthDist[0] = 1
+		} else {
+			for i := range res.BirthDist {
+				res.BirthDist[i] /= sum
+			}
+		}
+	}
+	res.Params = s.est.Params(res.EffectiveLambda, res.EffectiveMu, res.EffectiveGamma)
+	res.GeneralTerms = s.est.GeneralTerms(res.EffectiveLambda, res.EffectiveMu, res.EffectiveGamma)
+	res.DiscardedA, res.DiscardedB, res.DiscardedT = s.est.Discarded()
+
+	var hops, conns float64
+	for _, id := range s.mgr.AliveIDs() {
+		hops += float64(s.mgr.Conn(id).Primary.Hops())
+		conns++
+	}
+	if conns > 0 {
+		res.AvgHops = hops / conns
+	}
+	return &res, nil
+}
+
+// IdealAverageBandwidth computes the paper's dotted reference line for
+// Figure 2:
+//
+//	BW · Edges / (NChan · avgHops)
+//
+// the bandwidth each channel would get if all network resources were used
+// and divided equally. The result is clamped to the spec's [Min, Max]
+// because a real channel cannot reserve outside its elastic range.
+func IdealAverageBandwidth(capacity qos.Kbps, edges, nChan int, avgHops float64, spec qos.ElasticSpec) float64 {
+	if nChan <= 0 || avgHops <= 0 {
+		return float64(spec.Max)
+	}
+	ideal := float64(capacity) * float64(edges) / (float64(nChan) * avgHops)
+	if ideal > float64(spec.Max) {
+		return float64(spec.Max)
+	}
+	if ideal < float64(spec.Min) {
+		return float64(spec.Min)
+	}
+	return ideal
+}
+
+// IdealAverageBandwidthUnclamped returns the raw formula value, as plotted
+// in the paper's Figure 2 reference line.
+func IdealAverageBandwidthUnclamped(capacity qos.Kbps, edges, nChan int, avgHops float64) float64 {
+	if nChan <= 0 || avgHops <= 0 {
+		return 0
+	}
+	return float64(capacity) * float64(edges) / (float64(nChan) * avgHops)
+}

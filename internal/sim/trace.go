@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"drqos/internal/channel"
+	"drqos/internal/topology"
+)
+
+// TraceEvent is one line of the simulator's JSONL event trace: enough to
+// replay what happened to every DR-connection without re-running the
+// simulation. The trace is an observability feature of this reproduction
+// (the paper's simulator is a black box).
+type TraceEvent struct {
+	// T is the simulated time of the event.
+	T float64 `json:"t"`
+	// Kind is "arrival", "reject", "termination", "failure" or "repair".
+	Kind string `json:"kind"`
+	// Conn is the affected connection (arrival/termination), if any.
+	Conn channel.ConnID `json:"conn,omitempty"`
+	// Src/Dst are the endpoints of an arrival.
+	Src topology.NodeID `json:"src,omitempty"`
+	Dst topology.NodeID `json:"dst,omitempty"`
+	// Link is the failed/repaired physical link.
+	Link topology.LinkID `json:"link,omitempty"`
+	// Activated/Dropped count failover outcomes of a failure event.
+	Activated int `json:"activated,omitempty"`
+	Dropped   int `json:"dropped,omitempty"`
+	// Alive and AvgBandwidth snapshot the population after the event.
+	Alive        int     `json:"alive"`
+	AvgBandwidth float64 `json:"avg_bw"`
+}
+
+// tracer serializes events to a writer; a nil tracer is a no-op.
+type tracer struct {
+	enc *json.Encoder
+}
+
+func newTracer(w io.Writer) *tracer {
+	if w == nil {
+		return nil
+	}
+	return &tracer{enc: json.NewEncoder(w)}
+}
+
+func (t *tracer) emit(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	if err := t.enc.Encode(ev); err != nil {
+		// A broken trace sink must not corrupt the simulation; surface
+		// loudly instead of silently dropping observability.
+		panic(fmt.Sprintf("sim: trace write failed: %v", err))
+	}
+}
+
+// snapshot fills the population fields.
+func (s *Sim) traceSnapshot(ev TraceEvent) TraceEvent {
+	ev.T = s.clock
+	ev.Alive = s.mgr.AliveCount()
+	ev.AvgBandwidth = s.mgr.AverageBandwidth()
+	return ev
+}

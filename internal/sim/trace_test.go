@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceJSONL(t *testing.T) {
+	g := paperGraph(t, 31)
+	cfg := baseConfig(43)
+	cfg.InitialConns = 100
+	cfg.ChurnEvents = 200
+	cfg.WarmupEvents = 50
+	cfg.Gamma = 0.0005
+	cfg.RepairRate = 0.05
+	var buf bytes.Buffer
+	cfg.Trace = &buf
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		events                                             int
+		arrivals, rejects, terminations, failures, repairs int64
+		lastT                                              float64
+	)
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d: %v", events+1, err)
+		}
+		events++
+		if ev.T < lastT {
+			t.Fatalf("trace time went backwards: %v after %v", ev.T, lastT)
+		}
+		lastT = ev.T
+		if ev.Alive < 0 {
+			t.Fatalf("negative population in %+v", ev)
+		}
+		switch ev.Kind {
+		case "arrival":
+			arrivals++
+			if ev.Conn == 0 {
+				t.Fatalf("arrival without conn: %+v", ev)
+			}
+		case "reject":
+			rejects++
+		case "termination":
+			terminations++
+		case "failure":
+			failures++
+		case "repair":
+			repairs++
+		default:
+			t.Fatalf("unknown kind %q", ev.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The trace is complete: counts match the result exactly.
+	if arrivals != res.Established {
+		t.Fatalf("trace arrivals %d vs result %d", arrivals, res.Established)
+	}
+	if rejects != res.Rejected {
+		t.Fatalf("trace rejects %d vs result %d", rejects, res.Rejected)
+	}
+	if terminations != res.Terminated {
+		t.Fatalf("trace terminations %d vs result %d", terminations, res.Terminated)
+	}
+	if failures != res.Failures || repairs != res.Repairs {
+		t.Fatalf("trace failures/repairs %d/%d vs result %d/%d",
+			failures, repairs, res.Failures, res.Repairs)
+	}
+	if events == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	g := paperGraph(t, 31)
+	cfg := baseConfig(44)
+	cfg.InitialConns = 20
+	cfg.ChurnEvents = 20
+	cfg.WarmupEvents = 5
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err) // nil tracer must be a safe no-op
+	}
+}

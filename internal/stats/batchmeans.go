@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchMeans estimates a confidence interval for the time average of a
+// correlated, piecewise-constant signal (like the simulator's average
+// reserved bandwidth) using the method of batch means: the observation
+// window is cut into equal-duration batches, each batch's time-weighted
+// mean is treated as one approximately independent sample, and a normal
+// interval is formed over the batch means.
+//
+// The zero value is not usable; construct with NewBatchMeans.
+type BatchMeans struct {
+	batches   int
+	start     float64
+	end       float64
+	windowSet bool
+
+	started bool
+	lastT   float64
+	lastV   float64
+
+	// area/duration accumulated per batch index.
+	areas     []float64
+	durations []float64
+}
+
+// NewBatchMeans returns an accumulator that will divide [start, end) into
+// the given number of equal batches.
+func NewBatchMeans(start, end float64, batches int) (*BatchMeans, error) {
+	if batches < 2 {
+		return nil, fmt.Errorf("stats: need >=2 batches, got %d", batches)
+	}
+	if end <= start {
+		return nil, fmt.Errorf("stats: empty batch window [%v,%v)", start, end)
+	}
+	return &BatchMeans{
+		batches:   batches,
+		start:     start,
+		end:       end,
+		windowSet: true,
+		areas:     make([]float64, batches),
+		durations: make([]float64, batches),
+	}, nil
+}
+
+// batchIndex maps a time to its batch, clamped to the window.
+func (b *BatchMeans) batchIndex(t float64) int {
+	frac := (t - b.start) / (b.end - b.start)
+	i := int(frac * float64(b.batches))
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.batches {
+		i = b.batches - 1
+	}
+	return i
+}
+
+// Observe records that the signal takes value v from time t onward. Calls
+// must have non-decreasing t; segments outside the window are clipped.
+func (b *BatchMeans) Observe(t, v float64) {
+	if b.started {
+		if t < b.lastT {
+			panic(fmt.Sprintf("stats: BatchMeans time went backwards: %v < %v", t, b.lastT))
+		}
+		b.integrate(b.lastT, t, b.lastV)
+	}
+	b.started = true
+	b.lastT, b.lastV = t, v
+}
+
+// CloseAt finalizes the integral at time t.
+func (b *BatchMeans) CloseAt(t float64) { b.Observe(t, b.lastV) }
+
+// integrate adds the constant segment [t0, t1) at value v, split across
+// batch boundaries.
+func (b *BatchMeans) integrate(t0, t1, v float64) {
+	// Clip to the window.
+	if t1 <= b.start || t0 >= b.end {
+		return
+	}
+	if t0 < b.start {
+		t0 = b.start
+	}
+	if t1 > b.end {
+		t1 = b.end
+	}
+	width := (b.end - b.start) / float64(b.batches)
+	for t0 < t1 {
+		i := b.batchIndex(t0)
+		batchEnd := b.start + float64(i+1)*width
+		segEnd := t1
+		if batchEnd < segEnd {
+			segEnd = batchEnd
+		}
+		dt := segEnd - t0
+		if dt <= 0 {
+			// Guard against fp stalls at batch boundaries.
+			t0 = math.Nextafter(t0, t1)
+			continue
+		}
+		b.areas[i] += v * dt
+		b.durations[i] += dt
+		t0 = segEnd
+	}
+}
+
+// Estimate returns the grand time average and the half-width of the 95%
+// confidence interval over the batch means. Batches with no observed time
+// are excluded; at least 2 covered batches are required.
+func (b *BatchMeans) Estimate() (mean, halfWidth float64, err error) {
+	var means []float64
+	var totalArea, totalDur float64
+	for i := 0; i < b.batches; i++ {
+		if b.durations[i] <= 0 {
+			continue
+		}
+		means = append(means, b.areas[i]/b.durations[i])
+		totalArea += b.areas[i]
+		totalDur += b.durations[i]
+	}
+	if len(means) < 2 {
+		return 0, 0, fmt.Errorf("stats: only %d covered batches", len(means))
+	}
+	grand := totalArea / totalDur
+	var r Running
+	for _, m := range means {
+		r.Observe(m)
+	}
+	return grand, r.CI95(), nil
+}

@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the serialized form of a Graph.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Links []jsonLink `json:"links"`
+}
+
+type jsonNode struct {
+	ID  int     `json:"id"`
+	X   float64 `json:"x"`
+	Y   float64 `json:"y"`
+	Tag string  `json:"tag,omitempty"`
+}
+
+type jsonLink struct {
+	ID int `json:"id"`
+	A  int `json:"a"`
+	B  int `json:"b"`
+}
+
+// WriteJSON serializes the graph as JSON.
+func WriteJSON(w io.Writer, g *Graph) error {
+	jg := jsonGraph{
+		Nodes: make([]jsonNode, g.NumNodes()),
+		Links: make([]jsonLink, g.NumLinks()),
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		p := g.Pos(NodeID(i))
+		jg.Nodes[i] = jsonNode{ID: i, X: p.X, Y: p.Y, Tag: g.Tag(NodeID(i))}
+	}
+	for i, l := range g.links {
+		jg.Links[i] = jsonLink{ID: int(l.ID), A: int(l.A), B: int(l.B)}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jg)
+}
+
+// ReadJSON deserializes a graph written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("topology: decoding graph: %w", err)
+	}
+	g := NewGraph(len(jg.Nodes))
+	for i, n := range jg.Nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("topology: node IDs must be dense; got %d at index %d", n.ID, i)
+		}
+		g.AddTaggedNode(Point{X: n.X, Y: n.Y}, n.Tag)
+	}
+	for i, l := range jg.Links {
+		if l.ID != i {
+			return nil, fmt.Errorf("topology: link IDs must be dense; got %d at index %d", l.ID, i)
+		}
+		if _, err := g.AddLink(NodeID(l.A), NodeID(l.B)); err != nil {
+			return nil, fmt.Errorf("topology: decoding link %d: %w", i, err)
+		}
+	}
+	return g, nil
+}
+
+// WriteDOT renders the graph in Graphviz DOT format for visual inspection.
+func WriteDOT(w io.Writer, g *Graph, name string) error {
+	if name == "" {
+		name = "topology"
+	}
+	if _, err := fmt.Fprintf(w, "graph %q {\n  node [shape=point];\n", name); err != nil {
+		return err
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		p := g.Pos(NodeID(i))
+		color := "black"
+		if g.Tag(NodeID(i)) == "transit" {
+			color = "red"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [pos=\"%.4f,%.4f!\", color=%s];\n", i, p.X, p.Y, color); err != nil {
+			return err
+		}
+	}
+	for _, l := range g.links {
+		if _, err := fmt.Fprintf(w, "  n%d -- n%d;\n", l.A, l.B); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,48 @@
+package topology
+
+// Metrics summarizes the structural properties the paper reports for its
+// generated topologies (node/edge counts, average degree, diameter, average
+// shortest-path hop count).
+type Metrics struct {
+	Nodes     int
+	Edges     int
+	AvgDegree float64
+	Diameter  int
+	AvgHops   float64
+	Connected bool
+}
+
+// ComputeMetrics runs all-pairs BFS and returns the summary. For the graph
+// sizes in the paper (≤500 nodes) the O(V·E) cost is negligible.
+func ComputeMetrics(g *Graph) Metrics {
+	m := Metrics{
+		Nodes:     g.NumNodes(),
+		Edges:     g.NumLinks(),
+		Connected: true,
+	}
+	if m.Nodes > 0 {
+		m.AvgDegree = 2 * float64(m.Edges) / float64(m.Nodes)
+	}
+	var totalHops, pairs int
+	for s := 0; s < m.Nodes; s++ {
+		dist := g.BFSDist(NodeID(s))
+		for t, d := range dist {
+			if t == s {
+				continue
+			}
+			if d < 0 {
+				m.Connected = false
+				continue
+			}
+			totalHops += d
+			pairs++
+			if d > m.Diameter {
+				m.Diameter = d
+			}
+		}
+	}
+	if pairs > 0 {
+		m.AvgHops = float64(totalHops) / float64(pairs)
+	}
+	return m
+}

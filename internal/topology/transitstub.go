@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"drqos/internal/rng"
+)
+
+// TransitStubConfig parameterizes a GT-ITM-style transit-stub ("tier")
+// internetwork [14]: a small, well-connected transit core, with several stub
+// domains hanging off each transit node. Traffic between stubs must cross
+// transit links, which become the bandwidth bottleneck — the reason the
+// paper's Table 1 notes that "most DR-connections are rejected due to the
+// shortage of bandwidths in the transit-stub network".
+type TransitStubConfig struct {
+	// TransitNodes is the size of the transit core.
+	TransitNodes int
+	// TransitEdgeProb is the probability of an extra core edge beyond the
+	// ring that guarantees core connectivity.
+	TransitEdgeProb float64
+	// StubsPerTransit is the number of stub domains attached to each
+	// transit node.
+	StubsPerTransit int
+	// NodesPerStub is the number of nodes in each stub domain.
+	NodesPerStub int
+	// StubEdgeProb is the probability of an extra intra-stub edge beyond
+	// the spanning tree that guarantees stub connectivity.
+	StubEdgeProb float64
+}
+
+// DefaultTransitStub returns the configuration used for the paper's "Tier"
+// experiments: 4 transit nodes, 3 stubs each, 8 nodes per stub = 100 nodes.
+func DefaultTransitStub() TransitStubConfig {
+	return TransitStubConfig{
+		TransitNodes:    4,
+		TransitEdgeProb: 0.5,
+		StubsPerTransit: 3,
+		NodesPerStub:    8,
+		StubEdgeProb:    0.25,
+	}
+}
+
+// Validate checks the configuration for structural sanity.
+func (c TransitStubConfig) Validate() error {
+	switch {
+	case c.TransitNodes < 2:
+		return fmt.Errorf("topology: transit core needs >=2 nodes, got %d", c.TransitNodes)
+	case c.StubsPerTransit < 1:
+		return fmt.Errorf("topology: need >=1 stub per transit node, got %d", c.StubsPerTransit)
+	case c.NodesPerStub < 1:
+		return fmt.Errorf("topology: need >=1 node per stub, got %d", c.NodesPerStub)
+	case c.TransitEdgeProb < 0 || c.TransitEdgeProb > 1:
+		return fmt.Errorf("topology: transit edge prob %v outside [0,1]", c.TransitEdgeProb)
+	case c.StubEdgeProb < 0 || c.StubEdgeProb > 1:
+		return fmt.Errorf("topology: stub edge prob %v outside [0,1]", c.StubEdgeProb)
+	}
+	return nil
+}
+
+// TotalNodes returns the number of nodes the configuration will generate.
+func (c TransitStubConfig) TotalNodes() int {
+	return c.TransitNodes * (1 + c.StubsPerTransit*c.NodesPerStub)
+}
+
+// TransitStub generates a transit-stub topology. Node tags are "transit" or
+// "stub"; the graph is connected by construction.
+func TransitStub(cfg TransitStubConfig, src *rng.Source) (*Graph, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGraph(cfg.TotalNodes())
+
+	// Transit core: nodes on a small circle in the centre of the unit
+	// square, connected in a ring plus random chords.
+	transit := make([]NodeID, cfg.TransitNodes)
+	for i := range transit {
+		frac := float64(i) / float64(cfg.TransitNodes)
+		p := Point{X: 0.5 + 0.1*cos01(frac), Y: 0.5 + 0.1*sin01(frac)}
+		transit[i] = g.AddTaggedNode(p, "transit")
+	}
+	for i := range transit {
+		next := transit[(i+1)%len(transit)]
+		if !g.HasLink(transit[i], next) {
+			if _, err := g.AddLink(transit[i], next); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < len(transit); i++ {
+		for j := i + 2; j < len(transit); j++ {
+			if g.HasLink(transit[i], transit[j]) {
+				continue
+			}
+			if src.Bernoulli(cfg.TransitEdgeProb) {
+				if _, err := g.AddLink(transit[i], transit[j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Stub domains: a random spanning tree plus extra random edges; the
+	// first node of each stub is its gateway, linked to its transit node.
+	for ti, tn := range transit {
+		for s := 0; s < cfg.StubsPerTransit; s++ {
+			stub := make([]NodeID, cfg.NodesPerStub)
+			for k := range stub {
+				p := Point{X: src.Float64(), Y: src.Float64()}
+				stub[k] = g.AddTaggedNode(p, "stub")
+			}
+			// Random spanning tree: attach node k to a random earlier node.
+			for k := 1; k < len(stub); k++ {
+				parent := stub[src.Intn(k)]
+				if _, err := g.AddLink(stub[k], parent); err != nil {
+					return nil, err
+				}
+			}
+			for i := 0; i < len(stub); i++ {
+				for j := i + 1; j < len(stub); j++ {
+					if g.HasLink(stub[i], stub[j]) {
+						continue
+					}
+					if src.Bernoulli(cfg.StubEdgeProb) {
+						if _, err := g.AddLink(stub[i], stub[j]); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			gateway := stub[0]
+			if _, err := g.AddLink(tn, gateway); err != nil {
+				return nil, err
+			}
+			_ = ti
+		}
+	}
+	return g, nil
+}
+
+// cos01 and sin01 map a [0,1) fraction of a full turn to the unit circle.
+func cos01(frac float64) float64 { return math.Cos(2 * math.Pi * frac) }
+func sin01(frac float64) float64 { return math.Sin(2 * math.Pi * frac) }

@@ -1,0 +1,41 @@
+# Regenerates the paper's figures from the .dat files in this directory.
+# Usage: gnuplot plots.gp     (produces fig2.png ... fig4.png)
+set terminal pngcairo size 900,600
+set grid
+
+set output "fig2.png"
+set title "Figure 2: average bandwidth vs number of DR-connections"
+set xlabel "DR-connections offered"; set ylabel "bandwidth (Kbps)"
+set yrange [0:550]
+plot "fig2.dat" using 1:3:4 with yerrorlines title "simulation", \
+     "fig2.dat" using 1:5 with linespoints title "Markov model", \
+     "fig2.dat" using 1:7 with lines dashtype 2 title "ideal"
+
+set output "fig3.png"
+set title "Figure 3: average bandwidth vs number of nodes"
+set xlabel "nodes"; set ylabel "bandwidth (Kbps)"
+set y2label "links"; set y2tics
+plot "fig3.dat" using 1:4 with linespoints title "simulation", \
+     "fig3.dat" using 1:5 with linespoints title "Markov model", \
+     "fig3.dat" using 1:2 axes x1y2 with lines dashtype 2 title "links"
+
+set y2tics; unset y2label; unset y2tics
+set output "fig4.png"
+set title "Figure 4: average bandwidth vs link failure rate"
+set xlabel "failure rate"; set ylabel "bandwidth (Kbps)"
+set logscale x
+set yrange [0:550]
+plot "fig4.dat" using 1:2 with linespoints title "sim (load A)", \
+     "fig4.dat" using 1:3 with linespoints title "Markov (load A)", \
+     "fig4.dat" using 1:5 with linespoints title "sim (load B)", \
+     "fig4.dat" using 1:6 with linespoints title "Markov (load B)"
+unset logscale x
+
+set output "table1.png"
+set title "Table 1: 5-state vs 9-state chains"
+set xlabel "channels"; set ylabel "bandwidth (Kbps)"
+set yrange [0:550]
+plot "table1.dat" using 1:2 with linespoints title "random, 5 states", \
+     "table1.dat" using 1:3 with linespoints title "random, 9 states", \
+     "table1.dat" using 1:5 with linespoints title "tier, 5 states", \
+     "table1.dat" using 1:6 with linespoints title "tier, 9 states"
