@@ -1,0 +1,29 @@
+.PHONY: check build test race bench loadtest
+
+# Full tier-1 verification: build + vet + race-enabled tests.
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Hot-path baselines for the admission service (see internal/manager) and
+# the paper-reproduction benchmarks at the repo root.
+bench:
+	go test -run xxx -bench 'BenchmarkManager' -benchmem ./internal/manager/
+	go test -run xxx -bench 'BenchmarkP2' -benchmem ./internal/stats/
+
+# End-to-end load test: drserverd + drload (10k requests, 8 workers).
+loadtest:
+	go build -o /tmp/drserverd ./cmd/drserverd
+	go build -o /tmp/drload ./cmd/drload
+	/tmp/drserverd -addr 127.0.0.1:18080 & \
+	pid=$$!; sleep 2; \
+	/tmp/drload -addr http://127.0.0.1:18080 -workers 8 -requests 10000; rc=$$?; \
+	kill -TERM $$pid; wait $$pid; exit $$rc

@@ -1,0 +1,326 @@
+// Command drload is a closed-loop load generator for drserverd: K worker
+// goroutines replay a randomized arrival/termination/fault mix against the
+// daemon's JSON API and report throughput, outcome counts and streaming
+// latency percentiles (p50/p90/p99 via the P² estimator in internal/stats).
+// After the run it asks the server to audit its ledger (GET /v1/invariants)
+// and exits non-zero on any transport error, unexpected status, or a dirty
+// invariant check.
+//
+//	drserverd -addr :8080 &
+//	drload -addr http://127.0.0.1:8080 -workers 8 -requests 10000
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drqos/internal/rng"
+	"drqos/internal/server"
+	"drqos/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drload:", err)
+		os.Exit(1)
+	}
+}
+
+type counters struct {
+	established atomic.Int64
+	rejected    atomic.Int64
+	terminated  atomic.Int64
+	gone        atomic.Int64 // terminate hit a connection a fault already dropped
+	failed      atomic.Int64
+	repaired    atomic.Int64
+	conflicts   atomic.Int64 // fault raced another worker's fault
+	errors      atomic.Int64
+}
+
+type latencies struct {
+	mu sync.Mutex
+	d  *stats.Digest
+}
+
+func (l *latencies) observe(seconds float64) {
+	l.mu.Lock()
+	l.d.Observe(seconds)
+	l.mu.Unlock()
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "drserverd base URL")
+		workers   = flag.Int("workers", 8, "concurrent closed-loop workers")
+		requests  = flag.Int64("requests", 10000, "total HTTP requests to issue")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		termFrac  = flag.Float64("terminate-frac", 0.35, "probability an op terminates an owned connection")
+		faultFrac = flag.Float64("fault-frac", 0.004, "probability an op injects/repairs a link fault")
+		minBW     = flag.Int64("min", 0, "elastic minimum (Kbps, 0 = server default spec)")
+		maxBW     = flag.Int64("max", 0, "elastic maximum (Kbps)")
+		inc       = flag.Int64("inc", 0, "elastic increment (Kbps)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+	if *workers <= 0 || *requests <= 0 {
+		return fmt.Errorf("workers (%d) and requests (%d) must be positive", *workers, *requests)
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *workers * 2,
+			MaxIdleConnsPerHost: *workers * 2,
+		},
+	}
+
+	// Discover the topology once so workers can draw endpoints and links.
+	var st server.Stats
+	if _, err := doJSON(client, "GET", *addr+"/v1/stats", nil, &st); err != nil {
+		return fmt.Errorf("initial stats (is drserverd running at %s?): %w", *addr, err)
+	}
+	fmt.Printf("target: %s — %d nodes, %d links, capacity %d Kbps\n",
+		*addr, st.Nodes, st.Links, st.CapacityKbps)
+
+	var (
+		cnt    counters
+		lat    = &latencies{d: stats.NewDigest()}
+		issued atomic.Int64
+		wg     sync.WaitGroup
+		msgs   = make(chan string, *workers) // first error per worker
+	)
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wk := &worker{
+				client: client, addr: *addr,
+				src:   rng.New(*seed + uint64(w)*0x9e3779b97f4a7c15),
+				nodes: st.Nodes, links: st.Links,
+				termFrac: *termFrac, faultFrac: *faultFrac,
+				minBW: *minBW, maxBW: *maxBW, inc: *inc,
+				cnt: &cnt, lat: lat,
+				failedLink: -1,
+			}
+			for issued.Add(1) <= *requests {
+				if err := wk.step(); err != nil {
+					if cnt.errors.Add(1) <= int64(cap(msgs)) {
+						select {
+						case msgs <- err.Error():
+						default:
+						}
+					}
+				}
+			}
+			// Repair an outstanding fault (uncounted) so the run leaves
+			// the topology intact.
+			if wk.failedLink >= 0 {
+				_ = wk.fault()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(msgs)
+
+	fmt.Printf("\n%d requests in %.2fs — %.0f req/s over %d workers\n",
+		*requests, elapsed.Seconds(), float64(*requests)/elapsed.Seconds(), *workers)
+	fmt.Printf("outcomes: established=%d rejected=%d terminated=%d gone=%d failed=%d repaired=%d conflicts=%d errors=%d\n",
+		cnt.established.Load(), cnt.rejected.Load(), cnt.terminated.Load(), cnt.gone.Load(),
+		cnt.failed.Load(), cnt.repaired.Load(), cnt.conflicts.Load(), cnt.errors.Load())
+	d := lat.d
+	fmt.Printf("latency: mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms (n=%d)\n",
+		d.Mean()*1e3, d.P50()*1e3, d.P90()*1e3, d.P99()*1e3, d.Max()*1e3, d.N())
+	for m := range msgs {
+		fmt.Printf("first errors: %s\n", m)
+	}
+
+	if _, err := doJSON(client, "GET", *addr+"/v1/stats", nil, &st); err != nil {
+		return fmt.Errorf("final stats: %w", err)
+	}
+	fmt.Printf("server: alive=%d unprotected=%d avg_bw=%.1fKbps reject_rate=%.3f failed_links=%v\n",
+		st.Alive, st.Unprotected, st.AvgBandwidthKbps, st.RejectRate, st.FailedLinks)
+
+	var inv struct {
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	}
+	if _, err := doJSON(client, "GET", *addr+"/v1/invariants", nil, &inv); err != nil {
+		return fmt.Errorf("invariant check: %w", err)
+	}
+	if !inv.OK {
+		return fmt.Errorf("server invariants dirty: %s", inv.Error)
+	}
+	fmt.Println("server invariants: clean")
+	if n := cnt.errors.Load(); n > 0 {
+		return fmt.Errorf("%d request errors", n)
+	}
+	return nil
+}
+
+// worker is one closed-loop client: it owns the connections it established
+// and at most one injected link fault at a time (so faults always pair with
+// repairs and never leave the topology degraded at exit).
+type worker struct {
+	client            *http.Client
+	addr              string
+	src               *rng.Source
+	nodes, links      int
+	termFrac          float64
+	faultFrac         float64
+	minBW, maxBW, inc int64
+	cnt               *counters
+	lat               *latencies
+	owned             []int64
+	failedLink        int
+}
+
+// step issues exactly one HTTP request.
+func (w *worker) step() error {
+	draw := w.src.Float64()
+	switch {
+	case draw < w.faultFrac && w.links > 0:
+		return w.fault()
+	case draw < w.faultFrac+w.termFrac && len(w.owned) > 0:
+		return w.terminate()
+	default:
+		return w.establish()
+	}
+}
+
+func (w *worker) establish() error {
+	a := w.src.Intn(w.nodes)
+	b := w.src.Intn(w.nodes)
+	if a == b {
+		b = (b + 1) % w.nodes
+	}
+	req := server.EstablishRequest{
+		Src: a, Dst: b,
+		MinKbps: w.minBW, MaxKbps: w.maxBW, IncrementKbps: w.inc,
+		Utility: 1,
+	}
+	var resp server.EstablishResponse
+	code, err := w.timed("POST", w.addr+"/v1/connections", req, &resp)
+	switch {
+	case err != nil:
+		return err
+	case code == http.StatusCreated:
+		w.cnt.established.Add(1)
+		w.owned = append(w.owned, resp.ID)
+		return nil
+	case code == http.StatusConflict: // admission rejection, an expected outcome
+		w.cnt.rejected.Add(1)
+		return nil
+	default:
+		return fmt.Errorf("establish: unexpected status %d", code)
+	}
+}
+
+func (w *worker) terminate() error {
+	i := w.src.Intn(len(w.owned))
+	id := w.owned[i]
+	w.owned[i] = w.owned[len(w.owned)-1]
+	w.owned = w.owned[:len(w.owned)-1]
+	code, err := w.timed("DELETE", fmt.Sprintf("%s/v1/connections/%d", w.addr, id), nil, nil)
+	switch {
+	case err != nil:
+		return err
+	case code == http.StatusOK:
+		w.cnt.terminated.Add(1)
+		return nil
+	case code == http.StatusNotFound: // dropped by a fault in the meantime
+		w.cnt.gone.Add(1)
+		return nil
+	default:
+		return fmt.Errorf("terminate %d: unexpected status %d", id, code)
+	}
+}
+
+func (w *worker) fault() error {
+	if w.failedLink >= 0 {
+		link := w.failedLink
+		code, err := w.timed("POST", w.addr+"/v1/faults/link",
+			server.FaultRequest{Link: link, Action: "repair"}, nil)
+		switch {
+		case err != nil:
+			return err
+		case code == http.StatusOK:
+			w.failedLink = -1
+			w.cnt.repaired.Add(1)
+			return nil
+		case code == http.StatusConflict: // another worker repaired it? treat as done
+			w.failedLink = -1
+			w.cnt.conflicts.Add(1)
+			return nil
+		default:
+			return fmt.Errorf("repair link %d: unexpected status %d", link, code)
+		}
+	}
+	link := w.src.Intn(w.links)
+	code, err := w.timed("POST", w.addr+"/v1/faults/link", server.FaultRequest{Link: link}, nil)
+	switch {
+	case err != nil:
+		return err
+	case code == http.StatusOK:
+		w.failedLink = link
+		w.cnt.failed.Add(1)
+		return nil
+	case code == http.StatusConflict: // already failed by a peer
+		w.cnt.conflicts.Add(1)
+		return nil
+	default:
+		return fmt.Errorf("fail link %d: unexpected status %d", link, code)
+	}
+}
+
+// timed issues one request and records its latency.
+func (w *worker) timed(method, url string, body, out any) (int, error) {
+	t0 := time.Now()
+	code, err := doJSON(w.client, method, url, body, out)
+	w.lat.observe(time.Since(t0).Seconds())
+	return code, err
+}
+
+// doJSON performs one JSON round trip, returning the status code. Transport
+// failures return an error; non-2xx statuses do not (callers classify them).
+func doJSON(client *http.Client, method, url string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s %s: %w", method, url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

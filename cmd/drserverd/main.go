@@ -1,0 +1,113 @@
+// Command drserverd runs the DR-connection admission service as an HTTP
+// daemon: it generates a topology, wraps the elastic-QoS manager in the
+// internal/server actor loop, and serves the JSON API until SIGINT/SIGTERM,
+// then shuts down gracefully (HTTP first, then the command loop drains).
+//
+//	drserverd -addr :8080 -nodes 100 -seed 1
+//
+// Endpoints: POST /v1/connections, DELETE /v1/connections/{id},
+// POST /v1/faults/link, GET /v1/stats, GET /v1/invariants, GET /metrics.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"drqos/internal/core"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "drserverd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		kind     = flag.String("kind", "waxman", "topology: waxman or tier")
+		nodes    = flag.Int("nodes", 100, "node count (waxman)")
+		seed     = flag.Uint64("seed", 1, "topology seed")
+		capacity = flag.Int64("capacity", int64(core.PaperCapacity), "link capacity per direction (Kbps)")
+		policy   = flag.String("policy", "coefficient", "adaptation policy: coefficient or max-utility")
+		noBackup = flag.Bool("no-require-backup", false, "accept unprotectable connections")
+		noMux    = flag.Bool("no-multiplex", false, "disable backup multiplexing")
+		queue    = flag.Int("queue", 256, "actor command-queue depth")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget")
+	)
+	flag.Parse()
+
+	pol, err := qos.PolicyByName(*policy)
+	if err != nil {
+		return err
+	}
+	k := core.TopologyWaxman
+	if *kind == "tier" {
+		k = core.TopologyTransitStub
+	} else if *kind != "waxman" {
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	sys, err := core.NewSystem(core.Options{Seed: *seed, Kind: k, Nodes: *nodes})
+	if err != nil {
+		return err
+	}
+	m := sys.Metrics()
+	log.Printf("topology: %d nodes, %d links, diameter %d, avg hops %.2f (seed %d)",
+		m.Nodes, m.Edges, m.Diameter, m.AvgHops, *seed)
+
+	srv, err := server.New(sys.Graph(), manager.Config{
+		Capacity:                  qos.Kbps(*capacity),
+		Policy:                    pol,
+		RequireBackup:             !*noBackup,
+		DisableBackupMultiplexing: *noMux,
+	}, server.Options{QueueDepth: *queue})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: server.NewHandler(srv)}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err // listener died before any signal
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down (budget %s)", *drain)
+
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("command-loop drain: %w", err)
+	}
+	log.Printf("drained %d commands, bye", srv.Processed())
+	return nil
+}

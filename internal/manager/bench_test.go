@@ -1,0 +1,112 @@
+package manager
+
+import (
+	"testing"
+
+	"drqos/internal/channel"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/topology"
+)
+
+// benchSetup builds a paper-scale network and endpoint stream for the
+// admission hot path the server leans on. Establish/Terminate dominate
+// drserverd's command loop, so these benchmarks are the scaling baseline.
+func benchSetup(b *testing.B) (*Manager, []topology.NodeID, qos.ElasticSpec) {
+	b.Helper()
+	src := rng.New(11)
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: 100, Alpha: 0.33, Beta: 0.1176, EnsureConnected: true,
+	}, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := New(g, Config{Capacity: 10000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := g.NumNodes()
+	pairs := make([]topology.NodeID, 4096)
+	for i := range pairs {
+		pairs[i] = topology.NodeID(src.Intn(n))
+	}
+	return m, pairs, qos.DefaultSpec()
+}
+
+func BenchmarkManagerEstablish(b *testing.B) {
+	m, pairs, spec := benchSetup(b)
+	var alive []channel.ConnID
+	pi := 0
+	next := func() (topology.NodeID, topology.NodeID) {
+		a := pairs[pi%len(pairs)]
+		c := pairs[(pi+1)%len(pairs)]
+		pi += 2
+		if a == c {
+			c = (c + 1) % topology.NodeID(m.Graph().NumNodes())
+		}
+		return a, c
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srcN, dstN := next()
+		rep, err := m.Establish(srcN, dstN, spec)
+		if err == nil {
+			alive = append(alive, rep.Conn.ID)
+		}
+		// Keep the network in a steady churn regime instead of driving it
+		// to saturation (where every call short-circuits to a reject).
+		if len(alive) > 1500 {
+			b.StopTimer()
+			for _, id := range alive[:750] {
+				if _, err := m.Terminate(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+			alive = alive[750:]
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	if err := m.CheckInvariants(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkManagerTerminate(b *testing.B) {
+	m, pairs, spec := benchSetup(b)
+	var alive []channel.ConnID
+	pi := 0
+	refill := func() {
+		for len(alive) < 1500 {
+			a := pairs[pi%len(pairs)]
+			c := pairs[(pi+1)%len(pairs)]
+			pi += 2
+			if a == c {
+				c = (c + 1) % topology.NodeID(m.Graph().NumNodes())
+			}
+			if rep, err := m.Establish(a, c, spec); err == nil {
+				alive = append(alive, rep.Conn.ID)
+			}
+		}
+	}
+	refill()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(alive) == 0 {
+			b.StopTimer()
+			refill()
+			b.StartTimer()
+		}
+		id := alive[len(alive)-1]
+		alive = alive[:len(alive)-1]
+		if _, err := m.Terminate(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := m.CheckInvariants(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,13 @@
+package server
+
+import (
+	"context"
+
+	"drqos/internal/manager"
+)
+
+// Submit exposes the raw command-loop enqueue to tests so they can wedge
+// the loop and exercise queue-full and drain behavior.
+func (s *Server) Submit(ctx context.Context, fn func(*manager.Manager)) error {
+	return s.submit(ctx, fn)
+}

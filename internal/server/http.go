@@ -1,0 +1,238 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"drqos/internal/channel"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/topology"
+)
+
+// EstablishRequest is the JSON body of POST /v1/connections. A fully zero
+// QoS block selects qos.DefaultSpec (the paper's 100..500 Kb/s, Δ=50).
+type EstablishRequest struct {
+	Src           int     `json:"src"`
+	Dst           int     `json:"dst"`
+	MinKbps       int64   `json:"min_kbps"`
+	MaxKbps       int64   `json:"max_kbps"`
+	IncrementKbps int64   `json:"increment_kbps"`
+	Utility       float64 `json:"utility"`
+}
+
+// Spec materializes the request's elastic QoS.
+func (r EstablishRequest) Spec() qos.ElasticSpec {
+	if r.MinKbps == 0 && r.MaxKbps == 0 && r.IncrementKbps == 0 {
+		s := qos.DefaultSpec()
+		if r.Utility > 0 {
+			s.Utility = r.Utility
+		}
+		return s
+	}
+	return qos.ElasticSpec{
+		Min:       qos.Kbps(r.MinKbps),
+		Max:       qos.Kbps(r.MaxKbps),
+		Increment: qos.Kbps(r.IncrementKbps),
+		Utility:   r.Utility,
+	}
+}
+
+// EstablishResponse summarizes an admitted connection.
+type EstablishResponse struct {
+	ID                int64 `json:"id"`
+	Level             int   `json:"level"`
+	BandwidthKbps     int64 `json:"bandwidth_kbps"`
+	HasBackup         bool  `json:"has_backup"`
+	PrimaryHops       int   `json:"primary_hops"`
+	DirectlyChained   int   `json:"directly_chained"`
+	IndirectlyChained int   `json:"indirectly_chained"`
+	LevelChanges      int   `json:"level_changes"`
+}
+
+// TerminateResponse summarizes a released connection.
+type TerminateResponse struct {
+	ID           int64 `json:"id"`
+	Affected     int   `json:"affected"`
+	LevelChanges int   `json:"level_changes"`
+}
+
+// FaultRequest is the JSON body of POST /v1/faults/link. Action is "fail"
+// (default) or "repair".
+type FaultRequest struct {
+	Link   int    `json:"link"`
+	Action string `json:"action"`
+}
+
+// FaultResponse summarizes a fault-injection event.
+type FaultResponse struct {
+	Link        int     `json:"link"`
+	Action      string  `json:"action"`
+	Activated   []int64 `json:"activated,omitempty"`
+	Dropped     []int64 `json:"dropped,omitempty"`
+	Recovered   []int64 `json:"recovered,omitempty"`
+	BackupsLost []int64 `json:"backups_lost,omitempty"`
+	Squeezed    int     `json:"squeezed"`
+	Reprotected int     `json:"reprotected"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error    string `json:"error"`
+	Rejected bool   `json:"rejected,omitempty"`
+}
+
+// NewHandler returns the HTTP/JSON API over s:
+//
+//	POST   /v1/connections        admit a DR-connection
+//	DELETE /v1/connections/{id}   terminate a DR-connection
+//	POST   /v1/faults/link        fail or repair a link
+//	GET    /v1/stats              consistent service snapshot
+//	GET    /v1/invariants         run the manager's consistency audit
+//	GET    /metrics               Prometheus text metrics
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/connections", func(w http.ResponseWriter, r *http.Request) {
+		var req EstablishRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+			return
+		}
+		rep, err := s.Establish(r.Context(), topology.NodeID(req.Src), topology.NodeID(req.Dst), req.Spec())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, EstablishResponse{
+			ID:                int64(rep.Conn.ID),
+			Level:             rep.Conn.Level,
+			BandwidthKbps:     int64(rep.Conn.Bandwidth()),
+			HasBackup:         rep.Conn.HasBackup,
+			PrimaryHops:       rep.Conn.Primary.Hops(),
+			DirectlyChained:   len(rep.DirectlyChained),
+			IndirectlyChained: len(rep.IndirectlyChained),
+			LevelChanges:      len(rep.Changes),
+		})
+	})
+	mux.HandleFunc("DELETE /v1/connections/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad connection id: " + err.Error()})
+			return
+		}
+		rep, err := s.Terminate(r.Context(), channel.ConnID(id))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, TerminateResponse{
+			ID:           id,
+			Affected:     len(rep.Affected),
+			LevelChanges: len(rep.Changes),
+		})
+	})
+	mux.HandleFunc("POST /v1/faults/link", func(w http.ResponseWriter, r *http.Request) {
+		var req FaultRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+			return
+		}
+		switch req.Action {
+		case "", "fail":
+			rep, err := s.FailLink(r.Context(), topology.LinkID(req.Link))
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, FaultResponse{
+				Link:        req.Link,
+				Action:      "fail",
+				Activated:   connIDs(rep.Activated),
+				Dropped:     connIDs(rep.Dropped),
+				Recovered:   connIDs(rep.Recovered),
+				BackupsLost: connIDs(rep.BackupsLost),
+				Squeezed:    len(rep.Squeezed),
+			})
+		case "repair":
+			restored, err := s.RepairLink(r.Context(), topology.LinkID(req.Link))
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, FaultResponse{
+				Link: req.Link, Action: "repair", Reprotected: restored,
+			})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown action %q", req.Action)})
+		}
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Snapshot(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /v1/invariants", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.CheckInvariants(r.Context()); err != nil {
+			if errors.Is(err, ErrServerClosed) {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"ok": false, "error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Snapshot(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, st)
+	})
+	return mux
+}
+
+func connIDs(ids []channel.ConnID) []int64 {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps typed service errors onto HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, manager.ErrRejected):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Rejected: true})
+	case errors.Is(err, qos.ErrInvalidSpec):
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrConflict):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrServerClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}

@@ -1,0 +1,144 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"drqos/internal/server"
+)
+
+func doJSON(t *testing.T, client *http.Client, method, url string, body any, out any) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("unmarshal %q: %v", raw, err)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func TestHTTPAPI(t *testing.T) {
+	s := newTestServer(t, 64)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(server.NewHandler(s))
+	defer ts.Close()
+	c := ts.Client()
+
+	// Establish with the default paper spec.
+	var est server.EstablishResponse
+	code, raw := doJSON(t, c, "POST", ts.URL+"/v1/connections", server.EstablishRequest{Src: 0, Dst: 5}, &est)
+	if code != http.StatusCreated {
+		t.Fatalf("establish: %d %s", code, raw)
+	}
+	if est.ID == 0 || est.BandwidthKbps < 100 {
+		t.Errorf("establish response: %+v", est)
+	}
+
+	// Invalid spec: 422.
+	code, _ = doJSON(t, c, "POST", ts.URL+"/v1/connections",
+		server.EstablishRequest{Src: 0, Dst: 5, MinKbps: 300, MaxKbps: 100, IncrementKbps: 50}, nil)
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("invalid spec: code %d, want 422", code)
+	}
+
+	// src == dst is a rejection: 409.
+	code, raw = doJSON(t, c, "POST", ts.URL+"/v1/connections", server.EstablishRequest{Src: 2, Dst: 2}, nil)
+	if code != http.StatusConflict {
+		t.Errorf("src==dst: code %d (%s), want 409", code, raw)
+	}
+
+	// Stats reflect the admitted connection.
+	var st server.Stats
+	code, raw = doJSON(t, c, "GET", ts.URL+"/v1/stats", nil, &st)
+	if code != http.StatusOK || st.Alive != 1 || st.Requests != 3 {
+		t.Errorf("stats: code %d, %+v (%s)", code, st, raw)
+	}
+
+	// Terminate, then terminate again: 200 then 404.
+	url := fmt.Sprintf("%s/v1/connections/%d", ts.URL, est.ID)
+	var tr server.TerminateResponse
+	code, raw = doJSON(t, c, "DELETE", url, nil, &tr)
+	if code != http.StatusOK || tr.ID != est.ID {
+		t.Errorf("terminate: code %d %s", code, raw)
+	}
+	code, _ = doJSON(t, c, "DELETE", url, nil, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("double terminate: code %d, want 404", code)
+	}
+	code, _ = doJSON(t, c, "DELETE", ts.URL+"/v1/connections/garbage", nil, nil)
+	if code != http.StatusBadRequest {
+		t.Errorf("garbage id: code %d, want 400", code)
+	}
+
+	// Fault injection round trip (run after the terminates so the failure
+	// cannot drop the connection under test).
+	var fr server.FaultResponse
+	code, raw = doJSON(t, c, "POST", ts.URL+"/v1/faults/link", server.FaultRequest{Link: 0}, &fr)
+	if code != http.StatusOK || fr.Action != "fail" {
+		t.Fatalf("fail link: code %d %s", code, raw)
+	}
+	code, raw = doJSON(t, c, "POST", ts.URL+"/v1/faults/link", server.FaultRequest{Link: 0}, nil)
+	if code != http.StatusConflict {
+		t.Errorf("double fail: code %d (%s), want 409", code, raw)
+	}
+	code, raw = doJSON(t, c, "POST", ts.URL+"/v1/faults/link", server.FaultRequest{Link: 0, Action: "repair"}, &fr)
+	if code != http.StatusOK {
+		t.Errorf("repair: code %d (%s)", code, raw)
+	}
+	code, _ = doJSON(t, c, "POST", ts.URL+"/v1/faults/link", server.FaultRequest{Link: 1 << 30}, nil)
+	if code != http.StatusNotFound {
+		t.Errorf("fail unknown link: code %d, want 404", code)
+	}
+
+	// Invariants endpoint.
+	code, raw = doJSON(t, c, "GET", ts.URL+"/v1/invariants", nil, nil)
+	if code != http.StatusOK || !strings.Contains(raw, "true") {
+		t.Errorf("invariants: code %d %s", code, raw)
+	}
+
+	// Prometheus metrics.
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	mb, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"drqos_connections_alive 0",
+		"drqos_establish_requests_total 3",
+		"drqos_commands_total{kind=\"establish\"} 3",
+		"drqos_connections_level{level=\"0\"}",
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q in:\n%s", want, mb)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package server
+
+import (
+	"fmt"
+	"io"
+)
+
+// writeMetrics renders a Stats snapshot in the Prometheus text exposition
+// format (hand-rolled; the repo deliberately has no external dependencies).
+func writeMetrics(w io.Writer, st Stats) {
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("drqos_connections_alive", "Alive DR-connections.", st.Alive)
+	gauge("drqos_connections_unprotected", "Alive DR-connections without a backup channel.", st.Unprotected)
+	gauge("drqos_bandwidth_avg_kbps", "Average reserved bandwidth over alive primaries (Kb/s).", st.AvgBandwidthKbps)
+	gauge("drqos_reject_rate", "Cumulative fraction of establish requests rejected.", st.RejectRate)
+	gauge("drqos_links_failed", "Currently failed links.", len(st.FailedLinks))
+	gauge("drqos_command_queue_depth", "Commands buffered in the actor queue.", st.QueueDepth)
+
+	counter("drqos_establish_requests_total", "Establish requests offered to admission control.", st.Requests)
+	counter("drqos_establish_rejects_total", "Establish requests rejected.", st.Rejects)
+
+	fmt.Fprintf(w, "# HELP drqos_connections_level Alive DR-connections per bandwidth level.\n# TYPE drqos_connections_level gauge\n")
+	for lvl, n := range st.LevelHistogram {
+		fmt.Fprintf(w, "drqos_connections_level{level=\"%d\"} %d\n", lvl, n)
+	}
+
+	fmt.Fprintf(w, "# HELP drqos_commands_total Commands executed by the actor loop, by kind.\n# TYPE drqos_commands_total counter\n")
+	for _, kv := range []struct {
+		kind string
+		n    int64
+	}{
+		{"establish", st.Commands.Establishes},
+		{"terminate", st.Commands.Terminates},
+		{"fail_link", st.Commands.Failures},
+		{"repair_link", st.Commands.Repairs},
+		{"snapshot", st.Commands.Snapshots},
+	} {
+		fmt.Fprintf(w, "drqos_commands_total{kind=%q} %d\n", kv.kind, kv.n)
+	}
+}

@@ -1,0 +1,251 @@
+// Package server turns the single-threaded manager.Manager into a
+// long-running concurrent admission service. The manager is not safe for
+// concurrent use, so the Server runs it behind an actor-style command loop:
+// exactly one goroutine owns the manager and executes commands submitted
+// over a buffered channel, while any number of client goroutines call
+// Establish / Terminate / FailLink / RepairLink / Snapshot concurrently.
+//
+// Command semantics: a call that returns anything other than
+// ErrServerClosed (or a submit-time context error) was applied to the
+// manager exactly once. Shutdown stops admission of new commands, drains
+// every command already accepted, and only then stops the loop — no
+// accepted command is dropped or double-applied.
+//
+// The HTTP layer in http.go exposes the same operations as a JSON API plus
+// Prometheus-style /metrics; cmd/drserverd wires it to a listener and
+// cmd/drload exercises it under concurrent load.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"drqos/internal/channel"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/topology"
+)
+
+// ErrServerClosed reports that the command loop no longer accepts commands.
+var ErrServerClosed = errors.New("server: closed")
+
+// ErrNotFound reports an operation against an unknown connection or link.
+var ErrNotFound = errors.New("server: not found")
+
+// ErrConflict reports an operation that contradicts current state, e.g.
+// failing an already-failed link.
+var ErrConflict = errors.New("server: conflict")
+
+// Options tunes the command loop.
+type Options struct {
+	// QueueDepth is the command-channel buffer (default 256). A deeper
+	// queue absorbs burstier arrivals at the cost of tail latency.
+	QueueDepth int
+}
+
+// Server owns a manager.Manager behind a single-goroutine command loop.
+type Server struct {
+	graph *topology.Graph
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup // submits past the closed-check, not yet enqueued
+
+	cmds     chan func(*manager.Manager)
+	loopDone chan struct{}
+
+	// Counters, written by the loop goroutine, read by anyone.
+	processed   atomic.Int64
+	establishes atomic.Int64
+	terminates  atomic.Int64
+	failures    atomic.Int64
+	repairs     atomic.Int64
+	snapshots   atomic.Int64
+}
+
+// New builds a Server over graph g and starts its command loop.
+func New(g *topology.Graph, cfg manager.Config, opt Options) (*Server, error) {
+	mgr, err := manager.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	depth := opt.QueueDepth
+	if depth <= 0 {
+		depth = 256
+	}
+	s := &Server{
+		graph:    g,
+		cmds:     make(chan func(*manager.Manager), depth),
+		loopDone: make(chan struct{}),
+	}
+	go s.loop(mgr)
+	return s, nil
+}
+
+// loop is the only goroutine that ever touches the manager.
+func (s *Server) loop(mgr *manager.Manager) {
+	defer close(s.loopDone)
+	for fn := range s.cmds {
+		fn(mgr)
+		s.processed.Add(1)
+	}
+}
+
+// Graph returns the (immutable after construction) topology.
+func (s *Server) Graph() *topology.Graph { return s.graph }
+
+// QueueDepth returns the number of commands currently buffered.
+func (s *Server) QueueDepth() int { return len(s.cmds) }
+
+// Processed returns the number of commands the loop has executed.
+func (s *Server) Processed() int64 { return s.processed.Load() }
+
+// submit enqueues fn for the loop. It returns ErrServerClosed after
+// Shutdown began, or ctx's error if the queue stays full past the caller's
+// deadline. A nil return means fn will run exactly once.
+func (s *Server) submit(ctx context.Context, fn func(*manager.Manager)) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	select {
+	case s.cmds <- fn:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Shutdown stops accepting commands, waits for every accepted command to
+// execute, and stops the loop. It is safe to call multiple times; calls
+// after the first wait for the same drain. The context bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if first {
+		// In-flight submits have either enqueued or aborted once Wait
+		// returns; no new submit can start, so closing cmds is safe and
+		// the loop drains the remaining buffer before exiting.
+		s.inflight.Wait()
+		close(s.cmds)
+	}
+	select {
+	case <-s.loopDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Establish admits a DR-connection from src to dst with the given elastic
+// spec (§3.1 arrival handling) and returns the manager's arrival report.
+func (s *Server) Establish(ctx context.Context, src, dst topology.NodeID, spec qos.ElasticSpec) (*manager.ArrivalReport, error) {
+	type out struct {
+		rep *manager.ArrivalReport
+		err error
+	}
+	ch := make(chan out, 1)
+	if err := s.submit(ctx, func(m *manager.Manager) {
+		s.establishes.Add(1)
+		rep, err := m.Establish(src, dst, spec)
+		ch <- out{rep, err}
+	}); err != nil {
+		return nil, err
+	}
+	o := <-ch
+	return o.rep, o.err
+}
+
+// Terminate releases connection id and returns the termination report.
+func (s *Server) Terminate(ctx context.Context, id channel.ConnID) (*manager.TerminationReport, error) {
+	type out struct {
+		rep *manager.TerminationReport
+		err error
+	}
+	ch := make(chan out, 1)
+	if err := s.submit(ctx, func(m *manager.Manager) {
+		s.terminates.Add(1)
+		if c := m.Conn(id); c == nil || !c.Alive() {
+			ch <- out{nil, ErrNotFound}
+			return
+		}
+		rep, err := m.Terminate(id)
+		ch <- out{rep, err}
+	}); err != nil {
+		return nil, err
+	}
+	o := <-ch
+	return o.rep, o.err
+}
+
+// FailLink injects a failure of link l and returns the failure report.
+func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.FailureReport, error) {
+	type out struct {
+		rep *manager.FailureReport
+		err error
+	}
+	ch := make(chan out, 1)
+	if err := s.submit(ctx, func(m *manager.Manager) {
+		s.failures.Add(1)
+		if int(l) < 0 || int(l) >= m.Graph().NumLinks() {
+			ch <- out{nil, ErrNotFound}
+			return
+		}
+		if m.Network().Failed(l) {
+			ch <- out{nil, ErrConflict}
+			return
+		}
+		rep, err := m.FailLink(l)
+		ch <- out{rep, err}
+	}); err != nil {
+		return nil, err
+	}
+	o := <-ch
+	return o.rep, o.err
+}
+
+// RepairLink marks link l repaired and returns how many connections were
+// re-protected.
+func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error) {
+	type out struct {
+		restored int
+		err      error
+	}
+	ch := make(chan out, 1)
+	if err := s.submit(ctx, func(m *manager.Manager) {
+		s.repairs.Add(1)
+		if int(l) < 0 || int(l) >= m.Graph().NumLinks() {
+			ch <- out{0, ErrNotFound}
+			return
+		}
+		if !m.Network().Failed(l) {
+			ch <- out{0, ErrConflict}
+			return
+		}
+		restored, err := m.RepairLink(l)
+		ch <- out{restored, err}
+	}); err != nil {
+		return 0, err
+	}
+	o := <-ch
+	return o.restored, o.err
+}
+
+// CheckInvariants runs the manager's full consistency audit in the loop.
+func (s *Server) CheckInvariants(ctx context.Context) error {
+	ch := make(chan error, 1)
+	if err := s.submit(ctx, func(m *manager.Manager) {
+		ch <- m.CheckInvariants()
+	}); err != nil {
+		return err
+	}
+	return <-ch
+}

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+
+	"drqos/internal/manager"
+	"drqos/internal/topology"
+)
+
+// Stats is a consistent point-in-time snapshot of the admission service,
+// taken inside the command loop so no event is half-applied.
+type Stats struct {
+	// Topology.
+	Nodes        int   `json:"nodes"`
+	Links        int   `json:"links"`
+	CapacityKbps int64 `json:"capacity_kbps"`
+
+	// Connection population.
+	Alive            int     `json:"alive"`
+	Unprotected      int     `json:"unprotected"`
+	AvgBandwidthKbps float64 `json:"avg_bandwidth_kbps"`
+	// LevelHistogram counts alive connections per bandwidth level (index 0
+	// is the minimum level).
+	LevelHistogram []int `json:"level_histogram"`
+
+	// Admission counters (cumulative).
+	Requests   int64   `json:"requests"`
+	Rejects    int64   `json:"rejects"`
+	RejectRate float64 `json:"reject_rate"`
+
+	// Fault state.
+	FailedLinks []int `json:"failed_links"`
+
+	// Command-loop counters (cumulative) and instantaneous queue depth.
+	Commands   CommandStats `json:"commands"`
+	QueueDepth int          `json:"queue_depth"`
+}
+
+// CommandStats counts processed commands by kind.
+type CommandStats struct {
+	Processed   int64 `json:"processed"`
+	Establishes int64 `json:"establishes"`
+	Terminates  int64 `json:"terminates"`
+	Failures    int64 `json:"failures"`
+	Repairs     int64 `json:"repairs"`
+	Snapshots   int64 `json:"snapshots"`
+}
+
+// Snapshot captures the current service state through the command loop.
+func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
+	ch := make(chan Stats, 1)
+	if err := s.submit(ctx, func(m *manager.Manager) {
+		s.snapshots.Add(1)
+		st := Stats{
+			Nodes:            m.Graph().NumNodes(),
+			Links:            m.Graph().NumLinks(),
+			CapacityKbps:     int64(m.Network().Capacity()),
+			Alive:            m.AliveCount(),
+			Unprotected:      m.UnprotectedCount(),
+			AvgBandwidthKbps: m.AverageBandwidth(),
+			LevelHistogram:   m.LevelHistogram(nil),
+			Requests:         m.Requests(),
+			Rejects:          m.Rejects(),
+		}
+		if st.Requests > 0 {
+			st.RejectRate = float64(st.Rejects) / float64(st.Requests)
+		}
+		for l := 0; l < m.Graph().NumLinks(); l++ {
+			if m.Network().Failed(topology.LinkID(l)) {
+				st.FailedLinks = append(st.FailedLinks, l)
+			}
+		}
+		st.Commands = CommandStats{
+			Processed:   s.processed.Load(),
+			Establishes: s.establishes.Load(),
+			Terminates:  s.terminates.Load(),
+			Failures:    s.failures.Load(),
+			Repairs:     s.repairs.Load(),
+			Snapshots:   s.snapshots.Load(),
+		}
+		st.QueueDepth = len(s.cmds)
+		ch <- st
+	}); err != nil {
+		return Stats{}, err
+	}
+	return <-ch, nil
+}

@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// P2Quantile estimates a single quantile of a stream in O(1) memory using
+// the P² algorithm (Jain & Chlamtac, CACM 1985): five markers track the
+// minimum, the target quantile, the two midpoints and the maximum, and are
+// adjusted with a piecewise-parabolic height formula as samples arrive.
+// The load generator uses it for p50/p99 latency without retaining every
+// sample. Construct with NewP2Quantile; the zero value is not ready.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64 // marker heights q_i (the first n entries, unsorted, while n < 5)
+	pos     [5]float64 // actual marker positions n_i, 1-based
+	want    [5]float64 // desired marker positions n'_i
+	dWant   [5]float64 // per-observation desired-position increments
+}
+
+// NewP2Quantile returns an estimator for the q-quantile, 0 < q < 1.
+func NewP2Quantile(q float64) (*P2Quantile, error) {
+	if math.IsNaN(q) || q <= 0 || q >= 1 {
+		return nil, fmt.Errorf("stats: quantile %v outside (0,1)", q)
+	}
+	e := &P2Quantile{p: q}
+	e.dWant = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return e, nil
+}
+
+// P returns the target quantile.
+func (e *P2Quantile) P() float64 { return e.p }
+
+// N returns the number of samples observed.
+func (e *P2Quantile) N() int { return e.n }
+
+// Observe adds one sample.
+func (e *P2Quantile) Observe(x float64) {
+	if e.n < 5 {
+		e.heights[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.heights[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+			}
+			e.want = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+
+	// Locate the cell k with q_k <= x < q_{k+1}, extending the extremes.
+	var k int
+	switch {
+	case x < e.heights[0]:
+		e.heights[0] = x
+		k = 0
+	case x >= e.heights[4]:
+		e.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.dWant[i]
+	}
+	e.n++
+
+	// Move interior markers toward their desired positions, one step at
+	// most, preferring the parabolic height prediction when it preserves
+	// monotonicity.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			if h := e.parabolic(i, s); e.heights[i-1] < h && h < e.heights[i+1] {
+				e.heights[i] = h
+			} else {
+				e.heights[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	q, n := e.heights, e.pos
+	return q[i] + d/(n[i+1]-n[i-1])*((n[i]-n[i-1]+d)*(q[i+1]-q[i])/(n[i+1]-n[i])+
+		(n[i+1]-n[i]-d)*(q[i]-q[i-1])/(n[i]-n[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.heights[i] + d*(e.heights[j]-e.heights[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five samples
+// it is exact (nearest-rank on the retained samples); with none it is 0.
+func (e *P2Quantile) Value() float64 {
+	switch {
+	case e.n == 0:
+		return 0
+	case e.n < 5:
+		s := make([]float64, e.n)
+		copy(s, e.heights[:e.n])
+		sort.Float64s(s)
+		i := int(math.Ceil(e.p*float64(e.n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	return e.heights[2]
+}
+
+// Digest bundles the summary a latency report needs: running moments
+// (mean, min, max via Running) plus streaming p50/p90/p99 estimates, all in
+// constant memory. The zero value is not ready; construct with NewDigest.
+type Digest struct {
+	Running
+	q50, q90, q99 *P2Quantile
+}
+
+// NewDigest returns an empty latency digest.
+func NewDigest() *Digest {
+	q50, _ := NewP2Quantile(0.50)
+	q90, _ := NewP2Quantile(0.90)
+	q99, _ := NewP2Quantile(0.99)
+	return &Digest{q50: q50, q90: q90, q99: q99}
+}
+
+// Observe adds one sample to every tracker.
+func (d *Digest) Observe(x float64) {
+	d.Running.Observe(x)
+	d.q50.Observe(x)
+	d.q90.Observe(x)
+	d.q99.Observe(x)
+}
+
+// P50 returns the streaming median estimate.
+func (d *Digest) P50() float64 { return d.q50.Value() }
+
+// P90 returns the streaming 90th-percentile estimate.
+func (d *Digest) P90() float64 { return d.q90.Value() }
+
+// P99 returns the streaming 99th-percentile estimate.
+func (d *Digest) P99() float64 { return d.q99.Value() }

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"drqos/internal/rng"
+)
+
+func TestNewP2QuantileRejectsBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if _, err := NewP2Quantile(p); err == nil {
+			t.Errorf("NewP2Quantile(%v): want error", p)
+		}
+	}
+}
+
+func TestP2QuantileEmptyAndSmall(t *testing.T) {
+	q, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Value(); got != 0 {
+		t.Errorf("empty Value() = %v, want 0", got)
+	}
+	// Fewer than five samples: exact nearest-rank median.
+	for _, x := range []float64{5, 1, 3} {
+		q.Observe(x)
+	}
+	if got := q.Value(); got != 3 {
+		t.Errorf("median of {5,1,3} = %v, want 3", got)
+	}
+	if q.N() != 3 {
+		t.Errorf("N() = %d, want 3", q.N())
+	}
+}
+
+// exactQuantile is the sort-based reference the streaming estimate is
+// checked against.
+func exactQuantile(xs []float64, p float64) float64 {
+	c := make([]float64, len(xs))
+	copy(c, xs)
+	sort.Float64s(c)
+	i := int(math.Ceil(p*float64(len(c)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c[i]
+}
+
+func TestP2QuantileAccuracy(t *testing.T) {
+	src := rng.New(13)
+	draws := map[string]func() float64{
+		"uniform":     src.Float64,
+		"exponential": func() float64 { return src.Exp(2.0) },
+	}
+	for name, draw := range draws {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			est, err := NewP2Quantile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := make([]float64, 0, 20000)
+			for i := 0; i < 20000; i++ {
+				x := draw()
+				xs = append(xs, x)
+				est.Observe(x)
+			}
+			want := exactQuantile(xs, p)
+			got := est.Value()
+			if rel := math.Abs(got-want) / want; rel > 0.05 {
+				t.Errorf("%s p%v: streaming %v vs exact %v (rel err %.3f)", name, p, got, want, rel)
+			}
+		}
+	}
+}
+
+func TestP2QuantileConstantStream(t *testing.T) {
+	q, _ := NewP2Quantile(0.9)
+	for i := 0; i < 1000; i++ {
+		q.Observe(7)
+	}
+	if got := q.Value(); got != 7 {
+		t.Errorf("constant stream p90 = %v, want 7", got)
+	}
+}
+
+func BenchmarkP2QuantileObserve(b *testing.B) {
+	q, err := NewP2Quantile(0.99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = src.Exp(1.0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Observe(xs[i%len(xs)])
+	}
+}
+
+func TestDigestMonotoneAndMoments(t *testing.T) {
+	d := NewDigest()
+	src := rng.New(99)
+	for i := 0; i < 5000; i++ {
+		d.Observe(src.Exp(1.0))
+	}
+	p50, p90, p99 := d.P50(), d.P90(), d.P99()
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	if d.N() != 5000 {
+		t.Errorf("N() = %d, want 5000", d.N())
+	}
+	if d.Min() < 0 || d.Max() < p99 {
+		t.Errorf("moments inconsistent: min=%v max=%v p99=%v", d.Min(), d.Max(), p99)
+	}
+	// Exp(1) has median ln 2 ≈ 0.693 and p99 ≈ 4.605.
+	if math.Abs(p50-math.Ln2) > 0.08 {
+		t.Errorf("p50 = %v, want ≈ %v", p50, math.Ln2)
+	}
+	if math.Abs(p99-4.605) > 0.7 {
+		t.Errorf("p99 = %v, want ≈ 4.605", p99)
+	}
+}

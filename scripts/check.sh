@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, vet, and run the full test suite with the
+# race detector (the internal/server actor loop must stay race-clean).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "== OK"
