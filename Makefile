@@ -1,4 +1,4 @@
-.PHONY: check build test race bench loadtest
+.PHONY: check build test race bench bench-json bench-smoke loadtest
 
 # Full tier-1 verification: build + vet + race-enabled tests.
 check:
@@ -18,6 +18,14 @@ race:
 bench:
 	go test -run xxx -bench 'BenchmarkManager' -benchmem ./internal/manager/
 	go test -run xxx -bench 'BenchmarkP2' -benchmem ./internal/stats/
+
+# Record the full suite into BENCH_<date>.json / run the CI smoke pass.
+# Compare two recordings with: scripts/bench.sh --compare old.json new.json
+bench-json:
+	./scripts/bench.sh
+
+bench-smoke:
+	./scripts/bench.sh --quick
 
 # End-to-end load test: drserverd + drload (10k requests, 8 workers).
 loadtest:

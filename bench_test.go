@@ -10,12 +10,20 @@
 //
 //	go test -bench=. -benchmem
 //
+// The experiment benchmarks fan their sweep points over a worker pool; pick
+// the pool size with -bench-parallel (0 = GOMAXPROCS, 1 = the sequential
+// path). Results are bit-identical either way, so the knob only moves wall
+// time:
+//
+//	go test -bench=Fig2 -bench-parallel 1
+//
 // Regenerate the paper-scale numbers instead with:
 //
 //	go run ./cmd/experiments -run all -scale full
 package drqos_test
 
 import (
+	"flag"
 	"math"
 	"testing"
 
@@ -29,6 +37,16 @@ import (
 	"drqos/internal/topology"
 )
 
+// benchParallel is the sweep-point worker count for every experiment
+// benchmark (0 = GOMAXPROCS, 1 = sequential).
+var benchParallel = flag.Int("bench-parallel", 0, "experiment sweep workers (0 = GOMAXPROCS, 1 = sequential)")
+
+// benchConfig is the per-iteration experiment config: a fresh seed each
+// iteration, at the configured parallelism.
+func benchConfig(i int) experiments.Config {
+	return experiments.Config{Seed: uint64(i + 1), Workers: *benchParallel}
+}
+
 // BenchmarkFig2AvgBandwidthVsLoad regenerates Figure 2: the average
 // reserved bandwidth as the number of DR-connections grows, simulated and
 // analytic. Reported metrics: mean |model−sim|/sim over the sweep, and the
@@ -36,7 +54,7 @@ import (
 // shape).
 func BenchmarkFig2AvgBandwidthVsLoad(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig2(experiments.Config{Seed: uint64(i + 1)})
+		res, err := experiments.Fig2(benchConfig(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -57,7 +75,7 @@ func BenchmarkFig2AvgBandwidthVsLoad(b *testing.B) {
 // is that it is small).
 func BenchmarkTable1IncrementSizes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(experiments.Config{Seed: uint64(i + 1)})
+		res, err := experiments.Table1(benchConfig(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -74,7 +92,7 @@ func BenchmarkTable1IncrementSizes(b *testing.B) {
 // the edge growth factor across the sweep (the figure's dotted overlay).
 func BenchmarkFig3AvgBandwidthVsNodes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3(experiments.Config{Seed: uint64(i + 1)})
+		res, err := experiments.Fig3(benchConfig(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +109,7 @@ func BenchmarkFig3AvgBandwidthVsNodes(b *testing.B) {
 // negligible because γ ≪ λ, μ).
 func BenchmarkFig4FailureRates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(experiments.Config{Seed: uint64(i + 1)})
+		res, err := experiments.Fig4(benchConfig(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +128,7 @@ func BenchmarkFig4FailureRates(b *testing.B) {
 // over fixed-min at the heaviest load.
 func BenchmarkAblationElasticVsSingleValue(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationA(experiments.Config{Seed: uint64(i + 1)})
+		res, err := experiments.AblationA(benchConfig(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,7 +143,7 @@ func BenchmarkAblationElasticVsSingleValue(b *testing.B) {
 // Reported metric: the high/low-utility bandwidth gap under each policy.
 func BenchmarkAblationAdaptationPolicies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationB(experiments.Config{Seed: uint64(i + 1)})
+		res, err := experiments.AblationB(benchConfig(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +158,7 @@ func BenchmarkAblationAdaptationPolicies(b *testing.B) {
 // acceptance-ratio advantage multiplexing buys at the heaviest load.
 func BenchmarkAblationBackupMultiplexing(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationC(experiments.Config{Seed: uint64(i + 1)})
+		res, err := experiments.AblationC(benchConfig(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +172,7 @@ func BenchmarkAblationBackupMultiplexing(b *testing.B) {
 // acceptance advantage of flooding at the heaviest load.
 func BenchmarkAblationRouteSelection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationD(experiments.Config{Seed: uint64(i + 1)})
+		res, err := experiments.AblationD(benchConfig(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +185,7 @@ func BenchmarkAblationRouteSelection(b *testing.B) {
 // Reported metric: the unprotected fraction at the top failure rate.
 func BenchmarkCoverageExtension(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Coverage(experiments.Config{Seed: uint64(i + 1)})
+		res, err := experiments.Coverage(benchConfig(i))
 		if err != nil {
 			b.Fatal(err)
 		}

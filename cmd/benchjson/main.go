@@ -1,0 +1,102 @@
+// Command benchjson converts `go test -bench -benchmem` output into the
+// BENCH_<date>.json format and diffs two such files for regressions. It is
+// the back end of scripts/bench.sh.
+//
+// Record a run (stdin -> JSON on stdout):
+//
+//	go test -bench . -benchmem ./... | benchjson -date 2026-08-05 > BENCH_2026-08-05.json
+//
+// Compare two runs (exit 1 if any ns/op, B/op or allocs/op grew >10%):
+//
+//	benchjson -compare BENCH_old.json BENCH_new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"drqos/internal/benchparse"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		compare   = flag.Bool("compare", false, "compare two BENCH json files given as arguments instead of reading bench output from stdin")
+		threshold = flag.Float64("threshold", 0.10, "relative growth in ns/op, B/op or allocs/op that counts as a regression")
+		date      = flag.String("date", "", "run date stamped into the report (default: today)")
+		host      = flag.String("host", "", "host label stamped into the report")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two files: old.json new.json")
+		}
+		return compareFiles(flag.Arg(0), flag.Arg(1), *threshold)
+	}
+	if flag.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v (use -compare to diff files)", flag.Args())
+	}
+
+	rep, err := benchparse.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	rep.Date = *date
+	if rep.Date == "" {
+		rep.Date = time.Now().Format("2006-01-02")
+	}
+	rep.GoVersion = runtime.Version()
+	rep.Host = *host
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func compareFiles(oldPath, newPath string, threshold float64) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	regs := benchparse.Compare(oldRep, newRep, threshold)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions >%g%% (%s -> %s, %d benchmarks compared)\n",
+			threshold*100, oldRep.Date, newRep.Date, len(newRep.Results))
+		return nil
+	}
+	fmt.Printf("%d regression(s) >%g%%:\n", len(regs), threshold*100)
+	for _, r := range regs {
+		fmt.Printf("  %s\n", r)
+	}
+	os.Exit(1)
+	return nil
+}
+
+func loadReport(path string) (*benchparse.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchparse.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

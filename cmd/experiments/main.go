@@ -5,6 +5,8 @@
 //
 //	experiments -run all -scale quick
 //	experiments -run fig2,fig4 -scale full -seed 2001
+//	experiments -run all -scale full -parallel 8
+//	experiments -run fig2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -13,6 +15,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,14 +32,42 @@ func main() {
 
 func run() error {
 	var (
-		runList = flag.String("run", "all", "comma-separated: fig2,table1,fig3,fig4,ablationA..E,coverage,variability or all")
-		scale   = flag.String("scale", "quick", "quick or full")
-		seed    = flag.Uint64("seed", 2001, "experiment seed")
-		datDir  = flag.String("dat", "", "also write gnuplot .dat files and plots.gp into this directory")
+		runList    = flag.String("run", "all", "comma-separated: fig2,table1,fig3,fig4,ablationA..E,coverage,variability or all")
+		scale      = flag.String("scale", "quick", "quick or full")
+		seed       = flag.Uint64("seed", 2001, "experiment seed")
+		datDir     = flag.String("dat", "", "also write gnuplot .dat files and plots.gp into this directory")
+		parallel   = flag.Int("parallel", 0, "sweep-point workers per experiment (0 = GOMAXPROCS, 1 = sequential); results are identical for any value")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{Seed: *seed}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
+
+	cfg := experiments.Config{Seed: *seed, Workers: *parallel}
 	switch *scale {
 	case "quick":
 		cfg.Scale = experiments.ScaleQuick

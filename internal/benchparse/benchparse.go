@@ -1,0 +1,194 @@
+// Package benchparse turns the text output of `go test -bench -benchmem`
+// into a structured report and compares two reports for regressions. It is
+// the core of scripts/bench.sh: the shell script pipes the benchmark run
+// through cmd/benchjson, which uses this package to emit BENCH_<date>.json
+// and to diff two such files.
+//
+// The parser understands the standard testing package format across multiple
+// packages in one stream:
+//
+//	pkg: drqos/internal/routing
+//	BenchmarkBoundedFlood/scratch-8   	    4096	    244438 ns/op	    8694 B/op	     133 allocs/op
+//	BenchmarkFig2AvgBandwidthVsLoad-8 	       1	5321000000 ns/op	         0.031 model-relerr	...
+//
+// Standard units (ns/op, B/op, allocs/op, MB/s) get dedicated fields; any
+// other `<value> <unit>` pair — the custom b.ReportMetric units like
+// model-relerr — lands in the Metrics map.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Pkg is the import path from the most recent `pkg:` header line.
+	Pkg string `json:"pkg,omitempty"`
+	// Name is the benchmark name including sub-benchmark path and the
+	// -cpu suffix, e.g. "BenchmarkBoundedFlood/scratch-8".
+	Name string `json:"name"`
+	// Iterations is the b.N the timing was measured at.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem; nil when absent.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// MBPerSec comes from b.SetBytes; nil when absent.
+	MBPerSec *float64 `json:"mb_per_sec,omitempty"`
+	// Metrics holds custom b.ReportMetric values keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Key identifies a benchmark across runs.
+func (r Result) Key() string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// Report is a full benchmark run.
+type Report struct {
+	// Date is the run date (YYYY-MM-DD), filled by the caller.
+	Date string `json:"date,omitempty"`
+	// GoVersion and Host describe the environment, filled by the caller.
+	GoVersion string `json:"go_version,omitempty"`
+	Host      string `json:"host,omitempty"`
+	// Results are the parsed benchmark lines in input order.
+	Results []Result `json:"results"`
+}
+
+// Parse reads `go test -bench` output. Lines that are not benchmark results
+// or pkg headers (PASS, ok, test log output, goos/goarch banners) are
+// ignored, so the full `go test` stream can be piped in unfiltered.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok, err := parseLine(line)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Pkg = pkg
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseLine parses one benchmark result line. ok=false means the line looked
+// like a benchmark but has no fields (e.g. the bare "BenchmarkFoo" name
+// printed with -v before the result).
+func parseLine(line string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return Result{}, false, nil
+	}
+	var res Result
+	res.Name = fields[0]
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil // e.g. "BenchmarkFoo 	--- FAIL"
+	}
+	res.Iterations = iters
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("benchparse: bad value %q in %q", fields[i], line)
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		case "MB/s":
+			v := val
+			res.MBPerSec = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = make(map[string]float64)
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return res, true, nil
+}
+
+// Regression is one metric of one benchmark that got worse.
+type Regression struct {
+	Key    string  // benchmark key (pkg.name)
+	Metric string  // "ns/op", "B/op", "allocs/op"
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Ratio is new/old; always > 1+threshold for a reported regression.
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.6g -> %.6g (%+.1f%%)", r.Key, r.Metric, r.Old, r.New, (r.Ratio-1)*100)
+}
+
+// Compare flags every benchmark present in both reports whose ns/op, B/op,
+// or allocs/op grew by more than threshold (0.10 = 10%). Custom metrics are
+// quality numbers, not costs, so they are not compared — a higher
+// model-relerr is a correctness question for the tests, not a perf
+// regression. Benchmarks that appear in only one report are ignored.
+func Compare(old, new *Report, threshold float64) []Regression {
+	oldByKey := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldByKey[r.Key()] = r
+	}
+	var regs []Regression
+	for _, nr := range new.Results {
+		or, ok := oldByKey[nr.Key()]
+		if !ok {
+			continue
+		}
+		check := func(metric string, oldV, newV float64) {
+			if oldV <= 0 {
+				return // nothing meaningful to compare against
+			}
+			ratio := newV / oldV
+			if ratio > 1+threshold {
+				regs = append(regs, Regression{Key: nr.Key(), Metric: metric, Old: oldV, New: newV, Ratio: ratio})
+			}
+		}
+		check("ns/op", or.NsPerOp, nr.NsPerOp)
+		if or.BytesPerOp != nil && nr.BytesPerOp != nil {
+			check("B/op", *or.BytesPerOp, *nr.BytesPerOp)
+		}
+		if or.AllocsPerOp != nil && nr.AllocsPerOp != nil {
+			check("allocs/op", *or.AllocsPerOp, *nr.AllocsPerOp)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Key != regs[j].Key {
+			return regs[i].Key < regs[j].Key
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

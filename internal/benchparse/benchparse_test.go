@@ -1,0 +1,130 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: drqos
+cpu: AMD EPYC 7B13
+BenchmarkFig2AvgBandwidthVsLoad-8   	       1	5321123456 ns/op	         0.031 model-relerr	       412.5 Kbps-drop	214748364 B/op	 1234567 allocs/op
+BenchmarkMarkovSolve9State-8        	  500000	      2210 ns/op	     896 B/op	      14 allocs/op
+PASS
+ok  	drqos	12.345s
+goos: linux
+goarch: amd64
+pkg: drqos/internal/routing
+BenchmarkBoundedFlood/fresh-8       	    3000	    393576 ns/op	  114367 B/op	     576 allocs/op
+BenchmarkBoundedFlood/scratch-8     	    9000	    244438 ns/op	    8694 B/op	     133 allocs/op
+BenchmarkThroughput-8               	    1000	   1000000 ns/op	     256.00 MB/s
+PASS
+ok  	drqos/internal/routing	4.567s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 5 {
+		t.Fatalf("got %d results, want 5: %+v", len(rep.Results), rep.Results)
+	}
+
+	fig2 := rep.Results[0]
+	if fig2.Pkg != "drqos" || fig2.Name != "BenchmarkFig2AvgBandwidthVsLoad-8" {
+		t.Fatalf("bad identity: %+v", fig2)
+	}
+	if fig2.Iterations != 1 || fig2.NsPerOp != 5321123456 {
+		t.Fatalf("bad timing: %+v", fig2)
+	}
+	if fig2.Metrics["model-relerr"] != 0.031 || fig2.Metrics["Kbps-drop"] != 412.5 {
+		t.Fatalf("custom metrics not captured: %+v", fig2.Metrics)
+	}
+	if fig2.BytesPerOp == nil || *fig2.BytesPerOp != 214748364 {
+		t.Fatalf("bad B/op: %+v", fig2)
+	}
+	if fig2.AllocsPerOp == nil || *fig2.AllocsPerOp != 1234567 {
+		t.Fatalf("bad allocs/op: %+v", fig2)
+	}
+
+	flood := rep.Results[3]
+	if flood.Pkg != "drqos/internal/routing" || flood.Name != "BenchmarkBoundedFlood/scratch-8" {
+		t.Fatalf("pkg header not tracked across packages: %+v", flood)
+	}
+	if flood.Key() != "drqos/internal/routing.BenchmarkBoundedFlood/scratch-8" {
+		t.Fatalf("bad key: %q", flood.Key())
+	}
+
+	tput := rep.Results[4]
+	if tput.MBPerSec == nil || *tput.MBPerSec != 256 {
+		t.Fatalf("MB/s not captured: %+v", tput)
+	}
+}
+
+func TestParseIgnoresNonResultLines(t *testing.T) {
+	in := `BenchmarkVerbose
+BenchmarkBroken 	--- FAIL
+some test log line
+BenchmarkReal-4	100	50.0 ns/op
+`
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "BenchmarkReal-4" {
+		t.Fatalf("got %+v, want only BenchmarkReal-4", rep.Results)
+	}
+}
+
+func TestParseRejectsMalformedValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkBad-4	100	abc ns/op\n")); err == nil {
+		t.Fatal("want error for unparseable value")
+	}
+}
+
+func f(v float64) *float64 { return &v }
+
+func TestCompare(t *testing.T) {
+	old := &Report{Results: []Result{
+		{Pkg: "p", Name: "BenchmarkA-8", NsPerOp: 1000, BytesPerOp: f(100), AllocsPerOp: f(10)},
+		{Pkg: "p", Name: "BenchmarkB-8", NsPerOp: 1000},
+		{Pkg: "p", Name: "BenchmarkGone-8", NsPerOp: 1000},
+	}}
+	now := &Report{Results: []Result{
+		// ns/op +50% (regression), B/op -20% (improvement), allocs/op +5% (under threshold)
+		{Pkg: "p", Name: "BenchmarkA-8", NsPerOp: 1500, BytesPerOp: f(80), AllocsPerOp: f(10.5)},
+		// exactly at +10%: not a regression (strictly greater than threshold flags)
+		{Pkg: "p", Name: "BenchmarkB-8", NsPerOp: 1100},
+		{Pkg: "p", Name: "BenchmarkNew-8", NsPerOp: 9999},
+	}}
+	regs := Compare(old, now, 0.10)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions %+v, want 1", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Key != "p.BenchmarkA-8" || r.Metric != "ns/op" || r.Old != 1000 || r.New != 1500 {
+		t.Fatalf("bad regression: %+v", r)
+	}
+	if s := r.String(); !strings.Contains(s, "ns/op") || !strings.Contains(s, "+50.0%") {
+		t.Fatalf("bad String(): %q", s)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	old := &Report{Results: []Result{{Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: f(133)}}}
+	now := &Report{Results: []Result{{Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: f(576)}}}
+	regs := Compare(old, now, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("got %+v, want one allocs/op regression", regs)
+	}
+}
+
+func TestCompareIgnoresZeroBaseline(t *testing.T) {
+	old := &Report{Results: []Result{{Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: f(0)}}}
+	now := &Report{Results: []Result{{Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: f(5)}}}
+	if regs := Compare(old, now, 0.10); len(regs) != 0 {
+		t.Fatalf("zero baseline must not divide: %+v", regs)
+	}
+}

@@ -32,42 +32,56 @@ type AblationDResult struct {
 func AblationD(cfg Config) (*AblationDResult, error) {
 	cfg = cfg.withDefaults()
 	events, warmup := cfg.churn()
+	// Flattened to (load, strategy) jobs so both arms of a row parallelize.
+	type job struct {
+		load       int
+		sequential bool
+	}
+	type cell struct {
+		acc, bw, hops float64
+	}
+	loads := cfg.loads()
+	jobs := make([]job, 0, 2*len(loads))
+	for _, load := range loads {
+		jobs = append(jobs, job{load: load}, job{load: load, sequential: true})
+	}
+	cells, err := runPoints(cfg, jobs, func(j job) (cell, error) {
+		arm := "flood"
+		if j.sequential {
+			arm = "sequential"
+		}
+		sys, err := core.NewSystem(core.Options{
+			Seed:              cfg.Seed,
+			InitialConns:      j.load,
+			ChurnEvents:       events,
+			WarmupEvents:      warmup,
+			SequentialRouting: j.sequential,
+		})
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation D %s at %d: %w", arm, j.load, err)
+		}
+		ev, err := sys.Evaluate()
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: ablation D %s at %d: %w", arm, j.load, err)
+		}
+		r := ev.Sim
+		c := cell{bw: r.AvgBandwidth, hops: r.AvgHops}
+		if r.Offered > 0 {
+			c.acc = float64(r.Established) / float64(r.Offered)
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	out := &AblationDResult{}
-	for _, load := range cfg.loads() {
-		run := func(sequential bool) (acc, bw, hops float64, err error) {
-			sys, err := core.NewSystem(core.Options{
-				Seed:              cfg.Seed,
-				InitialConns:      load,
-				ChurnEvents:       events,
-				WarmupEvents:      warmup,
-				SequentialRouting: sequential,
-			})
-			if err != nil {
-				return 0, 0, 0, err
-			}
-			ev, err := sys.Evaluate()
-			if err != nil {
-				return 0, 0, 0, err
-			}
-			r := ev.Sim
-			if r.Offered > 0 {
-				acc = float64(r.Established) / float64(r.Offered)
-			}
-			return acc, r.AvgBandwidth, r.AvgHops, nil
-		}
-		fa, fb, fh, err := run(false)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation D flood at %d: %w", load, err)
-		}
-		sa, sb, sh, err := run(true)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation D sequential at %d: %w", load, err)
-		}
+	for i, load := range loads {
+		f, s := cells[2*i], cells[2*i+1]
 		out.Rows = append(out.Rows, AblationDRow{
 			Load:            load,
-			FloodAcceptance: fa, SeqAcceptance: sa,
-			FloodAvgBW: fb, SeqAvgBW: sb,
-			FloodHops: fh, SeqHops: sh,
+			FloodAcceptance: f.acc, SeqAcceptance: s.acc,
+			FloodAvgBW: f.bw, SeqAvgBW: s.bw,
+			FloodHops: f.hops, SeqHops: s.hops,
 		})
 	}
 	return out, nil

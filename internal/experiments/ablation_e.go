@@ -53,48 +53,63 @@ func AblationE(cfg Config) (*AblationEResult, error) {
 		load = 2500
 	}
 	events, warmup := cfg.churn()
-	out := &AblationEResult{Load: load}
+	// Flattened to (γ, scheme) jobs so both schemes at every rate run
+	// concurrently.
+	type job struct {
+		gamma    float64
+		reactive bool
+	}
+	type cell struct {
+		drops, recovered, bw float64
+		failures             int64
+	}
+	jobs := make([]job, 0, 2*len(gammas))
 	for _, g := range gammas {
-		run := func(reactive bool) (drops, recovered float64, bw float64, failures int64, err error) {
-			sys, err := core.NewSystem(core.Options{
-				Seed:             cfg.Seed,
-				Gamma:            g,
-				RepairRate:       0.01,
-				InitialConns:     load,
-				ChurnEvents:      events,
-				WarmupEvents:     warmup,
-				ReactiveRecovery: reactive,
-			})
-			if err != nil {
-				return 0, 0, 0, 0, err
-			}
-			ev, err := sys.Evaluate()
-			if err != nil {
-				return 0, 0, 0, 0, err
-			}
-			r := ev.Sim
-			if r.Failures > 0 {
-				drops = float64(r.Dropped) / float64(r.Failures)
-				recovered = float64(r.Recovered) / float64(r.Failures)
-			}
-			return drops, recovered, r.AvgBandwidth, r.Failures, nil
+		jobs = append(jobs, job{gamma: g}, job{gamma: g, reactive: true})
+	}
+	cells, err := runPoints(cfg, jobs, func(j job) (cell, error) {
+		arm := "backup"
+		if j.reactive {
+			arm = "reactive"
 		}
-		bDrops, _, bBW, failures, err := run(false)
+		sys, err := core.NewSystem(core.Options{
+			Seed:             cfg.Seed,
+			Gamma:            j.gamma,
+			RepairRate:       0.01,
+			InitialConns:     load,
+			ChurnEvents:      events,
+			WarmupEvents:     warmup,
+			ReactiveRecovery: j.reactive,
+		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation E backup at γ=%v: %w", g, err)
+			return cell{}, fmt.Errorf("experiments: ablation E %s at γ=%v: %w", arm, j.gamma, err)
 		}
-		rDrops, rRec, rBW, _, err := run(true)
+		ev, err := sys.Evaluate()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation E reactive at γ=%v: %w", g, err)
+			return cell{}, fmt.Errorf("experiments: ablation E %s at γ=%v: %w", arm, j.gamma, err)
 		}
+		r := ev.Sim
+		c := cell{bw: r.AvgBandwidth, failures: r.Failures}
+		if r.Failures > 0 {
+			c.drops = float64(r.Dropped) / float64(r.Failures)
+			c.recovered = float64(r.Recovered) / float64(r.Failures)
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationEResult{Load: load}
+	for i, g := range gammas {
+		b, r := cells[2*i], cells[2*i+1]
 		out.Rows = append(out.Rows, AblationERow{
 			Gamma:                       g,
-			BackupDropsPerFailure:       bDrops,
-			ReactiveDropsPerFailure:     rDrops,
-			ReactiveRecoveredPerFailure: rRec,
-			BackupAvgBW:                 bBW,
-			ReactiveAvgBW:               rBW,
-			Failures:                    failures,
+			BackupDropsPerFailure:       b.drops,
+			ReactiveDropsPerFailure:     r.drops,
+			ReactiveRecoveredPerFailure: r.recovered,
+			BackupAvgBW:                 b.bw,
+			ReactiveAvgBW:               r.bw,
+			Failures:                    b.failures,
 		})
 	}
 	return out, nil

@@ -27,9 +27,8 @@ type AblationAResult struct {
 // AblationA runs the baseline comparison across loads.
 func AblationA(cfg Config) (*AblationAResult, error) {
 	cfg = cfg.withDefaults()
-	out := &AblationAResult{}
 	events, warmup := cfg.churn()
-	for _, load := range cfg.loads() {
+	rows, err := runPoints(cfg, cfg.loads(), func(load int) (AblationARow, error) {
 		sys, err := core.NewSystem(core.Options{
 			Seed:         cfg.Seed,
 			InitialConns: load,
@@ -37,15 +36,18 @@ func AblationA(cfg Config) (*AblationAResult, error) {
 			WarmupEvents: warmup,
 		})
 		if err != nil {
-			return nil, err
+			return AblationARow{}, err
 		}
 		cmp, err := sys.CompareBaselines()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation A at load %d: %w", load, err)
+			return AblationARow{}, fmt.Errorf("experiments: ablation A at load %d: %w", load, err)
 		}
-		out.Rows = append(out.Rows, AblationARow{Load: load, BaselineComparison: *cmp})
+		return AblationARow{Load: load, BaselineComparison: *cmp}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationAResult{Rows: rows}, nil
 }
 
 // Render writes the comparison.
@@ -96,11 +98,11 @@ func AblationB(cfg Config) (*AblationBResult, error) {
 	if cfg.Scale == ScaleQuick {
 		load = 1500
 	}
-	out := &AblationBResult{}
-	for _, policy := range []qos.Policy{qos.CoefficientPolicy{}, qos.MaxUtilityPolicy{}} {
+	policies := []qos.Policy{qos.CoefficientPolicy{}, qos.MaxUtilityPolicy{}}
+	rows, err := runPoints(cfg, policies, func(policy qos.Policy) (AblationBRow, error) {
 		sys, err := core.NewSystem(core.Options{Seed: cfg.Seed, Policy: policy})
 		if err != nil {
-			return nil, err
+			return AblationBRow{}, err
 		}
 		mgr, err := manager.New(sys.Graph(), manager.Config{
 			Capacity:      core.PaperCapacity,
@@ -108,7 +110,7 @@ func AblationB(cfg Config) (*AblationBResult, error) {
 			RequireBackup: true,
 		})
 		if err != nil {
-			return nil, err
+			return AblationBRow{}, err
 		}
 		// Deterministic heterogeneous loading: alternate utilities.
 		src := newPairSource(cfg.Seed, sys.Graph().NumNodes())
@@ -142,9 +144,12 @@ func AblationB(cfg Config) (*AblationBResult, error) {
 		if loN > 0 {
 			row.LowUtilAvg = loSum / float64(loN)
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationBResult{Rows: rows}, nil
 }
 
 // Render writes the comparison.
@@ -186,39 +191,50 @@ type AblationCResult struct {
 func AblationC(cfg Config) (*AblationCResult, error) {
 	cfg = cfg.withDefaults()
 	events, warmup := cfg.churn()
+	// Flattened to (load, multiplexing) jobs: the on/off arms of one row
+	// are independent simulations and can run on different workers.
+	type job struct {
+		load    int
+		disable bool
+	}
+	loads := cfg.loads()
+	jobs := make([]job, 0, 2*len(loads))
+	for _, load := range loads {
+		jobs = append(jobs, job{load: load}, job{load: load, disable: true})
+	}
+	cells, err := runPoints(cfg, jobs, func(j job) (*sim.Result, error) {
+		arm := "mux"
+		if j.disable {
+			arm = "no-mux"
+		}
+		sys, err := core.NewSystem(core.Options{
+			Seed:                      cfg.Seed,
+			InitialConns:              j.load,
+			ChurnEvents:               events,
+			WarmupEvents:              warmup,
+			DisableBackupMultiplexing: j.disable,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation C %s at %d: %w", arm, j.load, err)
+		}
+		ev, err := sys.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation C %s at %d: %w", arm, j.load, err)
+		}
+		return ev.Sim, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ratio := func(r *sim.Result) float64 {
+		if r.Offered == 0 {
+			return 0
+		}
+		return float64(r.Established) / float64(r.Offered)
+	}
 	out := &AblationCResult{}
-	for _, load := range cfg.loads() {
-		run := func(disable bool) (*sim.Result, error) {
-			sys, err := core.NewSystem(core.Options{
-				Seed:                      cfg.Seed,
-				InitialConns:              load,
-				ChurnEvents:               events,
-				WarmupEvents:              warmup,
-				DisableBackupMultiplexing: disable,
-			})
-			if err != nil {
-				return nil, err
-			}
-			ev, err := sys.Evaluate()
-			if err != nil {
-				return nil, err
-			}
-			return ev.Sim, nil
-		}
-		mux, err := run(false)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation C mux at %d: %w", load, err)
-		}
-		noMux, err := run(true)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: ablation C no-mux at %d: %w", load, err)
-		}
-		ratio := func(r *sim.Result) float64 {
-			if r.Offered == 0 {
-				return 0
-			}
-			return float64(r.Established) / float64(r.Offered)
-		}
+	for i, load := range loads {
+		mux, noMux := cells[2*i], cells[2*i+1]
 		out.Rows = append(out.Rows, AblationCRow{
 			Load:            load,
 			MuxAcceptance:   ratio(mux),

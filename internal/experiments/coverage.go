@@ -46,11 +46,10 @@ func Coverage(cfg Config) (*CoverageResult, error) {
 		gammas = []float64{1e-4, 1e-2}
 		load = 2500
 	}
-	out := &CoverageResult{}
-	for _, g := range gammas {
+	points, err := runPoints(cfg, gammas, func(g float64) (CoveragePoint, error) {
 		ev, _, err := evaluateAt(cfg, core.Options{Gamma: g, RepairRate: 0.01}, load)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: coverage at γ=%v: %w", g, err)
+			return CoveragePoint{}, fmt.Errorf("experiments: coverage at γ=%v: %w", g, err)
 		}
 		p := CoveragePoint{
 			Gamma:           g,
@@ -61,9 +60,12 @@ func Coverage(cfg Config) (*CoverageResult, error) {
 		if ev.Sim.Failures > 0 {
 			p.DroppedPerFailure = float64(ev.Sim.Dropped) / float64(ev.Sim.Failures)
 		}
-		out.Points = append(out.Points, p)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &CoverageResult{Points: points}, nil
 }
 
 // Render writes the sweep as a table.

@@ -9,12 +9,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"text/tabwriter"
 
 	"drqos/internal/core"
+	"drqos/internal/parallel"
 	"drqos/internal/rng"
 	"drqos/internal/topology"
 )
@@ -34,6 +36,11 @@ type Config struct {
 	Seed uint64
 	// Scale selects Quick or Full parameter ranges (default Quick).
 	Scale Scale
+	// Workers bounds how many sweep data points run concurrently. Every
+	// point is seed-isolated (it derives all randomness from Seed and its
+	// own sweep coordinates), so results are bit-identical for any worker
+	// count. 0 selects GOMAXPROCS; 1 forces the sequential path.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +67,16 @@ func (c Config) loads() []int {
 		return []int{500, 1000, 2000, 3000, 4000, 5000}
 	}
 	return []int{500, 1500, 3000}
+}
+
+// runPoints fans a sweep's data points out over the configured worker pool
+// and returns the per-point results in sweep order. Each point builds its
+// own System from cfg.Seed and its sweep coordinates, so the fan-out is
+// deterministic: any Workers value (including 1, the sequential path)
+// produces identical results, and the first error — by sweep order — wins.
+func runPoints[P, R any](cfg Config, points []P, fn func(p P) (R, error)) ([]R, error) {
+	return parallel.Map(context.Background(), points, cfg.Workers,
+		func(_ context.Context, p P) (R, error) { return fn(p) })
 }
 
 // renderTable writes rows as an aligned table.

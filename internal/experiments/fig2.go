@@ -38,26 +38,42 @@ type Fig2Result struct {
 	AvgHops float64
 }
 
-// Fig2 regenerates Figure 2.
+// Fig2 regenerates Figure 2. The load points run on cfg.Workers workers;
+// each is an independent simulation of the same topology seed.
 func Fig2(cfg Config) (*Fig2Result, error) {
 	cfg = cfg.withDefaults()
-	out := &Fig2Result{}
-	for _, load := range cfg.loads() {
+	type cell struct {
+		point   Fig2Point
+		links   int
+		avgHops float64
+	}
+	cells, err := runPoints(cfg, cfg.loads(), func(load int) (cell, error) {
 		ev, sys, err := evaluateAt(cfg, core.Options{}, load)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig2 at load %d: %w", load, err)
+			return cell{}, fmt.Errorf("experiments: fig2 at load %d: %w", load, err)
 		}
-		out.Links = sys.Metrics().Edges
-		out.AvgHops = ev.Sim.AvgHops
-		out.Points = append(out.Points, Fig2Point{
-			Offered:         load,
-			Alive:           ev.Sim.AliveAtEnd,
-			SimAvg:          ev.Sim.AvgBandwidth,
-			SimCI:           ev.Sim.AvgBandwidthCI95,
-			Analytic:        ev.PaperModel.MeanBandwidth,
-			AnalyticRestart: ev.RestartModel.MeanBandwidth,
-			Ideal:           ev.IdealBandwidth,
-		})
+		return cell{
+			links:   sys.Metrics().Edges,
+			avgHops: ev.Sim.AvgHops,
+			point: Fig2Point{
+				Offered:         load,
+				Alive:           ev.Sim.AliveAtEnd,
+				SimAvg:          ev.Sim.AvgBandwidth,
+				SimCI:           ev.Sim.AvgBandwidthCI95,
+				Analytic:        ev.PaperModel.MeanBandwidth,
+				AnalyticRestart: ev.RestartModel.MeanBandwidth,
+				Ideal:           ev.IdealBandwidth,
+			},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig2Result{}
+	for _, c := range cells {
+		out.Links = c.links
+		out.AvgHops = c.avgHops
+		out.Points = append(out.Points, c.point)
 	}
 	return out, nil
 }

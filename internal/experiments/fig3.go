@@ -41,21 +41,23 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 		nodeCounts = []int{100, 200, 300}
 		load = 1500
 	}
-	out := &Fig3Result{LoadedConns: load}
-	for _, n := range nodeCounts {
+	points, err := runPoints(cfg, nodeCounts, func(n int) (Fig3Point, error) {
 		ev, sys, err := evaluateAt(cfg, core.Options{Nodes: n, ConstantDensity: true}, load)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig3 at %d nodes: %w", n, err)
+			return Fig3Point{}, fmt.Errorf("experiments: fig3 at %d nodes: %w", n, err)
 		}
-		out.Points = append(out.Points, Fig3Point{
+		return Fig3Point{
 			Nodes:    n,
 			Links:    sys.Metrics().Edges,
 			SimAvg:   ev.Sim.AvgBandwidth,
 			Analytic: ev.RestartModel.MeanBandwidth,
 			Alive:    ev.Sim.AliveAtEnd,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &Fig3Result{LoadedConns: load, Points: points}, nil
 }
 
 // Render writes the series as a table.

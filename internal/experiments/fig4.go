@@ -43,26 +43,50 @@ func Fig4(cfg Config) (*Fig4Result, error) {
 		gammas = []float64{1e-6, 1e-4, 1e-2}
 		loads = []int{1000, 2000}
 	}
-	out := &Fig4Result{}
+	// The sweep grid is flattened to (γ, load) jobs so the pool sees every
+	// independent simulation at once, then reassembled per γ in order.
+	type job struct {
+		gamma float64
+		load  int
+	}
+	type cell struct {
+		sim, restart, general float64
+		failures              int64
+	}
+	jobs := make([]job, 0, len(gammas)*len(loads))
 	for _, g := range gammas {
-		p := Fig4Point{Gamma: g}
-		for i, load := range loads {
-			ev, _, err := evaluateAt(cfg, core.Options{Gamma: g, RepairRate: 0.01}, load)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig4 at γ=%v load=%d: %w", g, load, err)
-			}
-			if i == 0 {
-				p.Avg2000 = ev.Sim.AvgBandwidth
-				p.Analytic2000 = ev.RestartModel.MeanBandwidth
-				p.General2000 = ev.GeneralModel.MeanBandwidth
-			} else {
-				p.Avg3000 = ev.Sim.AvgBandwidth
-				p.Analytic3000 = ev.RestartModel.MeanBandwidth
-				p.General3000 = ev.GeneralModel.MeanBandwidth
-				p.Failures3000 = ev.Sim.Failures
-			}
+		for _, load := range loads {
+			jobs = append(jobs, job{gamma: g, load: load})
 		}
-		out.Points = append(out.Points, p)
+	}
+	cells, err := runPoints(cfg, jobs, func(j job) (cell, error) {
+		ev, _, err := evaluateAt(cfg, core.Options{Gamma: j.gamma, RepairRate: 0.01}, j.load)
+		if err != nil {
+			return cell{}, fmt.Errorf("experiments: fig4 at γ=%v load=%d: %w", j.gamma, j.load, err)
+		}
+		return cell{
+			sim:      ev.Sim.AvgBandwidth,
+			restart:  ev.RestartModel.MeanBandwidth,
+			general:  ev.GeneralModel.MeanBandwidth,
+			failures: ev.Sim.Failures,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig4Result{}
+	for gi, g := range gammas {
+		a, b := cells[gi*len(loads)], cells[gi*len(loads)+1]
+		out.Points = append(out.Points, Fig4Point{
+			Gamma:        g,
+			Avg2000:      a.sim,
+			Analytic2000: a.restart,
+			General2000:  a.general,
+			Avg3000:      b.sim,
+			Analytic3000: b.restart,
+			General3000:  b.general,
+			Failures3000: b.failures,
+		})
 	}
 	return out, nil
 }

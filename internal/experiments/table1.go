@@ -41,41 +41,46 @@ func Table1(cfg Config) (*Table1Result, error) {
 	spec5 := qos.ElasticSpec{Min: 100, Max: 500, Increment: 100, Utility: 1}
 	spec9 := qos.DefaultSpec() // Δ = 50
 
+	// Each row needs four independent (network, increment) runs; the sweep
+	// is flattened to load×4 jobs so the pool fills every worker.
+	type job struct {
+		kind core.TopologyKind
+		spec qos.ElasticSpec
+		load int
+		name string
+	}
 	type cell struct {
 		analytic float64
 		sim      float64
 		alive    int
 	}
-	run := func(kind core.TopologyKind, spec qos.ElasticSpec, load int) (cell, error) {
-		ev, _, err := evaluateAt(cfg, core.Options{Kind: kind, Spec: spec}, load)
+	loads := cfg.loads()
+	jobs := make([]job, 0, 4*len(loads))
+	for _, load := range loads {
+		jobs = append(jobs,
+			job{kind: core.TopologyWaxman, spec: spec5, load: load, name: "random/5"},
+			job{kind: core.TopologyWaxman, spec: spec9, load: load, name: "random/9"},
+			job{kind: core.TopologyTransitStub, spec: spec5, load: load, name: "tier/5"},
+			job{kind: core.TopologyTransitStub, spec: spec9, load: load, name: "tier/9"},
+		)
+	}
+	cells, err := runPoints(cfg, jobs, func(j job) (cell, error) {
+		ev, _, err := evaluateAt(cfg, core.Options{Kind: j.kind, Spec: j.spec}, j.load)
 		if err != nil {
-			return cell{}, err
+			return cell{}, fmt.Errorf("experiments: table1 %s at %d: %w", j.name, j.load, err)
 		}
 		return cell{
 			analytic: ev.RestartModel.MeanBandwidth,
 			sim:      ev.Sim.AvgBandwidth,
 			alive:    ev.Sim.AliveAtEnd,
 		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-
 	out := &Table1Result{}
-	for _, load := range cfg.loads() {
-		r5, err := run(core.TopologyWaxman, spec5, load)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table1 random/5 at %d: %w", load, err)
-		}
-		r9, err := run(core.TopologyWaxman, spec9, load)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table1 random/9 at %d: %w", load, err)
-		}
-		t5, err := run(core.TopologyTransitStub, spec5, load)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table1 tier/5 at %d: %w", load, err)
-		}
-		t9, err := run(core.TopologyTransitStub, spec9, load)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: table1 tier/9 at %d: %w", load, err)
-		}
+	for i, load := range loads {
+		r5, r9, t5, t9 := cells[4*i], cells[4*i+1], cells[4*i+2], cells[4*i+3]
 		out.Rows = append(out.Rows, Table1Row{
 			Channels:  load,
 			Random5:   r5.analytic,

@@ -34,7 +34,15 @@ func Variability(cfg Config) (*VariabilityResult, error) {
 	}
 	out := &VariabilityResult{Load: load, Replications: reps}
 	events, warmup := cfg.churn()
-	for r := 0; r < reps; r++ {
+	reps0 := make([]int, reps)
+	for r := range reps0 {
+		reps0[r] = r
+	}
+	// The replications run in parallel; the streaming summaries are then
+	// fed in replication order, keeping the floating-point accumulation
+	// identical to the sequential path.
+	type cell struct{ sim, model float64 }
+	cells, err := runPoints(cfg, reps0, func(r int) (cell, error) {
 		sys, err := core.NewSystem(core.Options{
 			Seed:         cfg.Seed + uint64(r)*7919, // distinct prime-spaced seeds
 			InitialConns: load,
@@ -42,21 +50,25 @@ func Variability(cfg Config) (*VariabilityResult, error) {
 			WarmupEvents: warmup,
 		})
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		ev, err := sys.Evaluate()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: variability rep %d: %w", r, err)
+			return cell{}, fmt.Errorf("experiments: variability rep %d: %w", r, err)
 		}
-		simAvg := ev.Sim.AvgBandwidth
-		model := ev.RestartModel.MeanBandwidth
-		out.Sim.Observe(simAvg)
-		out.Model.Observe(model)
-		rel := model - simAvg
+		return cell{sim: ev.Sim.AvgBandwidth, model: ev.RestartModel.MeanBandwidth}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		out.Sim.Observe(c.sim)
+		out.Model.Observe(c.model)
+		rel := c.model - c.sim
 		if rel < 0 {
 			rel = -rel
 		}
-		out.RelErr.Observe(rel / simAvg)
+		out.RelErr.Observe(rel / c.sim)
 	}
 	return out, nil
 }

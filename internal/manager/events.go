@@ -20,7 +20,7 @@ func (m *Manager) Terminate(id channel.ConnID) (*TerminationReport, error) {
 	affected := m.sharersOf(c)
 	before := m.levelSnapshot(affected)
 
-	region := make(map[topology.DirLinkID]bool, len(c.Primary.Links))
+	region := m.resetRegion()
 	for _, d := range c.Primary.DirLinks(m.g) {
 		region[d] = true
 	}
@@ -88,7 +88,7 @@ func (m *Manager) FailLink(l topology.LinkID) (*FailureReport, error) {
 	}
 
 	report := &FailureReport{}
-	region := make(map[topology.DirLinkID]bool)
+	region := m.resetRegion()
 
 	// The directed links where backups will activate: primaries there must
 	// retreat first so the reclaimed spare is actually free (§3.1).

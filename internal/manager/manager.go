@@ -151,6 +151,24 @@ type Manager struct {
 	// Counters for acceptance statistics.
 	requests int64
 	rejects  int64
+
+	// Reusable working state for the hot per-event kernels. A Manager is
+	// single-threaded (the server wraps it in an actor loop), so one set of
+	// buffers per Manager suffices.
+	flood routing.FloodScratch
+	work  workBuffers
+}
+
+// workBuffers holds the redistribution scratch recycled across events: the
+// candidate set and its sorted view, the growth heap's backing array, and
+// the affected-region set. At most one region is live at a time (each event
+// builds it, hands it to redistribute, and drops it), so a single map can
+// back every regionOf call.
+type workBuffers struct {
+	candidates map[channel.ConnID]bool
+	ids        []channel.ConnID
+	heapItems  []growItem
+	region     map[topology.DirLinkID]bool
 }
 
 // New builds a Manager over graph g.
@@ -384,7 +402,7 @@ func (m *Manager) discoverRoutes(src, dst topology.NodeID, spec qos.ElasticSpec)
 		allowance := func(l topology.LinkID, from topology.NodeID) float64 {
 			return float64(m.net.AdmissionHeadroom(m.g.DirID(l, from)))
 		}
-		return routing.BoundedFlood(m.g, src, dst, allowance, routing.FloodConfig{
+		return m.flood.BoundedFlood(m.g, src, dst, allowance, routing.FloodConfig{
 			HopBound:      m.cfg.HopBound,
 			MinBandwidth:  float64(spec.Min),
 			MaxCandidates: m.cfg.MaxCandidates,
@@ -515,18 +533,25 @@ func (m *Manager) chainedWith(route routing.Path) (direct, indirect []channel.Co
 }
 
 func setToSorted(s map[channel.ConnID]bool) []channel.ConnID {
-	out := make([]channel.ConnID, 0, len(s))
+	return sortedInto(make([]channel.ConnID, 0, len(s)), s)
+}
+
+// sortedInto appends the set's IDs to dst in ascending order and returns
+// it; hot paths pass a recycled slice to avoid per-event allocation.
+func sortedInto(dst []channel.ConnID, s map[channel.ConnID]bool) []channel.ConnID {
 	for id := range s {
-		out = append(out, id)
+		dst = append(dst, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	return dst
 }
 
 // regionOf returns the set of directed links touched by the given
-// connections' primary routes.
+// connections' primary routes. The returned map is the Manager's reusable
+// region buffer: it stays valid until the next regionOf call, which is
+// enough for every caller (build region → redistribute → drop).
 func (m *Manager) regionOf(ids []channel.ConnID) map[topology.DirLinkID]bool {
-	region := make(map[topology.DirLinkID]bool)
+	region := m.resetRegion()
 	for _, id := range ids {
 		c := m.conns[id]
 		if c == nil || !c.Alive() {
@@ -537,6 +562,15 @@ func (m *Manager) regionOf(ids []channel.ConnID) map[topology.DirLinkID]bool {
 		}
 	}
 	return region
+}
+
+// resetRegion clears and returns the reusable region buffer.
+func (m *Manager) resetRegion() map[topology.DirLinkID]bool {
+	if m.work.region == nil {
+		m.work.region = make(map[topology.DirLinkID]bool)
+	}
+	clear(m.work.region)
+	return m.work.region
 }
 
 // squeezeToMin retreats a connection to its minimum level.

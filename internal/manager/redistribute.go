@@ -56,18 +56,27 @@ func keyOf(c *channel.Conn) qos.GrowthCandidate {
 // route, released route, activated backup links); channels with no link in
 // the region were maximal before the event and stay maximal, so they are
 // never candidates.
+// The candidate set, its sorted view, and the heap's backing array are the
+// Manager's reusable work buffers: redistribute runs once per event with no
+// reentrancy, so recycling them is safe and keeps the per-event allocation
+// count flat.
 func (m *Manager) redistribute(region map[topology.DirLinkID]bool) {
 	if len(region) == 0 {
 		return
 	}
-	candidateIDs := make(map[channel.ConnID]bool)
+	if m.work.candidates == nil {
+		m.work.candidates = make(map[channel.ConnID]bool)
+	}
+	candidateIDs := m.work.candidates
+	clear(candidateIDs)
 	for d := range region {
 		m.net.ForEachPrimaryOn(d, func(id channel.ConnID) {
 			candidateIDs[id] = true
 		})
 	}
-	h := &growHeap{policy: m.cfg.Policy}
-	for _, id := range setToSorted(candidateIDs) {
+	m.work.ids = sortedInto(m.work.ids[:0], candidateIDs)
+	h := &growHeap{policy: m.cfg.Policy, items: m.work.heapItems[:0]}
+	for _, id := range m.work.ids {
 		c := m.conns[id]
 		if c == nil || !c.Alive() {
 			continue
@@ -77,6 +86,7 @@ func (m *Manager) redistribute(region map[topology.DirLinkID]bool) {
 		}
 	}
 	heap.Init(h)
+	defer func() { m.work.heapItems = h.items[:0] }()
 
 	for h.Len() > 0 {
 		it := heap.Pop(h).(growItem)

@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func square(_ context.Context, i int) (int, error) { return i * i, nil }
+
+func TestRunPointsOrderIndependentOfWorkers(t *testing.T) {
+	want := make([]int, 100)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, 64, 1000} {
+		got, err := RunPoints(context.Background(), len(want), workers, square)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results out of order: %v", workers, got)
+		}
+	}
+}
+
+func TestRunPointsZeroAndNegative(t *testing.T) {
+	got, err := RunPoints(context.Background(), 0, 4, square)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("n=0: got %v, %v", got, err)
+	}
+	if _, err := RunPoints(context.Background(), -1, 4, square); err == nil {
+		t.Fatal("n=-1: expected error")
+	}
+	if _, err := RunPoints[int](context.Background(), 3, 4, nil); err == nil {
+		t.Fatal("nil fn: expected error")
+	}
+}
+
+func TestRunPointsLowestIndexError(t *testing.T) {
+	// Several points fail; the reported error must be the lowest-indexed
+	// failing point regardless of scheduling.
+	fail := map[int]bool{7: true, 3: true, 9: true}
+	for _, workers := range []int{1, 2, 8} {
+		_, err := RunPoints(context.Background(), 12, workers, func(_ context.Context, i int) (int, error) {
+			if fail[i] {
+				return 0, fmt.Errorf("point %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		// Indices are claimed in ascending order and claimed points run to
+		// completion, so point 3 always executes (it is claimed before any
+		// later point can cancel the pool) and is the lowest-indexed
+		// failure for every worker count.
+		if err.Error() != "point 3 failed" {
+			t.Fatalf("workers=%d: want lowest-index error, got %q", workers, err)
+		}
+	}
+}
+
+func TestRunPointsCancelStopsClaiming(t *testing.T) {
+	var ran atomic.Int64
+	_, err := RunPoints(context.Background(), 1000, 2, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		time.Sleep(time.Millisecond) // bound the other worker's throughput
+		return i, nil
+	})
+	if err == nil || err.Error() != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("cancellation did not stop the pool: %d points ran", n)
+	}
+}
+
+func TestRunPointsParentContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunPoints(ctx, 5, 2, square); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := RunPoints(ctx, 5, 1, square); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunPointsPropagatesCancelToFn(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunPoints(ctx, 4, 4, func(ctx context.Context, i int) (int, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("pool hung for %v", elapsed)
+	}
+}
+
+func TestMap(t *testing.T) {
+	in := []string{"a", "bb", "ccc"}
+	got, err := Map(context.Background(), in, 2, func(_ context.Context, s string) (int, error) {
+		return len(s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}

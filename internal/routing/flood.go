@@ -39,6 +39,67 @@ type label struct {
 	link      topology.LinkID
 }
 
+// ref addresses one label during frontier expansion.
+type ref struct {
+	node topology.NodeID
+	idx  int
+}
+
+// FloodScratch holds the per-simulation working state of BoundedFlood so
+// that repeated establishments reuse one set of buffers instead of
+// reallocating label tables and frontiers on every request. A scratch is
+// NOT safe for concurrent use; give each goroutine (each simulation) its
+// own. The zero value is ready to use.
+//
+// Reuse is transparent: only the returned Candidate paths are freshly
+// allocated (callers retain them in connections), everything else is
+// recycled across calls, including across calls on different graphs.
+type FloodScratch struct {
+	labels   [][]label
+	touched  []topology.NodeID // nodes whose labels/best need resetting
+	best     []float64         // best allowance of any label at the node; -1 = none
+	frontier []ref
+	next     []ref
+	dstBest  map[topology.LinkID]float64 // per-entry-link best allowance at dst
+}
+
+// NewFloodScratch returns an empty scratch. Equivalent to new(FloodScratch).
+func NewFloodScratch() *FloodScratch { return &FloodScratch{} }
+
+// reset prepares the scratch for a graph with n nodes, clearing only the
+// state the previous call dirtied.
+func (s *FloodScratch) reset(n int) {
+	if len(s.labels) != n {
+		s.labels = make([][]label, n)
+		s.best = make([]float64, n)
+		for i := range s.best {
+			s.best[i] = -1
+		}
+		s.touched = s.touched[:0]
+	} else {
+		for _, node := range s.touched {
+			s.labels[node] = s.labels[node][:0]
+			s.best[node] = -1
+		}
+		s.touched = s.touched[:0]
+	}
+	s.frontier = s.frontier[:0]
+	s.next = s.next[:0]
+	if s.dstBest == nil {
+		s.dstBest = make(map[topology.LinkID]float64)
+	} else {
+		clear(s.dstBest)
+	}
+}
+
+// BoundedFlood emulates the paper's distributed route discovery with a
+// one-shot scratch; see FloodScratch.BoundedFlood for the reusable form the
+// hot paths use.
+func BoundedFlood(g *topology.Graph, src, dst topology.NodeID, allowance DirCost, cfg FloodConfig) ([]Candidate, error) {
+	var s FloodScratch
+	return s.BoundedFlood(g, src, dst, allowance, cfg)
+}
+
 // BoundedFlood emulates the paper's distributed route discovery: the request
 // floods outward from src within HopBound hops; each copy carries the
 // bottleneck of the residual bandwidths (allowance(link)) along its route;
@@ -50,7 +111,15 @@ type label struct {
 // the order request copies would plausibly arrive — the paper notes the
 // first arrival "is likely to have traversed the shortest path" and becomes
 // the primary route.
-func BoundedFlood(g *topology.Graph, src, dst topology.NodeID, allowance DirCost, cfg FloodConfig) ([]Candidate, error) {
+//
+// Dominance bookkeeping: copies are expanded in hop order, so every label
+// already recorded at a node has fewer-or-equal hops than an arriving copy;
+// the per-node check therefore reduces to comparing against the best
+// allowance seen at that node so far (best), an O(1) test instead of a scan
+// over all labels. The destination is special: it collects copies arriving
+// over different routes (§3.1, backup selection), so there a copy is only
+// discarded against earlier copies that entered via the same link (dstBest).
+func (s *FloodScratch) BoundedFlood(g *topology.Graph, src, dst topology.NodeID, allowance DirCost, cfg FloodConfig) ([]Candidate, error) {
 	if err := checkEndpoints(g, src, dst); err != nil {
 		return nil, err
 	}
@@ -60,35 +129,16 @@ func BoundedFlood(g *topology.Graph, src, dst topology.NodeID, allowance DirCost
 	if cfg.HopBound <= 0 {
 		return nil, fmt.Errorf("routing: non-positive hop bound %d", cfg.HopBound)
 	}
-	labels := make([][]label, g.NumNodes())
-	labels[src] = []label{{hops: 0, allowance: 1e300, prevNode: -1, prevLabel: -1, link: -1}}
+	s.reset(g.NumNodes())
+	labels := s.labels
+	labels[src] = append(labels[src], label{hops: 0, allowance: 1e300, prevNode: -1, prevLabel: -1, link: -1})
+	s.best[src] = 1e300
+	s.touched = append(s.touched, src)
+	s.frontier = append(s.frontier, ref{node: src, idx: 0})
 
-	type ref struct {
-		node topology.NodeID
-		idx  int
-	}
-	frontier := []ref{{node: src, idx: 0}}
-
-	// At intermediate nodes a copy is discarded when an earlier copy was at
-	// least as good (first arrival wins ties), which keeps the flood
-	// tractable. The destination is special: it collects copies arriving
-	// over different routes (§3.1, backup selection), so there a copy is
-	// only discarded against earlier copies that entered via the same link.
-	dominated := func(n topology.NodeID, hops int, alw float64, via topology.LinkID) bool {
-		for _, l := range labels[n] {
-			if n == dst && l.link != via {
-				continue
-			}
-			if l.hops <= hops && l.allowance >= alw {
-				return true
-			}
-		}
-		return false
-	}
-
-	for h := 0; h < cfg.HopBound && len(frontier) > 0; h++ {
-		var next []ref
-		for _, f := range frontier {
+	for h := 0; h < cfg.HopBound && len(s.frontier) > 0; h++ {
+		s.next = s.next[:0]
+		for _, f := range s.frontier {
 			cur := labels[f.node][f.idx]
 			if cur.hops != h {
 				continue
@@ -106,8 +156,19 @@ func BoundedFlood(g *topology.Graph, src, dst topology.NodeID, allowance DirCost
 				if res < alw {
 					alw = res
 				}
-				if dominated(peer, h+1, alw, link) {
-					return // an earlier copy had a better allowance (§3.1)
+				// Dominance (§3.1): an earlier copy with a
+				// greater-or-equal allowance wins (first arrival keeps
+				// ties); all earlier copies have fewer-or-equal hops.
+				if peer == dst {
+					if prev, ok := s.dstBest[link]; ok && prev >= alw {
+						return
+					}
+					s.dstBest[link] = alw
+				} else if s.best[peer] >= alw {
+					return
+				}
+				if len(labels[peer]) == 0 {
+					s.touched = append(s.touched, peer)
 				}
 				labels[peer] = append(labels[peer], label{
 					hops:      h + 1,
@@ -116,19 +177,21 @@ func BoundedFlood(g *topology.Graph, src, dst topology.NodeID, allowance DirCost
 					prevLabel: fIdx,
 					link:      link,
 				})
+				if alw > s.best[peer] {
+					s.best[peer] = alw
+				}
 				if peer != dst { // the destination does not forward
-					next = append(next, ref{node: peer, idx: len(labels[peer]) - 1})
+					s.next = append(s.next, ref{node: peer, idx: len(labels[peer]) - 1})
 				}
 			})
 		}
-		frontier = next
+		s.frontier, s.next = s.next, s.frontier
 	}
 
 	// Every surviving destination label is one arrived request copy.
-	var out []Candidate
+	out := make([]Candidate, 0, len(labels[dst]))
 	for i, l := range labels[dst] {
-		p := rebuildLabelPath(labels, dst, i)
-		out = append(out, Candidate{Path: p, Allowance: l.allowance})
+		out = append(out, Candidate{Path: rebuildLabelPath(labels, dst, i), Allowance: l.allowance})
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%w: flooding %d -> %d within %d hops at %v bandwidth",
@@ -146,28 +209,25 @@ func BoundedFlood(g *topology.Graph, src, dst topology.NodeID, allowance DirCost
 	return out, nil
 }
 
+// rebuildLabelPath materializes one destination label's route. The label's
+// hop count is the path length, so both slices are allocated at their exact
+// final size and filled back to front — no reversal pass, no intermediate
+// reversed copies.
 func rebuildLabelPath(labels [][]label, dst topology.NodeID, idx int) Path {
-	var revNodes []topology.NodeID
-	var revLinks []topology.LinkID
+	hops := labels[dst][idx].hops
+	p := Path{
+		Nodes: make([]topology.NodeID, hops+1),
+		Links: make([]topology.LinkID, hops),
+	}
 	node, i := dst, idx
-	for {
+	for k := hops; ; k-- {
 		l := labels[node][i]
-		revNodes = append(revNodes, node)
+		p.Nodes[k] = node
 		if l.prevNode < 0 {
 			break
 		}
-		revLinks = append(revLinks, l.link)
+		p.Links[k-1] = l.link
 		node, i = l.prevNode, l.prevLabel
-	}
-	p := Path{
-		Nodes: make([]topology.NodeID, 0, len(revNodes)),
-		Links: make([]topology.LinkID, 0, len(revLinks)),
-	}
-	for i := len(revNodes) - 1; i >= 0; i-- {
-		p.Nodes = append(p.Nodes, revNodes[i])
-	}
-	for i := len(revLinks) - 1; i >= 0; i-- {
-		p.Links = append(p.Links, revLinks[i])
 	}
 	return p
 }

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite with -benchmem and record the numbers
+# as BENCH_<date>.json, or compare two such recordings.
+#
+#   scripts/bench.sh                  full run -> BENCH_$(date +%F).json
+#   scripts/bench.sh --quick          1-iteration smoke run (CI), report to stdout only
+#   scripts/bench.sh --compare A B    diff two BENCH json files; exit 1 on
+#                                     any ns/op, B/op or allocs/op >10% worse
+#
+# Extra arguments after -- are passed to `go test`, e.g.:
+#
+#   scripts/bench.sh -- -bench 'BoundedFlood|Establish'
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--compare" ]]; then
+    shift
+    [[ $# -eq 2 ]] || { echo "usage: scripts/bench.sh --compare old.json new.json" >&2; exit 2; }
+    exec go run ./cmd/benchjson -compare "$1" "$2"
+fi
+
+benchtime=()
+out="BENCH_$(date +%F).json"
+if [[ "${1:-}" == "--quick" ]]; then
+    shift
+    benchtime=(-benchtime 1x)
+    out=""
+fi
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# -run '^$' skips the unit tests so only benchmarks execute; count=1
+# defeats test caching so every run measures.
+go test -run '^$' -bench . -benchmem -count 1 "${benchtime[@]}" "$@" ./... | tee "$raw"
+
+if [[ -n "$out" ]]; then
+    go run ./cmd/benchjson -host "$(uname -sm)" < "$raw" > "$out"
+    echo "wrote $out"
+else
+    # Quick mode still exercises the parser so CI catches format drift.
+    go run ./cmd/benchjson < "$raw" > /dev/null
+    echo "quick bench parsed ok"
+fi

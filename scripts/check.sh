@@ -8,6 +8,9 @@ echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
+# -timeout is per test binary: internal/experiments runs full quick-scale
+# reproductions (plus the worker-determinism replays) and needs more than
+# the default 10m under the race detector on small machines.
 echo "== go test -race ./..."
-go test -race ./...
+go test -race -timeout 45m ./...
 echo "== OK"
