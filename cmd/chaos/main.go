@@ -1,0 +1,78 @@
+// Command chaos soaks the DR-connection manager (and optionally the
+// concurrent admission server) with seeded fault-injection episodes,
+// auditing every invariant after every event. On the first failure it
+// shrinks the trace to a minimal reproducer, prints it as a replayable Go
+// literal, and exits 1 — paste the literal into a chaos.Replay regression
+// test. Run under -race for the server mode to matter:
+//
+//	go run -race ./cmd/chaos -episodes 60 -events 120 -seed 1
+//	go run -race ./cmd/chaos -server -episodes 10 -workers 8 -ops 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drqos/internal/chaos"
+)
+
+func main() {
+	var (
+		episodes = flag.Int("episodes", 20, "number of seeded episodes")
+		events   = flag.Int("events", 200, "events per manager episode")
+		seed     = flag.Uint64("seed", 1, "first seed; episode i uses seed+i")
+		nodes    = flag.Int("nodes", 24, "Waxman topology size")
+		srv      = flag.Bool("server", false, "drive server.Server concurrently instead of the bare manager")
+		workers  = flag.Int("workers", 8, "concurrent clients (with -server)")
+		ops      = flag.Int("ops", 100, "operations per client (with -server)")
+		quiet    = flag.Bool("q", false, "only report failures")
+	)
+	flag.Parse()
+
+	for i := 0; i < *episodes; i++ {
+		s := *seed + uint64(i)
+		if *srv {
+			// Odd episodes fire a mid-burst shutdown so workers race the
+			// closing command queue.
+			var after int64
+			if i%2 == 1 {
+				after = int64(*workers) * int64(*ops) / 2
+			}
+			err := chaos.RunServer(chaos.ServerConfig{
+				Seed: s, Nodes: *nodes, Workers: *workers, Ops: *ops, ShutdownAfter: after,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: server episode %d (seed %d): %v\n", i, s, err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Printf("server episode %d ok (seed %d, %d workers x %d ops, shutdown_after=%d)\n",
+					i, s, *workers, *ops, after)
+			}
+			continue
+		}
+		cfg := chaos.Config{Seed: s, Events: *events, Nodes: *nodes}
+		trace, fail, err := chaos.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: episode %d (seed %d): setup: %v\n", i, s, err)
+			os.Exit(1)
+		}
+		if fail != nil {
+			fmt.Fprintf(os.Stderr, "chaos: episode %d (seed %d) FAILED: %v\n", i, s, fail)
+			min, mf, serr := chaos.Shrink(cfg, trace)
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "chaos: shrink: %v\n", serr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "shrunk to %d event(s), still failing with: %v\n", len(min), mf.Err)
+			fmt.Fprintf(os.Stderr, "replay with chaos.Replay(chaos.Config{Seed: %d, Nodes: %d}, trace) where trace =\n%s\n",
+				s, *nodes, chaos.FormatTrace(min))
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Printf("episode %d ok (seed %d, %d events, final audit clean)\n", i, s, len(trace))
+		}
+	}
+	fmt.Printf("chaos: %d episode(s) clean\n", *episodes)
+}

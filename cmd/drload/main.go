@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sync"
@@ -138,8 +139,16 @@ func run() error {
 		cnt.established.Load(), cnt.rejected.Load(), cnt.terminated.Load(), cnt.gone.Load(),
 		cnt.failed.Load(), cnt.repaired.Load(), cnt.conflicts.Load(), cnt.errors.Load())
 	d := lat.d
-	fmt.Printf("latency: mean=%.2fms p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms (n=%d)\n",
-		d.Mean()*1e3, d.P50()*1e3, d.P90()*1e3, d.P99()*1e3, d.Max()*1e3, d.N())
+	// An empty digest reports NaN quantiles; render "n/a" instead of a
+	// bogus 0.00ms (Mean/Max return 0 when empty, equally misleading).
+	ms := func(seconds float64) string {
+		if d.N() == 0 || math.IsNaN(seconds) {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2fms", seconds*1e3)
+	}
+	fmt.Printf("latency: mean=%s p50=%s p90=%s p99=%s max=%s (n=%d)\n",
+		ms(d.Mean()), ms(d.P50()), ms(d.P90()), ms(d.P99()), ms(d.Max()), d.N())
 	for m := range msgs {
 		fmt.Printf("first errors: %s\n", m)
 	}

@@ -72,7 +72,12 @@ func run() error {
 		Policy:                    pol,
 		RequireBackup:             !*noBackup,
 		DisableBackupMultiplexing: *noMux,
-	}, server.Options{QueueDepth: *queue})
+	}, server.Options{
+		QueueDepth: *queue,
+		OnDegrade: func(reason string) {
+			log.Printf("DEGRADED: %s — refusing mutations, still serving reads; restart to recover", reason)
+		},
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,303 @@
+// Package chaos is a deterministic fault-injection harness for the
+// DR-connection manager and the admission server wrapping it.
+//
+// A seeded episode drives a random interleaving of Establish / Terminate /
+// FailLink / RepairLink events against a fresh manager.Manager and runs the
+// full invariant audit (Manager.CheckInvariants) after every single event,
+// so the exact event that corrupts the ledger is caught red-handed, not
+// thousands of events later. Identical configs replay identical episodes —
+// the trace is a list of concrete events, so a failure shrinks (Shrink) to
+// a minimal reproducer and prints (FormatTrace) as a Go literal ready to
+// paste into a regression test.
+//
+// RunServer drives the same op mix through server.Server from many client
+// goroutines, with an optional mid-burst Shutdown, to expose actor-loop
+// races under the race detector; see server.go.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"drqos/internal/channel"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/topology"
+)
+
+// Kind enumerates the event types a chaos trace can contain.
+type Kind int
+
+// The four manager events. Shutdown interleavings are exercised by
+// RunServer, not by manager traces (a single-threaded manager has no
+// shutdown).
+const (
+	KindEstablish Kind = iota
+	KindTerminate
+	KindFailLink
+	KindRepairLink
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEstablish:
+		return "establish"
+	case KindTerminate:
+		return "terminate"
+	case KindFailLink:
+		return "fail_link"
+	case KindRepairLink:
+		return "repair_link"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one replayable step of a chaos trace. Fields irrelevant to the
+// kind are zero. Events reference concrete IDs (not random draws), so a
+// recorded trace replays against a fresh manager without the generator.
+type Event struct {
+	Kind     Kind
+	Src, Dst int   // Establish endpoints
+	Conn     int64 // Terminate target
+	Link     int   // FailLink / RepairLink target
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case KindEstablish:
+		return fmt.Sprintf("establish %d->%d", e.Src, e.Dst)
+	case KindTerminate:
+		return fmt.Sprintf("terminate conn %d", e.Conn)
+	case KindFailLink:
+		return fmt.Sprintf("fail link %d", e.Link)
+	case KindRepairLink:
+		return fmt.Sprintf("repair link %d", e.Link)
+	default:
+		return e.Kind.String()
+	}
+}
+
+// Config seeds one episode. The zero value of every field selects a
+// sensible default, so Config{Seed: n} is a complete episode spec.
+type Config struct {
+	// Seed drives the event mix. Distinct seeds explore distinct
+	// interleavings.
+	Seed uint64
+	// Events is the episode length (default 200).
+	Events int
+	// Nodes is the Waxman topology size (default 24).
+	Nodes int
+	// TopoSeed seeds topology generation (default: derived from Seed, so
+	// different episodes also explore different graphs).
+	TopoSeed uint64
+	// Manager configures admission; a zero Capacity selects 10_000 Kbps.
+	// Low capacity relative to the spec is deliberate: contention is what
+	// exercises squeeze/redistribute/failover.
+	Manager manager.Config
+	// Spec is the elastic QoS of every generated connection (default
+	// qos.DefaultSpec, the paper's 100..500 Kb/s, Δ=50).
+	Spec qos.ElasticSpec
+	// Hook, when non-nil, runs after every applied event with the live
+	// manager. Fault-injection tests use it to deliberately corrupt state
+	// and prove the audit, the degraded mode, and the shrinker catch it.
+	Hook func(ev Event, m *manager.Manager)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Events <= 0 {
+		c.Events = 200
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 24
+	}
+	if c.TopoSeed == 0 {
+		c.TopoSeed = c.Seed + 0x9e3779b97f4a7c15
+	}
+	if c.Manager.Capacity <= 0 {
+		c.Manager.Capacity = 10_000
+	}
+	if c.Spec == (qos.ElasticSpec{}) {
+		c.Spec = qos.DefaultSpec()
+	}
+	return c
+}
+
+// Failure describes an episode that broke an invariant (or returned an
+// unexpected event error).
+type Failure struct {
+	// Index is the position of the failing event within Trace.
+	Index int
+	// Trace is the event sequence up to and including the failing event;
+	// replaying it under the same Config reproduces Err.
+	Trace []Event
+	// Err is the audit failure or event error.
+	Err error
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("chaos: event %d (%s): %v", f.Index, f.Trace[f.Index], f.Err)
+}
+
+// Unwrap exposes the underlying violation to errors.Is / errors.As.
+func (f *Failure) Unwrap() error { return f.Err }
+
+// runner executes events against one manager instance.
+type runner struct {
+	cfg Config
+	m   *manager.Manager
+}
+
+func newRunner(cfg Config) (*runner, error) {
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: cfg.Nodes, Alpha: 0.33, Beta: 0.25, EnsureConnected: true,
+	}, rng.New(cfg.TopoSeed))
+	if err != nil {
+		return nil, fmt.Errorf("chaos: topology: %w", err)
+	}
+	m, err := manager.New(g, cfg.Manager)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: manager: %w", err)
+	}
+	return &runner{cfg: cfg, m: m}, nil
+}
+
+// apply runs one event. Usage errors — admission rejections, unknown
+// connections, double faults — are expected parts of a random interleaving
+// (and of a shrunk trace, where the establishing event may have been
+// deleted) and are swallowed; anything else, in particular an
+// InvariantViolation, is returned.
+func (r *runner) apply(ev Event) error {
+	switch ev.Kind {
+	case KindEstablish:
+		_, err := r.m.Establish(topology.NodeID(ev.Src), topology.NodeID(ev.Dst), r.cfg.Spec)
+		if err != nil && !errors.Is(err, manager.ErrRejected) {
+			return err
+		}
+	case KindTerminate:
+		c := r.m.Conn(channel.ConnID(ev.Conn))
+		if c == nil || !c.Alive() {
+			return nil
+		}
+		if _, err := r.m.Terminate(channel.ConnID(ev.Conn)); err != nil {
+			return err
+		}
+	case KindFailLink:
+		if ev.Link < 0 || ev.Link >= r.m.Graph().NumLinks() || r.m.Network().Failed(topology.LinkID(ev.Link)) {
+			return nil
+		}
+		if _, err := r.m.FailLink(topology.LinkID(ev.Link)); err != nil {
+			return err
+		}
+	case KindRepairLink:
+		if ev.Link < 0 || ev.Link >= r.m.Graph().NumLinks() || !r.m.Network().Failed(topology.LinkID(ev.Link)) {
+			return nil
+		}
+		if _, err := r.m.RepairLink(topology.LinkID(ev.Link)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("chaos: unknown event kind %d", int(ev.Kind))
+	}
+	return nil
+}
+
+// step applies one event, runs the hook, and audits the full ledger.
+func (r *runner) step(ev Event) error {
+	if err := r.apply(ev); err != nil {
+		return err
+	}
+	if r.cfg.Hook != nil {
+		r.cfg.Hook(ev, r.m)
+	}
+	return r.m.CheckInvariants()
+}
+
+// nextEvent draws one event from the configured mix: mostly arrivals and
+// terminations, with a steady trickle of link faults and repairs so the
+// failover and reprotection paths stay hot.
+func (r *runner) nextEvent(src *rng.Source) Event {
+	nodes := r.m.Graph().NumNodes()
+	links := r.m.Graph().NumLinks()
+	draw := src.Float64()
+	switch {
+	case draw < 0.30 && r.m.AliveCount() > 0:
+		id := r.m.AliveIDAt(src.Intn(r.m.AliveCount()))
+		return Event{Kind: KindTerminate, Conn: int64(id)}
+	case draw >= 0.88 && draw < 0.96:
+		if l, ok := r.randomLink(src, links, false); ok {
+			return Event{Kind: KindFailLink, Link: l}
+		}
+	case draw >= 0.96:
+		if l, ok := r.randomLink(src, links, true); ok {
+			return Event{Kind: KindRepairLink, Link: l}
+		}
+	}
+	a := src.Intn(nodes)
+	b := src.Intn(nodes - 1)
+	if b >= a {
+		b++
+	}
+	return Event{Kind: KindEstablish, Src: a, Dst: b}
+}
+
+// randomLink draws a uniformly random link in the wanted failure state.
+func (r *runner) randomLink(src *rng.Source, links int, failed bool) (int, bool) {
+	var pool []int
+	for l := 0; l < links; l++ {
+		if r.m.Network().Failed(topology.LinkID(l)) == failed {
+			pool = append(pool, l)
+		}
+	}
+	if len(pool) == 0 {
+		return 0, false
+	}
+	return pool[src.Intn(len(pool))], true
+}
+
+// Run generates and executes one seeded episode, auditing after every
+// event. It returns the full generated trace; fail is non-nil when an event
+// or audit broke an invariant (shrink it with Shrink). A non-nil err
+// reports setup problems only (bad topology or manager config).
+func Run(cfg Config) (trace []Event, fail *Failure, err error) {
+	cfg = cfg.withDefaults()
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := rng.New(cfg.Seed)
+	for i := 0; i < cfg.Events; i++ {
+		ev := r.nextEvent(src)
+		trace = append(trace, ev)
+		if err := r.step(ev); err != nil {
+			return trace, &Failure{
+				Index: len(trace) - 1,
+				Trace: append([]Event(nil), trace...),
+				Err:   err,
+			}, nil
+		}
+	}
+	return trace, nil, nil
+}
+
+// Replay applies a recorded trace against a fresh manager built from cfg,
+// auditing after every event exactly like Run. It returns nil when the
+// trace completes cleanly; the error reports setup problems only.
+func Replay(cfg Config, trace []Event) (*Failure, error) {
+	cfg = cfg.withDefaults()
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, ev := range trace {
+		if err := r.step(ev); err != nil {
+			return &Failure{
+				Index: i,
+				Trace: append([]Event(nil), trace[:i+1]...),
+				Err:   err,
+			}, nil
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drqos/internal/channel"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/server"
+	"drqos/internal/topology"
+)
+
+// ServerConfig seeds one concurrent episode against server.Server. Zero
+// fields select defaults, mirroring Config.
+type ServerConfig struct {
+	Seed     uint64
+	Nodes    int    // Waxman topology size (default 24)
+	TopoSeed uint64 // default: derived from Seed
+	Manager  manager.Config
+	Spec     qos.ElasticSpec
+
+	// Workers is the number of concurrent client goroutines (default 8).
+	Workers int
+	// Ops is the number of operations each worker attempts (default 100).
+	Ops int
+	// QueueDepth is the server's command-queue depth (default 16 — shallow
+	// on purpose, so enqueue contention and submit-time cancellation paths
+	// are actually exercised).
+	QueueDepth int
+	// ShutdownAfter, when > 0, fires server.Shutdown from a controller
+	// goroutine once that many operations have completed across all
+	// workers — mid-burst, so workers race the closing queue.
+	ShutdownAfter int64
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 24
+	}
+	if c.TopoSeed == 0 {
+		c.TopoSeed = c.Seed + 0x9e3779b97f4a7c15
+	}
+	if c.Manager.Capacity <= 0 {
+		c.Manager.Capacity = 10_000
+	}
+	if c.Spec == (qos.ElasticSpec{}) {
+		c.Spec = qos.DefaultSpec()
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Ops <= 0 {
+		c.Ops = 100
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	return c
+}
+
+// RunServer drives a concurrent op mix (establish / terminate / fail /
+// repair / snapshot / audit) against a fresh server.Server from
+// cfg.Workers goroutines. Expected coordination errors — rejections,
+// not-found, conflicts, and ErrServerClosed once the mid-burst Shutdown
+// fires — are tolerated; anything else (in particular ErrDegraded: no
+// fault is injected, so the server must never degrade) fails the episode.
+// A final audit runs after the burst unless the server was shut down.
+//
+// Unlike Run, concurrent interleavings are scheduler-dependent, so traces
+// are not replayable; this half of the harness exists for the race
+// detector and the shutdown/degraded state machines, while Run/Replay/
+// Shrink own deterministic ledger auditing.
+func RunServer(cfg ServerConfig) error {
+	cfg = cfg.withDefaults()
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: cfg.Nodes, Alpha: 0.33, Beta: 0.25, EnsureConnected: true,
+	}, rng.New(cfg.TopoSeed))
+	if err != nil {
+		return fmt.Errorf("chaos: topology: %w", err)
+	}
+	srv, err := server.New(g, cfg.Manager, server.Options{QueueDepth: cfg.QueueDepth})
+	if err != nil {
+		return fmt.Errorf("chaos: server: %w", err)
+	}
+	shutdownStarted := make(chan struct{})
+	var closeOnce sync.Once
+	shutdown := func() {
+		closeOnce.Do(func() { close(shutdownStarted) })
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	// Always drain the loop on exit so no goroutine leaks into the caller.
+	defer shutdown()
+
+	var (
+		done    atomic.Int64
+		firstMu sync.Mutex
+		first   error
+	)
+	report := func(err error) {
+		firstMu.Lock()
+		if first == nil {
+			first = err
+		}
+		firstMu.Unlock()
+	}
+	tolerable := func(err error) bool {
+		return err == nil ||
+			errors.Is(err, manager.ErrRejected) ||
+			errors.Is(err, server.ErrNotFound) ||
+			errors.Is(err, server.ErrConflict) ||
+			errors.Is(err, server.ErrServerClosed) ||
+			errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, context.Canceled)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(cfg.Seed ^ (uint64(w)+1)*0xbf58476d1ce4e5b9)
+			var mine []channel.ConnID // connections this worker admitted
+			ctx := context.Background()
+			for op := 0; op < cfg.Ops; op++ {
+				var err error
+				switch draw := src.Float64(); {
+				case draw < 0.45:
+					var rep *manager.ArrivalReport
+					a := src.Intn(cfg.Nodes)
+					b := src.Intn(cfg.Nodes - 1)
+					if b >= a {
+						b++
+					}
+					rep, err = srv.Establish(ctx, topology.NodeID(a), topology.NodeID(b), cfg.Spec)
+					if err == nil {
+						mine = append(mine, rep.Conn.ID)
+					}
+				case draw < 0.70 && len(mine) > 0:
+					i := src.Intn(len(mine))
+					_, err = srv.Terminate(ctx, mine[i])
+					mine[i] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+				case draw < 0.80:
+					_, err = srv.FailLink(ctx, topology.LinkID(src.Intn(g.NumLinks())))
+				case draw < 0.88:
+					_, err = srv.RepairLink(ctx, topology.LinkID(src.Intn(g.NumLinks())))
+				case draw < 0.95:
+					_, err = srv.Snapshot(ctx)
+				default:
+					err = srv.CheckInvariants(ctx)
+				}
+				if !tolerable(err) {
+					report(fmt.Errorf("chaos: worker %d op %d: %w", w, op, err))
+					return
+				}
+				done.Add(1)
+				if errors.Is(err, server.ErrServerClosed) {
+					return
+				}
+			}
+		}(w)
+	}
+
+	if cfg.ShutdownAfter > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for done.Load() < cfg.ShutdownAfter {
+				time.Sleep(time.Millisecond)
+			}
+			shutdown()
+		}()
+	}
+	wg.Wait()
+
+	if first != nil {
+		return first
+	}
+	// Post-burst audit, unless Shutdown already closed the loop.
+	select {
+	case <-shutdownStarted:
+	default:
+		if err := srv.CheckInvariants(context.Background()); err != nil {
+			return fmt.Errorf("chaos: final audit: %w", err)
+		}
+		if deg, reason := srv.Degraded(); deg {
+			return fmt.Errorf("chaos: server degraded without injected fault: %s", reason)
+		}
+	}
+	return nil
+}

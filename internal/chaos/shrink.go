@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shrink reduces a failing trace to a locally-minimal reproducer using
+// ddmin-style chunk halving: repeatedly delete windows of events and keep
+// any deletion after which Replay still fails. The oracle is "Replay
+// reports a failure" — not "the same failure" — so the shrunk trace may
+// surface an earlier manifestation of the same corruption, which is
+// exactly what a reproducer wants. Because apply swallows usage errors,
+// deleting an event another event depends on (say, the establish before a
+// terminate) degrades that later event to a no-op instead of aborting the
+// replay, which is what lets the window deletion be so aggressive.
+//
+// Shrink returns the minimized trace and the failure it reproduces. If the
+// input trace does not fail on replay (flaky setup, wrong config), it
+// returns (nil, nil, error).
+func Shrink(cfg Config, trace []Event) ([]Event, *Failure, error) {
+	fail, err := Replay(cfg, trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fail == nil {
+		return nil, nil, fmt.Errorf("chaos: trace does not fail on replay; nothing to shrink")
+	}
+	// The failure index bounds the relevant prefix: events after it were
+	// never executed.
+	cur := append([]Event(nil), trace[:fail.Index+1]...)
+
+	for chunk := (len(cur) + 1) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Event, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if len(cand) == 0 {
+				start += chunk
+				continue
+			}
+			f, err := Replay(cfg, cand)
+			if err != nil {
+				return nil, nil, err
+			}
+			if f != nil {
+				// Deletion kept the failure: adopt the candidate and retry
+				// the same window position (new events slid into it).
+				cur = cand
+				fail = f
+				continue
+			}
+			start += chunk
+		}
+	}
+	return cur, fail, nil
+}
+
+// FormatTrace renders a trace as a Go composite literal, ready to paste
+// into a regression test and feed back through Replay.
+func FormatTrace(trace []Event) string {
+	var b strings.Builder
+	b.WriteString("[]chaos.Event{\n")
+	for _, ev := range trace {
+		b.WriteString("\t{Kind: ")
+		switch ev.Kind {
+		case KindEstablish:
+			fmt.Fprintf(&b, "chaos.KindEstablish, Src: %d, Dst: %d", ev.Src, ev.Dst)
+		case KindTerminate:
+			fmt.Fprintf(&b, "chaos.KindTerminate, Conn: %d", ev.Conn)
+		case KindFailLink:
+			fmt.Fprintf(&b, "chaos.KindFailLink, Link: %d", ev.Link)
+		case KindRepairLink:
+			fmt.Fprintf(&b, "chaos.KindRepairLink, Link: %d", ev.Link)
+		default:
+			fmt.Fprintf(&b, "chaos.Kind(%d)", int(ev.Kind))
+		}
+		b.WriteString("},\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -12,7 +12,8 @@ import (
 // links with it may grow into the freed capacity (§3.1: "the primary
 // channels that have shared links with this terminating connection can now
 // reserve more resources").
-func (m *Manager) Terminate(id channel.ConnID) (*TerminationReport, error) {
+func (m *Manager) Terminate(id channel.ConnID) (rep *TerminationReport, err error) {
+	defer tagViolation(&err, "terminate")
 	c := m.conns[id]
 	if c == nil || !c.Alive() {
 		return nil, fmt.Errorf("manager: terminate unknown or dead conn %d", id)
@@ -25,20 +26,24 @@ func (m *Manager) Terminate(id channel.ConnID) (*TerminationReport, error) {
 		region[d] = true
 	}
 	if err := m.net.ReleasePrimary(id, c.Primary); err != nil {
-		return nil, fmt.Errorf("manager: terminate conn %d: %w", id, err)
+		return nil, wrapViolation(err, "release primary of conn %d", id)
 	}
 	if c.HasBackup {
 		if err := m.net.ReleaseBackup(id, c.Backup); err != nil {
-			return nil, fmt.Errorf("manager: terminate backup of conn %d: %w", id, err)
+			return nil, wrapViolation(err, "release backup of conn %d", id)
 		}
 	}
-	m.trackRemove(c)
-	if err := c.Close(); err != nil {
+	if err := m.trackRemove(c); err != nil {
 		return nil, err
+	}
+	if err := c.Close(); err != nil {
+		return nil, wrapViolation(err, "close conn %d", id)
 	}
 	delete(m.conns, id)
 
-	m.redistribute(region)
+	if err := m.redistribute(region); err != nil {
+		return nil, err
+	}
 	return &TerminationReport{
 		Affected: affected,
 		Changes:  m.levelChanges(before),
@@ -65,7 +70,8 @@ func (m *Manager) sharersOf(c *channel.Conn) []channel.ConnID {
 // redistributed. Connections without a usable backup are dropped.
 // Connections whose BACKUP traversed l lose protection and try to
 // re-establish a backup elsewhere.
-func (m *Manager) FailLink(l topology.LinkID) (*FailureReport, error) {
+func (m *Manager) FailLink(l topology.LinkID) (rep *FailureReport, err error) {
+	defer tagViolation(&err, "fail_link")
 	if int(l) < 0 || int(l) >= m.g.NumLinks() {
 		return nil, fmt.Errorf("manager: no such link %d", l)
 	}
@@ -131,7 +137,9 @@ func (m *Manager) FailLink(l topology.LinkID) (*FailureReport, error) {
 		for _, id := range m.net.PrimariesOn(bd) {
 			if !victimSet[id] && !squeezedSet[id] {
 				squeezedSet[id] = true
-				m.squeezeToMin(id)
+				if err := m.squeezeToMin(id); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -143,16 +151,18 @@ func (m *Manager) FailLink(l topology.LinkID) (*FailureReport, error) {
 			region[pd] = true
 		}
 		if err := m.net.ReleasePrimary(v.ID, v.Primary); err != nil {
-			return nil, fmt.Errorf("manager: release failed primary of conn %d: %w", v.ID, err)
+			return nil, wrapViolation(err, "release failed primary of conn %d", v.ID)
 		}
 		usable := v.HasBackup && !v.BackupUsesLink(l)
 		if usable {
 			if err := m.net.ActivateBackup(v.ID, v.Backup); err == nil {
 				oldLevel := v.Level
 				if err := v.FailOver(); err != nil {
+					return nil, wrapViolation(err, "fail over conn %d", v.ID)
+				}
+				if err := m.trackLevel(v, oldLevel, 0); err != nil {
 					return nil, err
 				}
-				m.trackLevel(v, oldLevel, 0)
 				m.unprotected++ // the activated backup IS the primary now
 				report.Activated = append(report.Activated, v.ID)
 				continue
@@ -160,24 +170,28 @@ func (m *Manager) FailLink(l topology.LinkID) (*FailureReport, error) {
 			// Even after the squeeze the backup's minimum does not fit
 			// (e.g. overlapping earlier failures): the connection drops.
 			if err := m.net.ReleaseBackup(v.ID, v.Backup); err != nil {
-				return nil, fmt.Errorf("manager: release unusable backup of conn %d: %w", v.ID, err)
+				return nil, wrapViolation(err, "release unusable backup of conn %d", v.ID)
 			}
 			if err := v.DetachBackup(); err != nil {
-				return nil, err
+				return nil, wrapViolation(err, "detach unusable backup of conn %d", v.ID)
 			}
 			m.unprotected++
 		} else if v.HasBackup {
 			// The backup crosses the failed link too.
 			if err := m.net.ReleaseBackup(v.ID, v.Backup); err != nil {
-				return nil, fmt.Errorf("manager: release dead backup of conn %d: %w", v.ID, err)
+				return nil, wrapViolation(err, "release dead backup of conn %d", v.ID)
 			}
 			if err := v.DetachBackup(); err != nil {
-				return nil, err
+				return nil, wrapViolation(err, "detach dead backup of conn %d", v.ID)
 			}
 			m.unprotected++
 		}
 		if m.cfg.ReactiveRecovery {
-			if m.tryReestablish(v) {
+			recovered, err := m.tryReestablish(v)
+			if err != nil {
+				return nil, err
+			}
+			if recovered {
 				for _, pd := range v.Primary.DirLinks(m.g) {
 					region[pd] = true
 				}
@@ -185,9 +199,11 @@ func (m *Manager) FailLink(l topology.LinkID) (*FailureReport, error) {
 				continue
 			}
 		}
-		m.trackRemove(v)
-		if err := v.Drop(); err != nil {
+		if err := m.trackRemove(v); err != nil {
 			return nil, err
+		}
+		if err := v.Drop(); err != nil {
+			return nil, wrapViolation(err, "drop conn %d", v.ID)
 		}
 		delete(m.conns, v.ID)
 		report.Dropped = append(report.Dropped, v.ID)
@@ -197,28 +213,34 @@ func (m *Manager) FailLink(l topology.LinkID) (*FailureReport, error) {
 	// and try to protect them again elsewhere.
 	for _, c := range backupLost {
 		if err := m.net.ReleaseBackup(c.ID, c.Backup); err != nil {
-			return nil, fmt.Errorf("manager: release lost backup of conn %d: %w", c.ID, err)
+			return nil, wrapViolation(err, "release lost backup of conn %d", c.ID)
 		}
 		if err := c.DetachBackup(); err != nil {
-			return nil, err
+			return nil, wrapViolation(err, "detach lost backup of conn %d", c.ID)
 		}
 		m.unprotected++
 		report.BackupsLost = append(report.BackupsLost, c.ID)
-		m.tryReprotect(c)
+		if _, err := m.tryReprotect(c); err != nil {
+			return nil, err
+		}
 	}
 
 	// Freshly failed-over connections run unprotected; try to establish a
 	// replacement backup for them.
 	for _, id := range report.Activated {
 		if c := m.conns[id]; c != nil {
-			m.tryReprotect(c)
+			if _, err := m.tryReprotect(c); err != nil {
+				return nil, err
+			}
 		}
 	}
 
 	for bd := range activationLinks {
 		region[bd] = true
 	}
-	m.redistribute(region)
+	if err := m.redistribute(region); err != nil {
+		return nil, err
+	}
 
 	report.Changes = m.levelChanges(before)
 	return report, nil
@@ -229,7 +251,8 @@ func (m *Manager) FailLink(l topology.LinkID) (*FailureReport, error) {
 // were re-established. Connections do not fail back: the activated backup
 // remains their primary route (the paper's scheme restores protection, not
 // placement).
-func (m *Manager) RepairLink(l topology.LinkID) (int, error) {
+func (m *Manager) RepairLink(l topology.LinkID) (restored int, err error) {
+	defer tagViolation(&err, "repair_link")
 	if int(l) < 0 || int(l) >= m.g.NumLinks() {
 		return 0, fmt.Errorf("manager: no such link %d", l)
 	}
@@ -237,13 +260,16 @@ func (m *Manager) RepairLink(l topology.LinkID) (int, error) {
 		return 0, fmt.Errorf("manager: link %d is not failed", l)
 	}
 	m.net.SetFailed(l, false)
-	restored := 0
 	for _, id := range m.AliveIDs() {
 		c := m.conns[id]
 		if c.HasBackup {
 			continue
 		}
-		if m.tryReprotect(c) {
+		ok, err := m.tryReprotect(c)
+		if err != nil {
+			return restored, err
+		}
+		if ok {
 			restored++
 		}
 	}
@@ -254,56 +280,63 @@ func (m *Manager) RepairLink(l topology.LinkID) (int, error) {
 // scratch (reactive-recovery mode): discover an admissible route avoiding
 // failed links, reserve the minimum, and continue the same connection on
 // the new route at its minimum level. The caller has already released the
-// old primary. Returns true on success.
-func (m *Manager) tryReestablish(c *channel.Conn) bool {
+// old primary. The bool reports success; the error reports corruption.
+func (m *Manager) tryReestablish(c *channel.Conn) (bool, error) {
 	cands, err := m.discoverRoutes(c.Src, c.Dst, c.Spec)
 	if err != nil {
-		return false
+		return false, nil
 	}
 	newPrimary := cands[0].Path
 	if err := m.net.ReservePrimary(c.ID, newPrimary, c.Spec.Min); err != nil {
 		// The headroom seen by discovery may be borrowed as grants;
 		// squeeze the route's primaries to their minima and retry once.
+		var sqErr error
 		for _, d := range newPrimary.DirLinks(m.g) {
 			m.net.ForEachPrimaryOn(d, func(id channel.ConnID) {
-				if id != c.ID {
-					m.squeezeToMin(id)
+				if sqErr == nil && id != c.ID {
+					sqErr = m.squeezeToMin(id)
 				}
 			})
 		}
+		if sqErr != nil {
+			return false, sqErr
+		}
 		if err := m.net.ReservePrimary(c.ID, newPrimary, c.Spec.Min); err != nil {
-			return false
+			return false, nil
 		}
 	}
 	oldLevel := c.Level
 	c.Primary = newPrimary
-	m.trackLevel(c, oldLevel, 0)
+	if err := m.trackLevel(c, oldLevel, 0); err != nil {
+		return false, err
+	}
 	c.Level = 0
-	return true
+	return true, nil
 }
 
 // tryReprotect attempts to establish a backup for an unprotected
-// connection. Best-effort: returns true on success.
-func (m *Manager) tryReprotect(c *channel.Conn) bool {
+// connection. Best-effort: the bool reports success; the error reports
+// corruption.
+func (m *Manager) tryReprotect(c *channel.Conn) (bool, error) {
 	if c.HasBackup || !c.Alive() || m.cfg.ReactiveRecovery {
-		return false
+		return false, nil
 	}
 	filter := func(l topology.LinkID) bool { return !m.net.Failed(l) }
 	p, shared, err := routing.BackupRoute(m.g, c.Primary, filter)
 	if err != nil {
-		return false
+		return false, nil
 	}
 	if err := m.net.ReserveBackup(c.ID, p, c.Primary.Links, c.Spec.Min); err != nil {
-		return false
+		return false, nil
 	}
 	if err := c.AttachBackup(p, shared); err != nil {
-		panic(fmt.Sprintf("manager: attach reprotect backup for conn %d: %v", c.ID, err))
+		return false, wrapViolation(err, "attach reprotect backup for conn %d", c.ID)
 	}
 	m.unprotected--
 	if m.unprotected < 0 {
-		panic("manager: negative unprotected count")
+		return false, violationf("negative unprotected count")
 	}
-	return true
+	return true, nil
 }
 
 // Unprotected returns the IDs of alive connections lacking a backup.

@@ -197,50 +197,59 @@ func New(g *topology.Graph, cfg Config) (*Manager, error) {
 
 // trackAdd registers a newly alive connection in the aggregates. IDs are
 // assigned in increasing order, so appending keeps the alive list sorted.
-func (m *Manager) trackAdd(c *channel.Conn) {
+func (m *Manager) trackAdd(c *channel.Conn) error {
 	m.alive = append(m.alive, c.ID)
 	m.bwSum += c.Bandwidth()
-	m.bumpHist(c.Level, +1)
+	if err := m.bumpHist(c.Level, +1); err != nil {
+		return err
+	}
 	if !c.HasBackup {
 		m.unprotected++
 	}
+	return nil
 }
 
 // trackRemove deregisters a dying connection (terminated or dropped).
-func (m *Manager) trackRemove(c *channel.Conn) {
+func (m *Manager) trackRemove(c *channel.Conn) error {
 	i := sort.Search(len(m.alive), func(i int) bool { return m.alive[i] >= c.ID })
 	if i >= len(m.alive) || m.alive[i] != c.ID {
-		panic(fmt.Sprintf("manager: conn %d missing from alive list", c.ID))
+		return violationf("conn %d missing from alive list", c.ID)
 	}
 	m.alive = append(m.alive[:i], m.alive[i+1:]...)
 	m.bwSum -= c.Bandwidth()
-	m.bumpHist(c.Level, -1)
+	if err := m.bumpHist(c.Level, -1); err != nil {
+		return err
+	}
 	if !c.HasBackup {
 		m.unprotected--
 		if m.unprotected < 0 {
-			panic("manager: negative unprotected count")
+			return violationf("negative unprotected count")
 		}
 	}
+	return nil
 }
 
 // trackLevel moves a connection between levels in the aggregates.
-func (m *Manager) trackLevel(c *channel.Conn, oldLevel, newLevel int) {
+func (m *Manager) trackLevel(c *channel.Conn, oldLevel, newLevel int) error {
 	if oldLevel == newLevel {
-		return
+		return nil
 	}
 	m.bwSum += c.Spec.Bandwidth(newLevel) - c.Spec.Bandwidth(oldLevel)
-	m.bumpHist(oldLevel, -1)
-	m.bumpHist(newLevel, +1)
+	if err := m.bumpHist(oldLevel, -1); err != nil {
+		return err
+	}
+	return m.bumpHist(newLevel, +1)
 }
 
-func (m *Manager) bumpHist(level, delta int) {
+func (m *Manager) bumpHist(level, delta int) error {
 	for len(m.levelHist) <= level {
 		m.levelHist = append(m.levelHist, 0)
 	}
 	m.levelHist[level] += delta
 	if m.levelHist[level] < 0 {
-		panic(fmt.Sprintf("manager: negative level histogram at %d", level))
+		return violationf("negative level histogram at %d", level)
 	}
+	return nil
 }
 
 // LevelHistogram copies the per-level alive-connection counts into dst
@@ -298,7 +307,8 @@ func (m *Manager) AverageBandwidth() float64 {
 // primary at its minimum (squeezing directly chained channels to their
 // minima), establish a (maximally) link-disjoint multiplexed backup, then
 // redistribute extras by utility.
-func (m *Manager) Establish(src, dst topology.NodeID, spec qos.ElasticSpec) (*ArrivalReport, error) {
+func (m *Manager) Establish(src, dst topology.NodeID, spec qos.ElasticSpec) (rep *ArrivalReport, err error) {
+	defer tagViolation(&err, "establish")
 	m.requests++
 	if err := spec.Validate(); err != nil {
 		m.rejects++
@@ -325,8 +335,10 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec qos.ElasticSpec) (*Ar
 	// Squeeze every directly chained channel to its minimum (§3.2: "all
 	// the existing primary channels that share at least one link with the
 	// new channel should release their extra resources").
-	for _, id := range direct {
-		m.squeezeToMin(id)
+	for _, did := range direct {
+		if err := m.squeezeToMin(did); err != nil {
+			return nil, err
+		}
 	}
 
 	id := m.nextID
@@ -335,7 +347,9 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec qos.ElasticSpec) (*Ar
 		// Squeezing freed every elastic byte; a capacity error now means
 		// the route genuinely cannot host the minimum. Re-grow what we
 		// squeezed and reject.
-		m.redistribute(m.regionOf(direct))
+		if rerr := m.redistribute(m.regionOf(direct)); rerr != nil {
+			return nil, rerr
+		}
 		m.rejects++
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
@@ -352,7 +366,7 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec qos.ElasticSpec) (*Ar
 	if berr == nil {
 		if err := m.net.ReserveBackup(id, backup, primary.Links, spec.Min); err == nil {
 			if err := conn.AttachBackup(backup, shared); err != nil {
-				return nil, fmt.Errorf("manager: attach backup: %w", err)
+				return nil, wrapViolation(err, "attach backup for conn %d", id)
 			}
 		} else {
 			berr = err
@@ -360,23 +374,29 @@ func (m *Manager) Establish(src, dst topology.NodeID, spec qos.ElasticSpec) (*Ar
 	}
 	if berr != nil && m.cfg.RequireBackup {
 		if err := m.net.ReleasePrimary(id, primary); err != nil {
-			return nil, fmt.Errorf("manager: rollback primary: %w", err)
+			return nil, wrapViolation(err, "rollback primary of conn %d", id)
 		}
-		m.redistribute(m.regionOf(direct))
+		if rerr := m.redistribute(m.regionOf(direct)); rerr != nil {
+			return nil, rerr
+		}
 		m.rejects++
 		return nil, fmt.Errorf("%w: no backup channel: %v", ErrRejected, berr)
 	}
 
 	m.conns[id] = conn
 	m.nextID++
-	m.trackAdd(conn)
+	if err := m.trackAdd(conn); err != nil {
+		return nil, err
+	}
 
 	// Redistribute the released extras plus whatever headroom remains.
 	region := m.regionOf(direct)
 	for _, d := range primary.DirLinks(m.g) {
 		region[d] = true
 	}
-	m.redistribute(region)
+	if err := m.redistribute(region); err != nil {
+		return nil, err
+	}
 
 	changes := m.levelChanges(before)
 	// The new connection's own growth from its minimum is part of the
@@ -574,18 +594,21 @@ func (m *Manager) resetRegion() map[topology.DirLinkID]bool {
 }
 
 // squeezeToMin retreats a connection to its minimum level.
-func (m *Manager) squeezeToMin(id channel.ConnID) {
+func (m *Manager) squeezeToMin(id channel.ConnID) error {
 	c := m.conns[id]
 	if c == nil || !c.Alive() || c.Level == 0 {
-		return
+		return nil
 	}
 	if err := m.net.AdjustPrimary(id, c.Primary, c.Spec.Min); err != nil {
 		// Shrinking to the registered minimum can never fail; a failure
 		// here means ledger corruption.
-		panic(fmt.Sprintf("manager: squeeze of conn %d failed: %v", id, err))
+		return wrapViolation(err, "squeeze of conn %d failed", id)
 	}
-	m.trackLevel(c, c.Level, 0)
+	if err := m.trackLevel(c, c.Level, 0); err != nil {
+		return err
+	}
 	c.Level = 0
+	return nil
 }
 
 // levelSnapshot records the current level of the alive connections in the
@@ -627,10 +650,14 @@ func (m *Manager) levelChanges(before map[channel.ConnID]int) []LevelChange {
 
 // CheckInvariants verifies the ledger and the manager-level consistency
 // rules: every alive connection's grant on every primary link equals its
-// level bandwidth, and dead connections hold no reservations.
-func (m *Manager) CheckInvariants() error {
+// level bandwidth, and dead connections hold no reservations. A failure is
+// reported as an *InvariantViolation with Op "audit", so the server's
+// degraded-mode detection treats discovered corruption exactly like
+// corruption surfaced mid-event.
+func (m *Manager) CheckInvariants() (err error) {
+	defer tagViolation(&err, "audit")
 	if err := m.net.CheckInvariants(); err != nil {
-		return err
+		return wrapViolation(err, "network ledger audit")
 	}
 	for id, c := range m.conns {
 		if !c.Alive() {
@@ -639,12 +666,12 @@ func (m *Manager) CheckInvariants() error {
 		want := c.Bandwidth()
 		for _, d := range c.Primary.DirLinks(m.g) {
 			if got := m.net.Grant(d, id); got != want {
-				return fmt.Errorf("manager: conn %d grant on directed link %d is %v, level says %v",
+				return violationf("conn %d grant on directed link %d is %v, level says %v",
 					id, d, got, want)
 			}
 		}
 		if c.Level < 0 || c.Level >= c.Spec.States() {
-			return fmt.Errorf("manager: conn %d level %d outside [0,%d)", id, c.Level, c.Spec.States())
+			return violationf("conn %d level %d outside [0,%d)", id, c.Level, c.Spec.States())
 		}
 	}
 	// Aggregates agree with first-principles recomputation.
@@ -660,11 +687,11 @@ func (m *Manager) CheckInvariants() error {
 		if c.Level < len(hist) {
 			hist[c.Level]++
 		} else {
-			return fmt.Errorf("manager: level %d beyond histogram", c.Level)
+			return violationf("level %d beyond histogram", c.Level)
 		}
 	}
 	if aliveCount != len(m.alive) {
-		return fmt.Errorf("manager: alive list has %d entries, actual %d", len(m.alive), aliveCount)
+		return violationf("alive list has %d entries, actual %d", len(m.alive), aliveCount)
 	}
 	unprotected := 0
 	for _, c := range m.conns {
@@ -673,19 +700,19 @@ func (m *Manager) CheckInvariants() error {
 		}
 	}
 	if unprotected != m.unprotected {
-		return fmt.Errorf("manager: cached unprotected %d, actual %d", m.unprotected, unprotected)
+		return violationf("cached unprotected %d, actual %d", m.unprotected, unprotected)
 	}
 	if bwSum != m.bwSum {
-		return fmt.Errorf("manager: cached bwSum %v, actual %v", m.bwSum, bwSum)
+		return violationf("cached bwSum %v, actual %v", m.bwSum, bwSum)
 	}
 	for i := range hist {
 		if hist[i] != m.levelHist[i] {
-			return fmt.Errorf("manager: levelHist[%d] cached %d, actual %d", i, m.levelHist[i], hist[i])
+			return violationf("levelHist[%d] cached %d, actual %d", i, m.levelHist[i], hist[i])
 		}
 	}
 	for i := 1; i < len(m.alive); i++ {
 		if m.alive[i-1] >= m.alive[i] {
-			return fmt.Errorf("manager: alive list not sorted at %d", i)
+			return violationf("alive list not sorted at %d", i)
 		}
 	}
 	return nil

@@ -2,7 +2,6 @@ package manager
 
 import (
 	"container/heap"
-	"fmt"
 
 	"drqos/internal/channel"
 	"drqos/internal/qos"
@@ -60,9 +59,9 @@ func keyOf(c *channel.Conn) qos.GrowthCandidate {
 // Manager's reusable work buffers: redistribute runs once per event with no
 // reentrancy, so recycling them is safe and keeps the per-event allocation
 // count flat.
-func (m *Manager) redistribute(region map[topology.DirLinkID]bool) {
+func (m *Manager) redistribute(region map[topology.DirLinkID]bool) error {
 	if len(region) == 0 {
-		return
+		return nil
 	}
 	if m.work.candidates == nil {
 		m.work.candidates = make(map[channel.ConnID]bool)
@@ -102,14 +101,17 @@ func (m *Manager) redistribute(region map[topology.DirLinkID]bool) {
 		newBW := c.Spec.Bandwidth(c.Level + 1)
 		if err := m.net.AdjustPrimary(c.ID, c.Primary, newBW); err != nil {
 			// canGrow verified room on every link; failure is corruption.
-			panic(fmt.Sprintf("manager: redistribute grow conn %d: %v", c.ID, err))
+			return wrapViolation(err, "redistribute grow conn %d", c.ID)
 		}
-		m.trackLevel(c, c.Level, c.Level+1)
+		if err := m.trackLevel(c, c.Level, c.Level+1); err != nil {
+			return err
+		}
 		c.Level++
 		if c.Level < c.Spec.States()-1 {
 			heap.Push(h, growItem{conn: c, key: keyOf(c)})
 		}
 	}
+	return nil
 }
 
 // canGrow reports whether every directed link of c's primary has room for

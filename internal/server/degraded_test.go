@@ -1,0 +1,302 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/server"
+	"drqos/internal/topology"
+)
+
+// TestSubmitPreCancelledContext is the regression test for the admission
+// race: when the queue has space AND the context is already dead, both
+// cases of submit's select are ready and Go picks uniformly at random —
+// so without an explicit up-front ctx.Err() check, a cancelled caller
+// would enqueue its command about half the time. The command must never
+// run.
+func TestSubmitPreCancelledContext(t *testing.T) {
+	s := newTestServer(t, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var ran atomic.Int64
+	// Many attempts: before the fix this enqueued with probability ~1/2
+	// per attempt, so 200 tries fail with probability ~1 - 2^-200.
+	for i := 0; i < 200; i++ {
+		err := s.Submit(ctx, func(*manager.Manager) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("submit with dead context: %v, want context.Canceled", err)
+		}
+	}
+	// Drain the loop so any sneaked-in command would have executed.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d commands ran despite pre-cancelled context", n)
+	}
+	if n := s.Processed(); n != 0 {
+		t.Fatalf("loop processed %d commands, want 0", n)
+	}
+}
+
+// TestShutdownRacesMixedSubmits fires Shutdown mid-burst while workers
+// issue the full mutating + read op mix, and checks the exactly-once
+// contract: afterwards the loop's processed count equals the number of
+// calls that got real answers.
+func TestShutdownRacesMixedSubmits(t *testing.T) {
+	s := newTestServer(t, 8)
+	nodes := s.Graph().NumNodes()
+	links := s.Graph().NumLinks()
+	spec := qos.DefaultSpec()
+
+	var answered atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(9000 + w))
+			ctx := context.Background()
+			for {
+				var err error
+				switch draw := src.Float64(); {
+				case draw < 0.50:
+					a, b := src.Intn(nodes), src.Intn(nodes)
+					if a == b {
+						b = (b + 1) % nodes
+					}
+					_, err = s.Establish(ctx, topology.NodeID(a), topology.NodeID(b), spec)
+					if errors.Is(err, manager.ErrRejected) {
+						err = nil
+					}
+				case draw < 0.65:
+					_, err = s.FailLink(ctx, topology.LinkID(src.Intn(links)))
+					if errors.Is(err, server.ErrConflict) {
+						err = nil
+					}
+				case draw < 0.80:
+					_, err = s.RepairLink(ctx, topology.LinkID(src.Intn(links)))
+					if errors.Is(err, server.ErrConflict) {
+						err = nil
+					}
+				case draw < 0.95:
+					_, err = s.Snapshot(ctx)
+				default:
+					err = s.CheckInvariants(ctx)
+				}
+				if errors.Is(err, server.ErrServerClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				answered.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(15 * time.Millisecond)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	wg.Wait()
+
+	if answered.Load() == 0 {
+		t.Fatal("no commands answered before shutdown; test proves nothing")
+	}
+	if got := s.Processed(); got != answered.Load() {
+		t.Errorf("loop processed %d, callers got %d answers (dropped or double-applied)", got, answered.Load())
+	}
+}
+
+// TestShutdownDrainExpiredContext wedges the loop and calls Shutdown with
+// an already-expired context: the call must give up with the context's
+// error but still close admission; once the wedge lifts, a second
+// Shutdown observes the completed drain and every accepted command ran.
+func TestShutdownDrainExpiredContext(t *testing.T) {
+	s := newTestServer(t, 4)
+	release := make(chan struct{})
+	var ran atomic.Int64
+	if err := s.Submit(context.Background(), func(*manager.Manager) {
+		<-release
+		ran.Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Submit(context.Background(), func(*manager.Manager) { ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Shutdown(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("shutdown with expired context: %v, want context.Canceled", err)
+	}
+	// Admission is closed even though the drain wait was abandoned.
+	if err := s.Submit(context.Background(), func(*manager.Manager) {}); !errors.Is(err, server.ErrServerClosed) {
+		t.Fatalf("submit after abandoned shutdown: %v, want ErrServerClosed", err)
+	}
+
+	close(release)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+	if n := ran.Load(); n != 2 {
+		t.Fatalf("%d accepted commands ran, want 2 (accepted work must survive an abandoned drain wait)", n)
+	}
+}
+
+func newDegradedTestServer(t *testing.T, onDegrade func(string)) *server.Server {
+	t.Helper()
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: 40, Alpha: 0.33, Beta: 0.25, EnsureConnected: true,
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(g, manager.Config{Capacity: 10000}, server.Options{
+		QueueDepth: 64, OnDegrade: onDegrade,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// corrupt plants an aggregate-ledger corruption through the command loop,
+// so the next audit must fail.
+func corrupt(t *testing.T, s *server.Server) {
+	t.Helper()
+	if err := s.Submit(context.Background(), func(m *manager.Manager) {
+		m.CorruptAggregatesForTesting()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegradedMode forces an invariant violation and checks the failure
+// contract end to end: the server flips degraded exactly once, refuses
+// every mutation with ErrDegraded, and keeps answering reads.
+func TestDegradedMode(t *testing.T) {
+	var degradeCalls atomic.Int64
+	s := newDegradedTestServer(t, func(reason string) {
+		degradeCalls.Add(1)
+		if reason == "" {
+			t.Error("OnDegrade fired with empty reason")
+		}
+	})
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+	spec := qos.DefaultSpec()
+
+	// Healthy first: a connection goes in, audit is clean.
+	rep, err := s.Establish(ctx, 0, 5, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(ctx); err != nil {
+		t.Fatalf("clean audit: %v", err)
+	}
+	if deg, _ := s.Degraded(); deg {
+		t.Fatal("degraded before any violation")
+	}
+
+	corrupt(t, s)
+	// The audit discovers the corruption and that discovery itself flips
+	// the server.
+	if err := s.CheckInvariants(ctx); !manager.IsInvariantViolation(err) {
+		t.Fatalf("audit after corruption: %v, want InvariantViolation", err)
+	}
+	deg, reason := s.Degraded()
+	if !deg || reason == "" {
+		t.Fatalf("Degraded() = %v, %q after dirty audit", deg, reason)
+	}
+	if n := s.InvariantViolations(); n < 1 {
+		t.Fatalf("InvariantViolations() = %d, want >= 1", n)
+	}
+
+	// All four mutations are refused.
+	if _, err := s.Establish(ctx, 1, 2, spec); !errors.Is(err, server.ErrDegraded) {
+		t.Errorf("establish while degraded: %v, want ErrDegraded", err)
+	}
+	if _, err := s.Terminate(ctx, rep.Conn.ID); !errors.Is(err, server.ErrDegraded) {
+		t.Errorf("terminate while degraded: %v, want ErrDegraded", err)
+	}
+	if _, err := s.FailLink(ctx, 0); !errors.Is(err, server.ErrDegraded) {
+		t.Errorf("fail link while degraded: %v, want ErrDegraded", err)
+	}
+	if _, err := s.RepairLink(ctx, 0); !errors.Is(err, server.ErrDegraded) {
+		t.Errorf("repair link while degraded: %v, want ErrDegraded", err)
+	}
+
+	// Reads stay up and reflect the failure.
+	st, err := s.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("snapshot while degraded: %v", err)
+	}
+	if !st.Degraded || st.DegradedReason == "" || st.InvariantViolations < 1 {
+		t.Errorf("snapshot degraded fields: %+v", st)
+	}
+	if st.Alive != 1 {
+		t.Errorf("snapshot alive = %d while degraded, want 1 (reads must still work)", st.Alive)
+	}
+
+	// Repeated dirty audits bump the counter but fire OnDegrade only once.
+	_ = s.CheckInvariants(ctx)
+	if n := degradeCalls.Load(); n != 1 {
+		t.Errorf("OnDegrade fired %d times, want exactly 1", n)
+	}
+}
+
+// TestDegradedHTTP checks the HTTP surface of degraded mode: mutations
+// answer 503, /v1/invariants and /v1/stats report the state, /metrics
+// exposes the gauge and counter.
+func TestDegradedHTTP(t *testing.T) {
+	s := newDegradedTestServer(t, nil)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(server.NewHandler(s))
+	defer ts.Close()
+	c := ts.Client()
+
+	corrupt(t, s)
+	code, raw := doJSON(t, c, "GET", ts.URL+"/v1/invariants", nil, nil)
+	if code != http.StatusInternalServerError || !strings.Contains(raw, `"degraded": true`) {
+		t.Fatalf("invariants after corruption: %d %s", code, raw)
+	}
+
+	code, raw = doJSON(t, c, "POST", ts.URL+"/v1/connections", server.EstablishRequest{Src: 0, Dst: 5}, nil)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("establish while degraded: %d (%s), want 503", code, raw)
+	}
+
+	var st server.Stats
+	code, raw = doJSON(t, c, "GET", ts.URL+"/v1/stats", nil, &st)
+	if code != http.StatusOK || !st.Degraded || st.DegradedReason == "" {
+		t.Errorf("stats while degraded: %d %s", code, raw)
+	}
+
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	mb, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{"drqos_degraded 1", "drqos_invariant_violations_total"} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("metrics missing %q in:\n%s", want, mb)
+		}
+	}
+}

@@ -178,15 +178,22 @@ func NewHandler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /v1/invariants", func(w http.ResponseWriter, r *http.Request) {
-		if err := s.CheckInvariants(r.Context()); err != nil {
+		err := s.CheckInvariants(r.Context())
+		degraded, reason := s.Degraded()
+		if err != nil {
 			if errors.Is(err, ErrServerClosed) {
 				writeError(w, err)
 				return
 			}
-			writeJSON(w, http.StatusInternalServerError, map[string]any{"ok": false, "error": err.Error()})
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"ok": false, "error": err.Error(),
+				"degraded": degraded, "degraded_reason": reason,
+			})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+		// Degraded is sticky: a clean audit now does not un-corrupt the
+		// event that tripped it, so the flag is reported either way.
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "degraded": degraded, "degraded_reason": reason})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Snapshot(r.Context())
@@ -230,6 +237,8 @@ func writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrConflict):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDegraded):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrServerClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	default:

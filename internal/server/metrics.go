@@ -21,9 +21,15 @@ func writeMetrics(w io.Writer, st Stats) {
 	gauge("drqos_reject_rate", "Cumulative fraction of establish requests rejected.", st.RejectRate)
 	gauge("drqos_links_failed", "Currently failed links.", len(st.FailedLinks))
 	gauge("drqos_command_queue_depth", "Commands buffered in the actor queue.", st.QueueDepth)
+	degraded := 0
+	if st.Degraded {
+		degraded = 1
+	}
+	gauge("drqos_degraded", "1 when the service refuses mutations after an invariant violation.", degraded)
 
 	counter("drqos_establish_requests_total", "Establish requests offered to admission control.", st.Requests)
 	counter("drqos_establish_rejects_total", "Establish requests rejected.", st.Rejects)
+	counter("drqos_invariant_violations_total", "Manager invariant violations detected mid-event or by audit.", st.InvariantViolations)
 
 	fmt.Fprintf(w, "# HELP drqos_connections_level Alive DR-connections per bandwidth level.\n# TYPE drqos_connections_level gauge\n")
 	for lvl, n := range st.LevelHistogram {

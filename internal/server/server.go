@@ -19,6 +19,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +31,13 @@ import (
 
 // ErrServerClosed reports that the command loop no longer accepts commands.
 var ErrServerClosed = errors.New("server: closed")
+
+// ErrDegraded reports that the service detected a manager invariant
+// violation and now refuses mutating commands (Establish / Terminate /
+// FailLink / RepairLink). Reads — Snapshot, CheckInvariants, the HTTP GET
+// endpoints — keep working, so operators can inspect the corrupted state:
+// the daemon degrades instead of dying. Mapped to HTTP 503.
+var ErrDegraded = errors.New("server: degraded after invariant violation, mutations refused")
 
 // ErrNotFound reports an operation against an unknown connection or link.
 var ErrNotFound = errors.New("server: not found")
@@ -43,6 +51,10 @@ type Options struct {
 	// QueueDepth is the command-channel buffer (default 256). A deeper
 	// queue absorbs burstier arrivals at the cost of tail latency.
 	QueueDepth int
+	// OnDegrade, when non-nil, is called exactly once — from the command
+	// loop goroutine — when the first invariant violation flips the server
+	// into degraded mode. Daemons use it to log the event.
+	OnDegrade func(reason string)
 }
 
 // Server owns a manager.Manager behind a single-goroutine command loop.
@@ -55,6 +67,16 @@ type Server struct {
 
 	cmds     chan func(*manager.Manager)
 	loopDone chan struct{}
+
+	// Degraded mode: set by the loop goroutine on the first detected
+	// invariant violation, read by anyone. The reason is written under
+	// degradedMu strictly before the flag flips, so any reader that
+	// observes degraded==true sees a populated reason.
+	degraded            atomic.Bool
+	degradedMu          sync.Mutex
+	degradedReason      string
+	invariantViolations atomic.Int64
+	onDegrade           func(string)
 
 	// Counters, written by the loop goroutine, read by anyone.
 	processed   atomic.Int64
@@ -76,9 +98,10 @@ func New(g *topology.Graph, cfg manager.Config, opt Options) (*Server, error) {
 		depth = 256
 	}
 	s := &Server{
-		graph:    g,
-		cmds:     make(chan func(*manager.Manager), depth),
-		loopDone: make(chan struct{}),
+		graph:     g,
+		cmds:      make(chan func(*manager.Manager), depth),
+		loopDone:  make(chan struct{}),
+		onDegrade: opt.OnDegrade,
 	}
 	go s.loop(mgr)
 	return s, nil
@@ -102,10 +125,59 @@ func (s *Server) QueueDepth() int { return len(s.cmds) }
 // Processed returns the number of commands the loop has executed.
 func (s *Server) Processed() int64 { return s.processed.Load() }
 
+// Degraded reports whether the service is refusing mutations after an
+// invariant violation, and the first violation's description.
+func (s *Server) Degraded() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return true, s.degradedReason
+}
+
+// InvariantViolations returns how many invariant violations the loop has
+// detected (mid-event or by audit).
+func (s *Server) InvariantViolations() int64 { return s.invariantViolations.Load() }
+
+// noteViolation inspects an event handler's error for an invariant
+// violation and, on the first one, flips the server into degraded mode.
+// Only the loop goroutine calls it.
+func (s *Server) noteViolation(err error) {
+	var iv *manager.InvariantViolation
+	if err == nil || !errors.As(err, &iv) {
+		return
+	}
+	s.invariantViolations.Add(1)
+	s.degradedMu.Lock()
+	if s.degradedReason == "" {
+		s.degradedReason = iv.Error()
+	}
+	s.degradedMu.Unlock()
+	if s.degraded.CompareAndSwap(false, true) && s.onDegrade != nil {
+		s.onDegrade(iv.Error())
+	}
+}
+
+// refuseIfDegraded is the guard every mutating command runs first: once the
+// manager's state is untrusted, no further event may touch it.
+func (s *Server) refuseIfDegraded() error {
+	if ok, reason := s.Degraded(); ok {
+		return fmt.Errorf("%w: %s", ErrDegraded, reason)
+	}
+	return nil
+}
+
 // submit enqueues fn for the loop. It returns ErrServerClosed after
 // Shutdown began, or ctx's error if the queue stays full past the caller's
 // deadline. A nil return means fn will run exactly once.
 func (s *Server) submit(ctx context.Context, fn func(*manager.Manager)) error {
+	// A dead context must never mutate the manager: when both cases of the
+	// select below are ready, Go picks uniformly at random, so an already-
+	// cancelled caller could still enqueue. Check cancellation first.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -155,7 +227,12 @@ func (s *Server) Establish(ctx context.Context, src, dst topology.NodeID, spec q
 	ch := make(chan out, 1)
 	if err := s.submit(ctx, func(m *manager.Manager) {
 		s.establishes.Add(1)
+		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{nil, err}
+			return
+		}
 		rep, err := m.Establish(src, dst, spec)
+		s.noteViolation(err)
 		ch <- out{rep, err}
 	}); err != nil {
 		return nil, err
@@ -173,11 +250,16 @@ func (s *Server) Terminate(ctx context.Context, id channel.ConnID) (*manager.Ter
 	ch := make(chan out, 1)
 	if err := s.submit(ctx, func(m *manager.Manager) {
 		s.terminates.Add(1)
+		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{nil, err}
+			return
+		}
 		if c := m.Conn(id); c == nil || !c.Alive() {
 			ch <- out{nil, ErrNotFound}
 			return
 		}
 		rep, err := m.Terminate(id)
+		s.noteViolation(err)
 		ch <- out{rep, err}
 	}); err != nil {
 		return nil, err
@@ -195,6 +277,10 @@ func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.Fail
 	ch := make(chan out, 1)
 	if err := s.submit(ctx, func(m *manager.Manager) {
 		s.failures.Add(1)
+		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{nil, err}
+			return
+		}
 		if int(l) < 0 || int(l) >= m.Graph().NumLinks() {
 			ch <- out{nil, ErrNotFound}
 			return
@@ -204,6 +290,7 @@ func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.Fail
 			return
 		}
 		rep, err := m.FailLink(l)
+		s.noteViolation(err)
 		ch <- out{rep, err}
 	}); err != nil {
 		return nil, err
@@ -222,6 +309,10 @@ func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error)
 	ch := make(chan out, 1)
 	if err := s.submit(ctx, func(m *manager.Manager) {
 		s.repairs.Add(1)
+		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{0, err}
+			return
+		}
 		if int(l) < 0 || int(l) >= m.Graph().NumLinks() {
 			ch <- out{0, ErrNotFound}
 			return
@@ -231,6 +322,7 @@ func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error)
 			return
 		}
 		restored, err := m.RepairLink(l)
+		s.noteViolation(err)
 		ch <- out{restored, err}
 	}); err != nil {
 		return 0, err
@@ -240,10 +332,15 @@ func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error)
 }
 
 // CheckInvariants runs the manager's full consistency audit in the loop.
+// It stays available in degraded mode (it is a read), and a dirty audit
+// itself flips the server to degraded: discovering corruption is as
+// disqualifying as causing it.
 func (s *Server) CheckInvariants(ctx context.Context) error {
 	ch := make(chan error, 1)
 	if err := s.submit(ctx, func(m *manager.Manager) {
-		ch <- m.CheckInvariants()
+		err := m.CheckInvariants()
+		s.noteViolation(err)
+		ch <- err
 	}); err != nil {
 		return err
 	}

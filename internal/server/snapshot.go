@@ -31,6 +31,12 @@ type Stats struct {
 	// Fault state.
 	FailedLinks []int `json:"failed_links"`
 
+	// Degraded mode: set after the first detected invariant violation;
+	// mutating commands answer 503 until the operator restarts the daemon.
+	Degraded            bool   `json:"degraded"`
+	DegradedReason      string `json:"degraded_reason,omitempty"`
+	InvariantViolations int64  `json:"invariant_violations"`
+
 	// Command-loop counters (cumulative) and instantaneous queue depth.
 	Commands   CommandStats `json:"commands"`
 	QueueDepth int          `json:"queue_depth"`
@@ -70,6 +76,8 @@ func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
 				st.FailedLinks = append(st.FailedLinks, l)
 			}
 		}
+		st.Degraded, st.DegradedReason = s.Degraded()
+		st.InvariantViolations = s.invariantViolations.Load()
 		st.Commands = CommandStats{
 			Processed:   s.processed.Load(),
 			Establishes: s.establishes.Load(),

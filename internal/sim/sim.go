@@ -202,8 +202,10 @@ func (s *Sim) randomPair() (topology.NodeID, topology.NodeID) {
 }
 
 // arrive issues one DR-connection request and feeds the estimator when
-// measurement is active.
-func (s *Sim) arrive() {
+// measurement is active. A non-rejection failure — in particular a
+// manager.InvariantViolation — aborts the run instead of panicking, so the
+// caller can report the trajectory that broke the ledger.
+func (s *Sim) arrive() error {
 	s.counts.Offered++
 	alivePrior := s.mgr.AliveCount()
 	src, dst := s.randomPair()
@@ -211,44 +213,49 @@ func (s *Sim) arrive() {
 	if err != nil {
 		if errors.Is(err, manager.ErrRejected) {
 			s.counts.Rejected++
-			s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "reject", Src: src, Dst: dst}))
-			return
+			return s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "reject", Src: src, Dst: dst}))
 		}
 		// Establish only returns ErrRejected or spec errors; the spec was
 		// validated, so anything else is a bug worth surfacing loudly.
-		panic(fmt.Sprintf("sim: establish failed unexpectedly: %v", err))
+		return fmt.Errorf("sim: establish failed unexpectedly: %w", err)
 	}
 	s.counts.Established++
-	s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "arrival", Conn: rep.Conn.ID, Src: src, Dst: dst}))
+	if err := s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "arrival", Conn: rep.Conn.ID, Src: src, Dst: dst})); err != nil {
+		return err
+	}
 	if s.measuring {
 		s.measAccepted++
 		s.birthCounts[rep.Conn.Level]++
 		s.est.ObserveArrival(s.mgr, rep, alivePrior)
 	}
+	return nil
 }
 
 // terminateRandom terminates a uniformly random alive connection.
-func (s *Sim) terminateRandom() {
+func (s *Sim) terminateRandom() error {
 	n := s.mgr.AliveCount()
 	if n == 0 {
-		return
+		return nil
 	}
 	id := s.mgr.AliveIDAt(s.src.Intn(n))
 	rep, err := s.mgr.Terminate(id)
 	if err != nil {
-		panic(fmt.Sprintf("sim: terminate %d: %v", id, err))
+		return fmt.Errorf("sim: terminate %d: %w", id, err)
 	}
 	s.counts.Terminated++
-	s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "termination", Conn: id}))
+	if err := s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "termination", Conn: id})); err != nil {
+		return err
+	}
 	if s.measuring {
 		s.measTerminated++
 		s.est.ObserveTermination(s.mgr, rep)
 	}
+	return nil
 }
 
 // failRandomLink fails a uniformly random healthy link and schedules its
 // repair.
-func (s *Sim) failRandomLink() {
+func (s *Sim) failRandomLink() error {
 	healthy := make([]topology.LinkID, 0, s.g.NumLinks())
 	for i := 0; i < s.g.NumLinks(); i++ {
 		if !s.failedLinks[topology.LinkID(i)] {
@@ -256,22 +263,24 @@ func (s *Sim) failRandomLink() {
 		}
 	}
 	if len(healthy) == 0 {
-		return
+		return nil
 	}
 	l := healthy[s.src.Intn(len(healthy))]
 	alivePrior := s.mgr.AliveCount()
 	rep, err := s.mgr.FailLink(l)
 	if err != nil {
-		panic(fmt.Sprintf("sim: fail link %d: %v", l, err))
+		return fmt.Errorf("sim: fail link %d: %w", l, err)
 	}
 	s.failedLinks[l] = true
 	s.counts.Failures++
 	s.counts.Dropped += int64(len(rep.Dropped))
 	s.counts.Recovered += int64(len(rep.Recovered))
-	s.trc.emit(s.traceSnapshot(TraceEvent{
+	if err := s.trc.emit(s.traceSnapshot(TraceEvent{
 		Kind: "failure", Link: l,
 		Activated: len(rep.Activated), Dropped: len(rep.Dropped),
-	}))
+	})); err != nil {
+		return err
+	}
 	if s.measuring {
 		s.measFailures++
 		s.est.ObserveFailure(s.mgr, rep, alivePrior)
@@ -279,19 +288,20 @@ func (s *Sim) failRandomLink() {
 	if s.cfg.RepairRate > 0 {
 		s.q.push(s.clock+s.src.Exp(s.cfg.RepairRate), evRepair, int(l))
 	}
+	return nil
 }
 
 // repairLink repairs a previously failed link.
-func (s *Sim) repairLink(l topology.LinkID) {
+func (s *Sim) repairLink(l topology.LinkID) error {
 	if !s.failedLinks[l] {
-		return
+		return nil
 	}
 	if _, err := s.mgr.RepairLink(l); err != nil {
-		panic(fmt.Sprintf("sim: repair link %d: %v", l, err))
+		return fmt.Errorf("sim: repair link %d: %w", l, err)
 	}
 	delete(s.failedLinks, l)
 	s.counts.Repairs++
-	s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "repair", Link: l}))
+	return s.trc.emit(s.traceSnapshot(TraceEvent{Kind: "repair", Link: l}))
 }
 
 // sample records the instantaneous average bandwidth and state occupancy
@@ -327,7 +337,9 @@ func (s *Sim) Run() (*Result, error) {
 	// not advance; the paper measures steady state, not the loading
 	// transient).
 	for i := 0; i < s.cfg.InitialConns; i++ {
-		s.arrive()
+		if err := s.arrive(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Churn phase: three Poisson streams. Each processed event draws the
@@ -348,19 +360,27 @@ func (s *Sim) Run() (*Result, error) {
 		s.clock = ev.at
 		switch ev.kind {
 		case evArrival:
-			s.arrive()
+			if err := s.arrive(); err != nil {
+				return nil, err
+			}
 			s.q.push(s.clock+s.src.Exp(s.cfg.Lambda), evArrival, -1)
 			processed++
 		case evTermination:
-			s.terminateRandom()
+			if err := s.terminateRandom(); err != nil {
+				return nil, err
+			}
 			s.q.push(s.clock+s.src.Exp(s.cfg.Mu), evTermination, -1)
 			processed++
 		case evFailure:
-			s.failRandomLink()
+			if err := s.failRandomLink(); err != nil {
+				return nil, err
+			}
 			s.q.push(s.clock+s.src.Exp(s.cfg.Gamma), evFailure, -1)
 			processed++
 		case evRepair:
-			s.repairLink(topology.LinkID(ev.link))
+			if err := s.repairLink(topology.LinkID(ev.link)); err != nil {
+				return nil, err
+			}
 			// Repairs do not count toward the churn budget: they are a
 			// consequence, not offered load.
 		}

@@ -33,9 +33,12 @@ type TraceEvent struct {
 	AvgBandwidth float64 `json:"avg_bw"`
 }
 
-// tracer serializes events to a writer; a nil tracer is a no-op.
+// tracer serializes events to a writer; a nil tracer is a no-op. The first
+// write failure is sticky: it aborts the run through the event loop instead
+// of panicking or silently dropping observability.
 type tracer struct {
 	enc *json.Encoder
+	err error
 }
 
 func newTracer(w io.Writer) *tracer {
@@ -45,15 +48,17 @@ func newTracer(w io.Writer) *tracer {
 	return &tracer{enc: json.NewEncoder(w)}
 }
 
-func (t *tracer) emit(ev TraceEvent) {
+func (t *tracer) emit(ev TraceEvent) error {
 	if t == nil {
-		return
+		return nil
+	}
+	if t.err != nil {
+		return t.err
 	}
 	if err := t.enc.Encode(ev); err != nil {
-		// A broken trace sink must not corrupt the simulation; surface
-		// loudly instead of silently dropping observability.
-		panic(fmt.Sprintf("sim: trace write failed: %v", err))
+		t.err = fmt.Errorf("sim: trace write failed: %w", err)
 	}
+	return t.err
 }
 
 // snapshot fills the population fields.

@@ -108,11 +108,13 @@ func (e *P2Quantile) linear(i int, d float64) float64 {
 }
 
 // Value returns the current quantile estimate. With fewer than five samples
-// it is exact (nearest-rank on the retained samples); with none it is 0.
+// it is exact (nearest-rank on the retained samples); with none it is NaN —
+// "no data" must not be mistakable for a measured zero-latency quantile, as
+// 0 is a legitimate estimate for real sample streams.
 func (e *P2Quantile) Value() float64 {
 	switch {
 	case e.n == 0:
-		return 0
+		return math.NaN()
 	case e.n < 5:
 		s := make([]float64, e.n)
 		copy(s, e.heights[:e.n])
@@ -158,3 +160,14 @@ func (d *Digest) P90() float64 { return d.q90.Value() }
 
 // P99 returns the streaming 99th-percentile estimate.
 func (d *Digest) P99() float64 { return d.q99.Value() }
+
+// String renders the digest on one line in the samples' own units. With no
+// samples every figure reads "n/a": an empty digest must not be mistaken
+// for one that measured all-zero latencies.
+func (d *Digest) String() string {
+	if d.N() == 0 {
+		return "mean=n/a p50=n/a p90=n/a p99=n/a max=n/a (n=0)"
+	}
+	return fmt.Sprintf("mean=%.4g p50=%.4g p90=%.4g p99=%.4g max=%.4g (n=%d)",
+		d.Mean(), d.P50(), d.P90(), d.P99(), d.Max(), d.N())
+}

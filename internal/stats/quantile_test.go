@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 
 	"drqos/internal/rng"
@@ -21,8 +22,10 @@ func TestP2QuantileEmptyAndSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := q.Value(); got != 0 {
-		t.Errorf("empty Value() = %v, want 0", got)
+	// Empty estimator: NaN, not 0 — zero is a legitimate quantile for real
+	// streams, so "no data" needs an unambiguous sentinel.
+	if got := q.Value(); !math.IsNaN(got) {
+		t.Errorf("empty Value() = %v, want NaN", got)
 	}
 	// Fewer than five samples: exact nearest-rank median.
 	for _, x := range []float64{5, 1, 3} {
@@ -100,6 +103,21 @@ func BenchmarkP2QuantileObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q.Observe(xs[i%len(xs)])
+	}
+}
+
+func TestDigestEmptyRendersNA(t *testing.T) {
+	d := NewDigest()
+	if !math.IsNaN(d.P50()) || !math.IsNaN(d.P90()) || !math.IsNaN(d.P99()) {
+		t.Errorf("empty digest quantiles = %v/%v/%v, want NaN", d.P50(), d.P90(), d.P99())
+	}
+	want := "mean=n/a p50=n/a p90=n/a p99=n/a max=n/a (n=0)"
+	if got := d.String(); got != want {
+		t.Errorf("empty String() = %q, want %q", got, want)
+	}
+	d.Observe(1)
+	if s := d.String(); strings.Contains(s, "n/a") || strings.Contains(s, "NaN") {
+		t.Errorf("non-empty String() = %q, want numeric figures", s)
 	}
 }
 

@@ -4,36 +4,71 @@
 #
 #   scripts/bench.sh                  full run -> BENCH_$(date +%F).json
 #   scripts/bench.sh --quick          1-iteration smoke run (CI), report to stdout only
+#   scripts/bench.sh --force          overwrite an existing BENCH_<date>.json
 #   scripts/bench.sh --compare A B    diff two BENCH json files; exit 1 on
 #                                     any ns/op, B/op or allocs/op >10% worse
 #
-# Extra arguments after -- are passed to `go test`, e.g.:
+# Extra arguments after -- are passed to `go test`, in any combination with
+# the flags above, e.g.:
 #
 #   scripts/bench.sh -- -bench 'BoundedFlood|Establish'
+#   scripts/bench.sh --quick -- -bench BoundedFlood
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--compare" ]]; then
-    shift
-    [[ $# -eq 2 ]] || { echo "usage: scripts/bench.sh --compare old.json new.json" >&2; exit 2; }
-    exec go run ./cmd/benchjson -compare "$1" "$2"
-fi
+quick=0
+force=0
+extra=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    --compare)
+        shift
+        [[ $# -eq 2 ]] || { echo "usage: scripts/bench.sh --compare old.json new.json" >&2; exit 2; }
+        exec go run ./cmd/benchjson -compare "$1" "$2"
+        ;;
+    --quick)
+        quick=1
+        shift
+        ;;
+    --force)
+        force=1
+        shift
+        ;;
+    --)
+        shift
+        extra=("$@")
+        break
+        ;;
+    *)
+        echo "bench.sh: unknown argument '$1' (go test args go after --)" >&2
+        exit 2
+        ;;
+    esac
+done
 
 benchtime=()
 out="BENCH_$(date +%F).json"
-if [[ "${1:-}" == "--quick" ]]; then
-    shift
+if [[ $quick -eq 1 ]]; then
     benchtime=(-benchtime 1x)
     out=""
 fi
-if [[ "${1:-}" == "--" ]]; then shift; fi
+
+# A recorded baseline is a measurement artifact: silently clobbering
+# today's file with a run under different machine load invalidates any
+# comparison already made against it. Demand an explicit --force.
+if [[ -n "$out" && -e "$out" && $force -eq 0 ]]; then
+    echo "bench.sh: $out already exists; re-run with --force to overwrite" >&2
+    exit 1
+fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
 # -run '^$' skips the unit tests so only benchmarks execute; count=1
-# defeats test caching so every run measures.
-go test -run '^$' -bench . -benchmem -count 1 "${benchtime[@]}" "$@" ./... | tee "$raw"
+# defeats test caching so every run measures. The ${extra[@]+...} guard
+# keeps `set -u` happy on bash < 4.4 when no pass-through args were given.
+go test -run '^$' -bench . -benchmem -count 1 \
+    ${benchtime[@]+"${benchtime[@]}"} ${extra[@]+"${extra[@]}"} ./... | tee "$raw"
 
 if [[ -n "$out" ]]; then
     go run ./cmd/benchjson -host "$(uname -sm)" < "$raw" > "$out"

@@ -1,6 +1,11 @@
 #!/usr/bin/env sh
 # Tier-1 verification: build, vet, and run the full test suite with the
 # race detector (the internal/server actor loop must stay race-clean).
+#
+#   scripts/check.sh           build + vet + panic gate + full race tests
+#   scripts/check.sh --chaos   build + vet + panic gate + seeded chaos
+#                              episodes under -race (manager and server),
+#                              plus the fault-injection tests
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -8,6 +13,32 @@ echo "== go build ./..."
 go build ./...
 echo "== go vet ./..."
 go vet ./...
+
+# The audited event paths must report corruption as a structured
+# manager.InvariantViolation the server can catch and degrade on — a bare
+# panic() kills the daemon instead. Test files may still panic.
+echo "== panic gate (manager / sim / server event paths)"
+if grep -n 'panic(' internal/manager/*.go internal/sim/sim.go internal/sim/trace.go internal/server/*.go \
+    | grep -v '_test\.go'; then
+    echo "FAIL: bare panic() on an audited event path; return a *manager.InvariantViolation instead" >&2
+    exit 1
+fi
+
+if [ "${1:-}" = "--chaos" ]; then
+    # 60 deterministic manager episodes (audit after every event) plus
+    # concurrent server episodes with mid-burst shutdowns, all under the
+    # race detector, then the fault-injection unit tests.
+    echo "== chaos: 60 manager episodes under -race"
+    go run -race ./cmd/chaos -episodes 60 -events 120 -seed 1 -q
+    echo "== chaos: 6 concurrent server episodes under -race"
+    go run -race ./cmd/chaos -server -episodes 6 -workers 6 -ops 80 -q
+    echo "== chaos: fault-injection tests"
+    go test -race -count 1 -run 'TestShrink|TestRunServer|TestDegraded|TestEpisodes' \
+        ./internal/chaos/ ./internal/server/
+    echo "== OK (chaos)"
+    exit 0
+fi
+
 # -timeout is per test binary: internal/experiments runs full quick-scale
 # reproductions (plus the worker-determinism replays) and needs more than
 # the default 10m under the race detector on small machines.
