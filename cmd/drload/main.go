@@ -2,6 +2,9 @@
 // goroutines replay a randomized arrival/termination/fault mix against the
 // daemon's JSON API and report throughput, outcome counts and streaming
 // latency percentiles (p50/p90/p99 via the P² estimator in internal/stats).
+// Transport failures and 503s (a degraded server refusing mutations while it
+// recovers) are retried with capped exponential backoff and jitter; retries
+// and give-ups are reported separately from hard errors in the digest.
 // After the run it asks the server to audit its ledger (GET /v1/invariants)
 // and exits non-zero on any transport error, unexpected status, or a dirty
 // invariant check.
@@ -43,6 +46,8 @@ type counters struct {
 	failed      atomic.Int64
 	repaired    atomic.Int64
 	conflicts   atomic.Int64 // fault raced another worker's fault
+	retries     atomic.Int64 // re-issued after a transport error or 503
+	giveups     atomic.Int64 // retry budget exhausted
 	errors      atomic.Int64
 }
 
@@ -69,6 +74,9 @@ func run() error {
 		maxBW     = flag.Int64("max", 0, "elastic maximum (Kbps)")
 		inc       = flag.Int64("inc", 0, "elastic increment (Kbps)")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		retries   = flag.Int("retries", 4, "retry budget per request for transport errors and 503s (0 disables)")
+		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per attempt, with jitter)")
+		retryMax  = flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
 	)
 	flag.Parse()
 	if *workers <= 0 || *requests <= 0 {
@@ -105,10 +113,14 @@ func run() error {
 			defer wg.Done()
 			wk := &worker{
 				client: client, addr: *addr,
-				src:   rng.New(*seed + uint64(w)*0x9e3779b97f4a7c15),
+				src: rng.New(*seed + uint64(w)*0x9e3779b97f4a7c15),
+				// Jitter draws come from a separate stream so retries do
+				// not perturb the deterministic operation mix.
+				jit:   rng.New(*seed ^ 0xdead0000 + uint64(w)),
 				nodes: st.Nodes, links: st.Links,
 				termFrac: *termFrac, faultFrac: *faultFrac,
 				minBW: *minBW, maxBW: *maxBW, inc: *inc,
+				retries: *retries, retryBase: *retryBase, retryMax: *retryMax,
 				cnt: &cnt, lat: lat,
 				failedLink: -1,
 			}
@@ -138,6 +150,7 @@ func run() error {
 	fmt.Printf("outcomes: established=%d rejected=%d terminated=%d gone=%d failed=%d repaired=%d conflicts=%d errors=%d\n",
 		cnt.established.Load(), cnt.rejected.Load(), cnt.terminated.Load(), cnt.gone.Load(),
 		cnt.failed.Load(), cnt.repaired.Load(), cnt.conflicts.Load(), cnt.errors.Load())
+	fmt.Printf("resilience: retries=%d giveups=%d\n", cnt.retries.Load(), cnt.giveups.Load())
 	d := lat.d
 	// An empty digest reports NaN quantiles; render "n/a" instead of a
 	// bogus 0.00ms (Mean/Max return 0 when empty, equally misleading).
@@ -180,17 +193,19 @@ func run() error {
 // and at most one injected link fault at a time (so faults always pair with
 // repairs and never leave the topology degraded at exit).
 type worker struct {
-	client            *http.Client
-	addr              string
-	src               *rng.Source
-	nodes, links      int
-	termFrac          float64
-	faultFrac         float64
-	minBW, maxBW, inc int64
-	cnt               *counters
-	lat               *latencies
-	owned             []int64
-	failedLink        int
+	client              *http.Client
+	addr                string
+	src, jit            *rng.Source
+	nodes, links        int
+	termFrac            float64
+	faultFrac           float64
+	minBW, maxBW, inc   int64
+	retries             int
+	retryBase, retryMax time.Duration
+	cnt                 *counters
+	lat                 *latencies
+	owned               []int64
+	failedLink          int
 }
 
 // step issues exactly one HTTP request.
@@ -291,12 +306,34 @@ func (w *worker) fault() error {
 	}
 }
 
-// timed issues one request and records its latency.
+// timed issues one request, recording each attempt's latency. Transport
+// errors and 503s (degraded server, mid-recovery) are retried with capped
+// exponential backoff and full jitter; once the budget is spent the request
+// is counted as a give-up and surfaces as an error.
 func (w *worker) timed(method, url string, body, out any) (int, error) {
-	t0 := time.Now()
-	code, err := doJSON(w.client, method, url, body, out)
-	w.lat.observe(time.Since(t0).Seconds())
-	return code, err
+	backoff := w.retryBase
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		code, err := doJSON(w.client, method, url, body, out)
+		w.lat.observe(time.Since(t0).Seconds())
+		if err == nil && code != http.StatusServiceUnavailable {
+			return code, nil
+		}
+		if attempt >= w.retries {
+			w.cnt.giveups.Add(1)
+			if err != nil {
+				return code, fmt.Errorf("giving up after %d attempts: %w", attempt+1, err)
+			}
+			return code, fmt.Errorf("giving up after %d attempts: status %d", attempt+1, code)
+		}
+		w.cnt.retries.Add(1)
+		// Sleep uniformly in [backoff/2, backoff] so workers don't thunder
+		// back in lockstep, then double up to the cap.
+		time.Sleep(backoff/2 + time.Duration(w.jit.Float64()*float64(backoff/2)))
+		if backoff *= 2; backoff > w.retryMax {
+			backoff = w.retryMax
+		}
+	}
 }
 
 // doJSON performs one JSON round trip, returning the status code. Transport

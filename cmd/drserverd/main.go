@@ -5,12 +5,23 @@
 //
 //	drserverd -addr :8080 -nodes 100 -seed 1
 //
+// With -data-dir the daemon is durable: every mutation is written to a
+// write-ahead journal before it is applied, snapshots bound replay, and a
+// restart (or a kill -9) rebuilds the exact pre-crash state from disk. If
+// the replayed state fails the invariant audit the daemon refuses to serve
+// and exits non-zero — better no service than a service lying about its
+// reservations. A degraded daemon (invariant violation at run time) can be
+// returned to service with POST /v1/admin/recover, or automatically with
+// -auto-recover.
+//
 // Endpoints: POST /v1/connections, DELETE /v1/connections/{id},
-// POST /v1/faults/link, GET /v1/stats, GET /v1/invariants, GET /metrics.
+// POST /v1/faults/link, POST /v1/admin/recover, GET /v1/stats,
+// GET /v1/invariants, GET /metrics.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,10 +29,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"drqos/internal/core"
+	"drqos/internal/journal"
 	"drqos/internal/manager"
 	"drqos/internal/qos"
 	"drqos/internal/server"
@@ -32,6 +45,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "drserverd:", err)
 		os.Exit(1)
 	}
+}
+
+// dataMeta pins a data directory to the topology and admission config that
+// produced its journal. Replay is only meaningful against the identical
+// deterministic setup, so a mismatch is a hard startup error.
+type dataMeta struct {
+	Kind          string `json:"kind"`
+	Nodes         int    `json:"nodes"`
+	Seed          uint64 `json:"seed"`
+	CapacityKbps  int64  `json:"capacity_kbps"`
+	Policy        string `json:"policy"`
+	RequireBackup bool   `json:"require_backup"`
+	Multiplex     bool   `json:"multiplex"`
+}
+
+// checkMeta writes meta.json on first use and verifies it on every restart.
+func checkMeta(dir string, want dataMeta) error {
+	path := filepath.Join(dir, "meta.json")
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	var have dataMeta
+	if err := json.Unmarshal(raw, &have); err != nil {
+		return fmt.Errorf("data dir %s: unreadable meta.json: %w", dir, err)
+	}
+	if have != want {
+		return fmt.Errorf("data dir %s was written under config %+v, but this process started with %+v — "+
+			"journal replay is only valid against the identical topology and admission config; "+
+			"fix the flags or point -data-dir at a fresh directory", dir, have, want)
+	}
+	return nil
 }
 
 func run() error {
@@ -46,6 +101,24 @@ func run() error {
 		noMux    = flag.Bool("no-multiplex", false, "disable backup multiplexing")
 		queue    = flag.Int("queue", 256, "actor command-queue depth")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget")
+
+		// Durability.
+		dataDir   = flag.String("data-dir", "", "journal directory; empty runs in-memory (no durability)")
+		fsync     = flag.Int("fsync", 1, "fsync the journal every N events (1 = every event, durable against power loss; negative = let the OS flush)")
+		snapEvery = flag.Int("snapshot-every", 1024, "write a state snapshot every N journaled events (negative disables)")
+
+		// Automatic recovery from degraded mode.
+		autoRecover    = flag.Bool("auto-recover", false, "on an invariant violation, rebuild from the journal automatically instead of waiting for POST /v1/admin/recover")
+		recoverBackoff = flag.Duration("recover-backoff", 100*time.Millisecond, "initial auto-recover retry backoff")
+		recoverMaxWait = flag.Duration("recover-max-backoff", 5*time.Second, "auto-recover backoff cap")
+		recoverTries   = flag.Int("recover-max-attempts", 0, "auto-recover attempt limit (0 = unlimited)")
+
+		// HTTP server hardening: slow or hostile clients must not pin
+		// connections (and goroutines) forever.
+		readTimeout   = flag.Duration("read-timeout", 30*time.Second, "http.Server.ReadTimeout (full request read)")
+		readHdrTO     = flag.Duration("read-header-timeout", 5*time.Second, "http.Server.ReadHeaderTimeout (slowloris guard)")
+		idleTimeout   = flag.Duration("idle-timeout", 2*time.Minute, "http.Server.IdleTimeout for keep-alive connections")
+		maxHeaderByte = flag.Int("max-header-bytes", 1<<20, "http.Server.MaxHeaderBytes")
 	)
 	flag.Parse()
 
@@ -67,22 +140,79 @@ func run() error {
 	log.Printf("topology: %d nodes, %d links, diameter %d, avg hops %.2f (seed %d)",
 		m.Nodes, m.Edges, m.Diameter, m.AvgHops, *seed)
 
-	srv, err := server.New(sys.Graph(), manager.Config{
+	mcfg := manager.Config{
 		Capacity:                  qos.Kbps(*capacity),
 		Policy:                    pol,
 		RequireBackup:             !*noBackup,
 		DisableBackupMultiplexing: *noMux,
-	}, server.Options{
-		QueueDepth: *queue,
+	}
+
+	var jnl *journal.Journal
+	var mgr *manager.Manager
+	if *dataDir != "" {
+		if err := checkMeta(*dataDir, dataMeta{
+			Kind: *kind, Nodes: *nodes, Seed: *seed, CapacityKbps: *capacity,
+			Policy: *policy, RequireBackup: !*noBackup, Multiplex: !*noMux,
+		}); err != nil {
+			return err
+		}
+		var rec *journal.Recovered
+		jnl, rec, err = journal.Open(*dataDir, journal.Options{FsyncEvery: *fsync})
+		if err != nil {
+			return fmt.Errorf("opening journal: %w", err)
+		}
+		defer jnl.Close()
+		mgr, err = server.Rebuild(sys.Graph(), mcfg, rec)
+		if err != nil {
+			return fmt.Errorf("refusing to serve: journal replay of %s did not produce an audit-clean state: %w\n"+
+				"(the on-disk history and the state machine disagree — restore the directory from a backup, "+
+				"or move it aside to start from an empty state)", *dataDir, err)
+		}
+		if rec.TornBytes > 0 {
+			log.Printf("journal: discarded %d bytes of torn tail (mid-write crash)", rec.TornBytes)
+		}
+		log.Printf("journal: recovered %s to seq %d (snapshot at %d, %d events replayed, %d connections alive)",
+			*dataDir, rec.LastSeq, rec.SnapshotSeq, len(rec.Events), mgr.AliveCount())
+	} else {
+		mgr, err = manager.New(sys.Graph(), mcfg)
+		if err != nil {
+			return err
+		}
+	}
+
+	srv, err := server.NewFromManager(sys.Graph(), mgr, server.Options{
+		QueueDepth:    *queue,
+		Journal:       jnl,
+		SnapshotEvery: *snapEvery,
+		Recover: server.RecoverPolicy{
+			Auto:           *autoRecover,
+			InitialBackoff: *recoverBackoff,
+			MaxBackoff:     *recoverMaxWait,
+			MaxAttempts:    *recoverTries,
+		},
 		OnDegrade: func(reason string) {
-			log.Printf("DEGRADED: %s — refusing mutations, still serving reads; restart to recover", reason)
+			if jnl != nil {
+				log.Printf("DEGRADED: %s — refusing mutations, still serving reads; POST /v1/admin/recover to rebuild from the journal", reason)
+			} else {
+				log.Printf("DEGRADED: %s — refusing mutations, still serving reads; restart to recover", reason)
+			}
+		},
+		OnRecover: func(seq uint64) {
+			log.Printf("RECOVERED: rebuilt from journal to seq %d, serving mutations again", seq)
 		},
 	})
 	if err != nil {
 		return err
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: server.NewHandler(srv)}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.NewHandler(srv),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: *readHdrTO,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderByte,
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s", *addr)
@@ -113,6 +243,8 @@ func run() error {
 	if err := srv.Shutdown(shCtx); err != nil {
 		return fmt.Errorf("command-loop drain: %w", err)
 	}
+	// The drain guarantees no more appends; the deferred jnl.Close syncs
+	// the final segment.
 	log.Printf("drained %d commands, bye", srv.Processed())
 	return nil
 }

@@ -92,6 +92,26 @@ func New(id ConnID, src, dst topology.NodeID, spec qos.ElasticSpec, primary rout
 	}
 }
 
+// RestoreConn rebuilds an alive connection from durable state (a journal
+// snapshot): same shape as New but with the level and the Active/FailedOver
+// distinction preserved. Backups are re-attached separately via
+// AttachBackup, exactly as the manager does during normal operation.
+func RestoreConn(id ConnID, src, dst topology.NodeID, spec qos.ElasticSpec, primary routing.Path, level int, failedOver bool) *Conn {
+	st := StateActive
+	if failedOver {
+		st = StateFailedOver
+	}
+	return &Conn{
+		ID:      id,
+		Src:     src,
+		Dst:     dst,
+		Spec:    spec,
+		Primary: primary,
+		Level:   level,
+		state:   st,
+	}
+}
+
 // State returns the lifecycle state.
 func (c *Conn) State() State { return c.state }
 

@@ -55,9 +55,9 @@ func TestDeterminism(t *testing.T) {
 // those events must degrade to no-ops, not abort the replay.
 func TestReplayToleratesUsageErrors(t *testing.T) {
 	fail, err := Replay(Config{Seed: 1}, []Event{
-		{Kind: KindTerminate, Conn: 999},  // never established
-		{Kind: KindRepairLink, Link: 0},   // not failed
-		{Kind: KindFailLink, Link: -1},    // out of range
+		{Kind: KindTerminate, Conn: 999}, // never established
+		{Kind: KindRepairLink, Link: 0},  // not failed
+		{Kind: KindFailLink, Link: -1},   // out of range
 		{Kind: KindFailLink, Link: 1 << 20},
 		{Kind: KindEstablish, Src: 0, Dst: 1},
 		{Kind: KindFailLink, Link: 0},

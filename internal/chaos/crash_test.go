@@ -1,0 +1,62 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCrashRestartEpisodes(t *testing.T) {
+	// A spread of seeds, crash points, snapshot cadences and tail damage.
+	cases := []CrashConfig{
+		{Seed: 1, Events: 120, CrashAfter: 60, SnapshotEvery: 16},
+		{Seed: 2, Events: 120, CrashAfter: 17, SnapshotEvery: 4},
+		{Seed: 3, Events: 120, CrashAfter: 90, SnapshotEvery: -1}, // full-log replay
+		{Seed: 4, Events: 150, CrashAfter: 75, SnapshotEvery: 8, TornTailBytes: 23},
+		{Seed: 5, Events: 100, CrashAfter: 99, SnapshotEvery: 16, TornTailBytes: 200},
+		{Seed: 6, Events: 80, CrashAfter: 1, SnapshotEvery: 16}, // crash almost immediately
+	}
+	for _, cfg := range cases {
+		cfg := cfg
+		cfg.Dir = t.TempDir()
+		res, err := RunCrashRestart(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", cfg.Seed, err)
+		}
+		if res.Journaled == 0 || res.Fingerprint == "" {
+			t.Fatalf("seed %d: empty result %+v", cfg.Seed, res)
+		}
+		if cfg.TornTailBytes > 0 && res.TornBytes == 0 {
+			t.Fatalf("seed %d: torn tail not detected", cfg.Seed)
+		}
+		if cfg.SnapshotEvery > 0 && cfg.CrashAfter > 2*cfg.SnapshotEvery && res.SnapshotSeq == 0 {
+			t.Fatalf("seed %d: no snapshot despite cadence %d over %d events",
+				cfg.Seed, cfg.SnapshotEvery, cfg.CrashAfter)
+		}
+	}
+}
+
+func TestCrashRestartDeterministicFingerprint(t *testing.T) {
+	// Same seed, different crash points: the final state must not depend on
+	// where the crash happened.
+	var fp string
+	for _, crashAt := range []int{10, 50, 95} {
+		res, err := RunCrashRestart(CrashConfig{
+			Seed: 42, Events: 100, CrashAfter: crashAt, SnapshotEvery: 8,
+			Dir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatalf("crash at %d: %v", crashAt, err)
+		}
+		if fp == "" {
+			fp = res.Fingerprint
+		} else if res.Fingerprint != fp {
+			t.Fatalf("crash at %d: fingerprint %s, want %s", crashAt, res.Fingerprint, fp)
+		}
+	}
+}
+
+func TestCrashRestartRequiresDir(t *testing.T) {
+	if _, err := RunCrashRestart(CrashConfig{Seed: 1}); err == nil || !strings.Contains(err.Error(), "Dir") {
+		t.Fatalf("missing dir: %v", err)
+	}
+}

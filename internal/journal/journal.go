@@ -1,0 +1,432 @@
+// Package journal makes the admission server's state machine durable: a
+// write-ahead event log plus periodic snapshots, replayed on startup to
+// rebuild the exact pre-crash manager state.
+//
+// Layout of a data directory:
+//
+//	wal-00000000000000000001.log   length-prefixed, CRC-32C-checked event
+//	wal-00000000000000000391.log   records; the filename is the sequence
+//	                               number of the first record the segment
+//	                               may contain
+//	snap-00000000000000000390.snap one JSON header line + a binary state
+//	                               body, written atomically (tmp + fsync +
+//	                               rename); the name is the last sequence
+//	                               number the snapshot covers
+//
+// Every mutation is appended — with its full seed-derived inputs and a
+// monotonic sequence number — BEFORE the manager mutates, so a crash at any
+// instant loses at most the response, never the decision. Recovery loads
+// the newest snapshot, replays the records after it, and discards a torn
+// tail (a partial final record from a mid-write crash) detected via CRC. A
+// damaged record that valid records FOLLOW is not a torn tail: it is
+// corruption in the middle of the log, and Open refuses with an error
+// rather than silently dropping acknowledged events.
+//
+// The fsync policy is configurable (Options.FsyncEvery): 1 syncs every
+// append (durable against power loss), N>1 amortizes, 0 leaves flushing to
+// the OS (still durable against process crashes — the page cache survives
+// kill -9 — but not power loss). Snapshot writes always fsync before the
+// rename, and old segments are deleted only after the snapshot is durable.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrCorrupt reports unrecoverable journal damage: a bad record with valid
+// records after it, a gap in the sequence numbering, or a snapshot whose
+// body fails its checksum. A torn tail is NOT corruption — it is discarded
+// silently (reported via Recovered.TornBytes).
+var ErrCorrupt = errors.New("journal: corrupt")
+
+// Options tunes a Journal.
+type Options struct {
+	// FsyncEvery controls how often Append calls fsync: 1 (the default)
+	// syncs every record, N>1 every N records, negative never (tests).
+	// Zero selects the default.
+	FsyncEvery int
+}
+
+// Recovered is what Open found on disk: the newest snapshot (if any) and
+// the contiguous event tail after it. Feed it to the state rebuilder
+// (server.Rebuild) to reconstruct the manager.
+type Recovered struct {
+	// SnapshotSeq is the sequence number the snapshot covers (0 = none).
+	SnapshotSeq uint64
+	// SnapshotHeader is the parsed JSON header of the snapshot, nil if none.
+	SnapshotHeader *SnapshotHeader
+	// SnapshotBody is the snapshot's opaque binary state body.
+	SnapshotBody []byte
+	// Events are the journal records with Seq > SnapshotSeq, contiguous and
+	// ascending.
+	Events []Event
+	// LastSeq is the sequence number of the last durable record
+	// (SnapshotSeq when Events is empty).
+	LastSeq uint64
+	// TornBytes counts bytes of torn tail discarded from the last segment.
+	TornBytes int64
+}
+
+// Journal is an append-only event log over one data directory. Safe for
+// use by one process at a time; methods are internally serialized.
+type Journal struct {
+	dir string
+	opt Options
+
+	mu        sync.Mutex
+	f         *os.File // active segment
+	seq       uint64   // last appended (or recovered) sequence number
+	snapSeq   uint64   // sequence covered by the newest snapshot
+	sinceSync int
+	buf       []byte
+}
+
+// Open scans dir (creating it if needed), verifies every record, discards a
+// torn tail, and opens the last segment for appending. The returned
+// Recovered holds everything needed to rebuild state; it is independent of
+// the Journal and stays valid after Close.
+func Open(dir string, opt Options) (*Journal, *Recovered, error) {
+	if opt.FsyncEvery == 0 {
+		opt.FsyncEvery = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	// Leftover temp files are snapshots that never got renamed: dead.
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	for _, t := range tmps {
+		_ = os.Remove(t)
+	}
+	rec, lastSeg, tornAt, err := scanDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{dir: dir, opt: opt, seq: rec.LastSeq, snapSeq: rec.SnapshotSeq}
+	if lastSeg == "" {
+		if err := j.startSegment(j.seq + 1); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		f, err := os.OpenFile(lastSeg, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+		if tornAt >= 0 {
+			if err := f.Truncate(tornAt); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+			}
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+		j.f = f
+	}
+	return j, rec, nil
+}
+
+// Reload rescans the directory read-only and returns a fresh Recovered. It
+// is how degraded-mode recovery rebuilds state while the Journal stays
+// open; no truncation or other mutation happens. Appends must be quiescent
+// (they are: a degraded server refuses every mutation).
+func (j *Journal) Reload() (*Recovered, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, _, _, err := scanDir(j.dir)
+	return rec, err
+}
+
+// LastSeq returns the sequence number of the most recent record.
+func (j *Journal) LastSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// SnapshotSeq returns the sequence number covered by the newest snapshot.
+func (j *Journal) SnapshotSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapSeq
+}
+
+// Dir returns the data directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append assigns the next sequence number to ev, writes the framed record,
+// and applies the fsync policy. It returns the assigned sequence number.
+// The caller must append BEFORE mutating state (write-ahead discipline).
+func (j *Journal) Append(ev Event) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, errors.New("journal: closed")
+	}
+	ev.Seq = j.seq + 1
+	j.buf = j.buf[:0]
+	payload := appendEvent(nil, ev)
+	j.buf = appendFrame(j.buf, payload)
+	if _, err := j.f.Write(j.buf); err != nil {
+		return 0, fmt.Errorf("journal: append seq %d: %w", ev.Seq, err)
+	}
+	j.sinceSync++
+	if j.opt.FsyncEvery > 0 && j.sinceSync >= j.opt.FsyncEvery {
+		if err := j.f.Sync(); err != nil {
+			return 0, fmt.Errorf("journal: fsync seq %d: %w", ev.Seq, err)
+		}
+		j.sinceSync = 0
+	}
+	j.seq = ev.Seq
+	return ev.Seq, nil
+}
+
+// Sync flushes the active segment to stable storage regardless of policy.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	j.sinceSync = 0
+	return j.f.Sync()
+}
+
+// Close syncs and closes the active segment. The directory stays valid for
+// a later Open.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// startSegment creates wal-<firstSeq>.log and makes it the active segment.
+// Caller holds j.mu (or the Journal is not yet shared).
+func (j *Journal) startSegment(firstSeq uint64) error {
+	path := filepath.Join(j.dir, segmentName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if j.f != nil {
+		_ = j.f.Sync()
+		_ = j.f.Close()
+	}
+	j.f = f
+	j.sinceSync = 0
+	return syncDir(j.dir)
+}
+
+func segmentName(firstSeq uint64) string { return fmt.Sprintf("wal-%020d.log", firstSeq) }
+func snapshotName(seq uint64) string     { return fmt.Sprintf("snap-%020d.snap", seq) }
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// scanDir reads everything in dir: the newest snapshot plus every event
+// after it. It returns the path of the last segment (for appending; ""
+// when none exists) and the byte offset of a torn tail within it (-1 when
+// the tail is clean).
+func scanDir(dir string) (rec *Recovered, lastSeg string, tornAt int64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", -1, fmt.Errorf("journal: %w", err)
+	}
+	var snapSeqs []uint64
+	type seg struct {
+		firstSeq uint64
+		path     string
+	}
+	var segs []seg
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if s, ok := parseSeqName(e.Name(), "snap-", ".snap"); ok {
+			snapSeqs = append(snapSeqs, s)
+		}
+		if s, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
+			segs = append(segs, seg{firstSeq: s, path: filepath.Join(dir, e.Name())})
+		}
+	}
+	sort.Slice(snapSeqs, func(i, k int) bool { return snapSeqs[i] < snapSeqs[k] })
+	sort.Slice(segs, func(i, k int) bool { return segs[i].firstSeq < segs[k].firstSeq })
+
+	rec = &Recovered{}
+	tornAt = -1
+	if len(snapSeqs) > 0 {
+		s := snapSeqs[len(snapSeqs)-1]
+		hdr, body, err := loadSnapshot(filepath.Join(dir, snapshotName(s)))
+		if err != nil {
+			return nil, "", -1, err
+		}
+		rec.SnapshotSeq, rec.SnapshotHeader, rec.SnapshotBody = s, hdr, body
+	}
+	rec.LastSeq = rec.SnapshotSeq
+
+	next := rec.SnapshotSeq + 1 // the sequence number we expect next
+	for si, sg := range segs {
+		data, err := os.ReadFile(sg.path)
+		if err != nil {
+			return nil, "", -1, fmt.Errorf("journal: %w", err)
+		}
+		last := si == len(segs)-1
+		off := 0
+		for off < len(data) {
+			ev, nextOff, ok, reason := frameAt(data, off)
+			if !ok {
+				if !last {
+					return nil, "", -1, fmt.Errorf("%w: %s at offset %d: %s (followed by segment %s — not a torn tail)",
+						ErrCorrupt, filepath.Base(sg.path), off, reason, filepath.Base(segs[si+1].path))
+				}
+				// A damaged record in the last segment is a torn tail only
+				// if nothing valid follows. If the frame's declared length
+				// is intact we can look past it; a valid record there means
+				// acknowledged data follows the damage — real corruption.
+				if _, _, ok2, _ := frameAt(data, skipFrame(data, off)); ok2 {
+					return nil, "", -1, fmt.Errorf("%w: %s at offset %d: %s, but valid records follow — corruption in the middle of the log, refusing to guess; restore from a backup or remove the damaged segment by hand",
+						ErrCorrupt, filepath.Base(sg.path), off, reason)
+				}
+				rec.TornBytes = int64(len(data) - off)
+				tornAt = int64(off)
+				break
+			}
+			// Records at or below the snapshot are superseded (a crash
+			// between snapshot fsync and segment deletion leaves them).
+			if ev.Seq <= rec.SnapshotSeq {
+				off = nextOff
+				continue
+			}
+			if ev.Seq != next {
+				return nil, "", -1, fmt.Errorf("%w: %s holds seq %d where %d was expected (gap or duplicate)",
+					ErrCorrupt, filepath.Base(sg.path), ev.Seq, next)
+			}
+			rec.Events = append(rec.Events, ev)
+			rec.LastSeq = ev.Seq
+			next = ev.Seq + 1
+			off = nextOff
+		}
+	}
+	if len(segs) > 0 {
+		lastSeg = segs[len(segs)-1].path
+	}
+	return rec, lastSeg, tornAt, nil
+}
+
+// skipFrame returns the offset just past the frame at off, trusting its
+// declared length when plausible. Used only to peek for valid records after
+// a damaged one; when the length itself is garbage it returns len(data)
+// (nothing to peek at — the damage extends to the tail).
+func skipFrame(data []byte, off int) int {
+	if len(data)-off < frameHeaderSize {
+		return len(data)
+	}
+	ln := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+	if ln == 0 || ln > maxRecord || off+frameHeaderSize+ln > len(data) {
+		return len(data)
+	}
+	return off + frameHeaderSize + ln
+}
+
+// WriteSnapshot durably records the state covering every event up to
+// LastSeq: it writes the snapshot atomically (tmp + fsync + rename + dir
+// sync), rotates to a fresh segment, and only then deletes the segments and
+// snapshots the new snapshot supersedes. hdr's Seq/BodyLen/BodyCRC32C are
+// filled in here; callers populate the state-describing fields.
+func (j *Journal) WriteSnapshot(hdr SnapshotHeader, body []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	// The active segment must be durable before the snapshot supersedes it:
+	// if the snapshot fsyncs but a preceding record did not, a crash window
+	// could lose an event the snapshot claims to cover.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: snapshot pre-sync: %w", err)
+	}
+	j.sinceSync = 0
+	seq := j.seq
+	if err := writeSnapshotFile(j.dir, seq, hdr, body); err != nil {
+		return err
+	}
+	if err := j.startSegment(seq + 1); err != nil {
+		return err
+	}
+	j.snapSeq = seq
+	// Cleanup is best-effort: a crash here just leaves superseded files
+	// that the next Open skips.
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil
+	}
+	for _, e := range entries {
+		if s, ok := parseSeqName(e.Name(), "wal-", ".log"); ok && s <= seq {
+			_ = os.Remove(filepath.Join(j.dir, e.Name()))
+		}
+		if s, ok := parseSeqName(e.Name(), "snap-", ".snap"); ok && s < seq {
+			_ = os.Remove(filepath.Join(j.dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+// SnapshotHeader is the JSON first line of a snapshot file. Alongside the
+// framing fields it mirrors the aggregate shapes of the server's /v1/stats
+// snapshot (internal/server/snapshot.go), so operators can inspect a
+// snapshot with head -1 | jq, and so the restore path can cross-check the
+// rebuilt manager against what the snapshot claims — a disagreement means
+// the replay machinery itself is broken, and startup refuses to serve.
+type SnapshotHeader struct {
+	Format     string `json:"format"`
+	Version    int    `json:"version"`
+	Seq        uint64 `json:"seq"`
+	BodyLen    int64  `json:"body_len"`
+	BodyCRC32C uint32 `json:"body_crc32c"`
+
+	// Aggregate cross-check fields (same shapes as server Stats).
+	Alive          int    `json:"alive"`
+	Unprotected    int    `json:"unprotected"`
+	LevelHistogram []int  `json:"level_histogram"`
+	Requests       int64  `json:"requests"`
+	Rejects        int64  `json:"rejects"`
+	FailedLinks    []int  `json:"failed_links,omitempty"`
+	WrittenAt      string `json:"written_at,omitempty"`
+}
+
+const (
+	snapshotFormat  = "drqos-journal-snapshot"
+	snapshotVersion = 1
+)

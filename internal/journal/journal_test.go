@@ -1,0 +1,299 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testEvents(n int) []Event {
+	evs := make([]Event, n)
+	for i := range evs {
+		switch i % 4 {
+		case 0:
+			evs[i] = Event{Kind: KindEstablish, Src: int32(i), Dst: int32(i + 1),
+				MinKbps: 100, MaxKbps: 500, IncKbps: 50, Utility: 1}
+		case 1:
+			evs[i] = Event{Kind: KindTerminate, Conn: int64(i)}
+		case 2:
+			evs[i] = Event{Kind: KindFailLink, Link: int32(i)}
+		default:
+			evs[i] = Event{Kind: KindRepairLink, Link: int32(i)}
+		}
+	}
+	return evs
+}
+
+func mustOpen(t *testing.T, dir string) (*Journal, *Recovered) {
+	t.Helper()
+	j, rec, err := Open(dir, Options{FsyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, rec
+}
+
+func mustAppend(t *testing.T, j *Journal, evs ...Event) {
+	t.Helper()
+	for _, ev := range evs {
+		if _, err := j.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// onlySegment returns the path of the single wal segment in dir.
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) != 1 {
+		t.Fatalf("want exactly 1 segment, have %v", segs)
+	}
+	return segs[0]
+}
+
+func TestEmptyDirColdStart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fresh") // Open must create it
+	j, rec := mustOpen(t, dir)
+	defer j.Close()
+	if rec.SnapshotSeq != 0 || rec.LastSeq != 0 || len(rec.Events) != 0 || rec.TornBytes != 0 {
+		t.Fatalf("cold start recovered %+v", rec)
+	}
+	if seq, err := j.Append(Event{Kind: KindFailLink, Link: 3}); err != nil || seq != 1 {
+		t.Fatalf("first append: seq %d, err %v", seq, err)
+	}
+}
+
+func TestRoundtripAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	evs := testEvents(25)
+	j, _ := mustOpen(t, dir)
+	mustAppend(t, j, evs...)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := mustOpen(t, dir)
+	defer j2.Close()
+	if len(rec.Events) != len(evs) {
+		t.Fatalf("recovered %d events, want %d", len(rec.Events), len(evs))
+	}
+	for i, got := range rec.Events {
+		want := evs[i]
+		want.Seq = uint64(i + 1)
+		if got != want {
+			t.Fatalf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if rec.LastSeq != uint64(len(evs)) {
+		t.Fatalf("LastSeq %d, want %d", rec.LastSeq, len(evs))
+	}
+	// Appends continue the sequence after reopen.
+	if seq, err := j2.Append(Event{Kind: KindTerminate, Conn: 9}); err != nil || seq != uint64(len(evs)+1) {
+		t.Fatalf("append after reopen: seq %d, err %v", seq, err)
+	}
+}
+
+func TestTornTailDiscardedAndAppendable(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	mustAppend(t, j, testEvents(10)...)
+	j.Close()
+
+	// Simulate a mid-write crash: chop the final record in half.
+	seg := onlySegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := mustOpen(t, dir)
+	defer j2.Close()
+	if len(rec.Events) != 9 {
+		t.Fatalf("recovered %d events, want clean prefix of 9", len(rec.Events))
+	}
+	if rec.TornBytes == 0 {
+		t.Fatal("torn tail not reported")
+	}
+	// The torn bytes are physically gone: the next append lands where the
+	// torn record was and must survive the next reopen.
+	if seq, err := j2.Append(Event{Kind: KindFailLink, Link: 42}); err != nil || seq != 10 {
+		t.Fatalf("append after torn tail: seq %d, err %v", seq, err)
+	}
+	j2.Close()
+	_, rec3 := mustOpen(t, dir)
+	if len(rec3.Events) != 10 || rec3.Events[9].Link != 42 {
+		t.Fatalf("post-torn append lost: %+v", rec3.Events)
+	}
+}
+
+func TestMidJournalCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	mustAppend(t, j, testEvents(10)...)
+	j.Close()
+
+	// Flip a byte inside an early record's payload: the CRC fails but valid
+	// records follow, so this is NOT a torn tail.
+	seg := onlySegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderSize+3] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Open(dir, Options{})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mid-journal corruption: err %v, want ErrCorrupt", err)
+	}
+	if !strings.Contains(err.Error(), "valid records follow") {
+		t.Fatalf("error does not explain the refusal: %v", err)
+	}
+}
+
+func TestSnapshotBoundsReplayAndCleansSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	mustAppend(t, j, testEvents(6)...)
+	if err := j.WriteSnapshot(SnapshotHeader{Alive: 3}, []byte("state-at-6")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, Event{Kind: KindFailLink, Link: 7}, Event{Kind: KindRepairLink, Link: 7})
+	j.Close()
+
+	j2, rec := mustOpen(t, dir)
+	defer j2.Close()
+	if rec.SnapshotSeq != 6 || string(rec.SnapshotBody) != "state-at-6" {
+		t.Fatalf("snapshot: seq %d body %q", rec.SnapshotSeq, rec.SnapshotBody)
+	}
+	if rec.SnapshotHeader.Alive != 3 {
+		t.Fatalf("header aggregate lost: %+v", rec.SnapshotHeader)
+	}
+	if len(rec.Events) != 2 || rec.Events[0].Seq != 7 || rec.Events[1].Seq != 8 {
+		t.Fatalf("tail after snapshot: %+v", rec.Events)
+	}
+	// The pre-snapshot segment was rotated out and deleted.
+	if seg := onlySegment(t, dir); filepath.Base(seg) != segmentName(7) {
+		t.Fatalf("active segment %s, want %s", filepath.Base(seg), segmentName(7))
+	}
+}
+
+func TestCrashBetweenSnapshotAndSegmentDelete(t *testing.T) {
+	// A crash after the snapshot fsyncs but before the old segment (and old
+	// snapshot) are deleted leaves superseded files. Replay must use the
+	// newest snapshot and skip events it covers, even though they are still
+	// on disk.
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	mustAppend(t, j, testEvents(4)...)
+	if err := j.WriteSnapshot(SnapshotHeader{}, []byte("state-at-4")); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, testEvents(3)...)
+	j.Close()
+
+	// Reconstruct the crash window: copy the current files into a fresh dir
+	// and add back a stale pre-snapshot segment and a stale older snapshot,
+	// exactly what WriteSnapshot would have deleted.
+	crash := t.TempDir()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(crash, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	staleDir := t.TempDir()
+	js, _ := mustOpen(t, staleDir)
+	mustAppend(t, js, testEvents(4)...)
+	js.Close()
+	stale, err := os.ReadFile(onlySegment(t, staleDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(crash, segmentName(1)), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshotFile(crash, 2, SnapshotHeader{}, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rec := mustOpen(t, crash)
+	defer j2.Close()
+	if rec.SnapshotSeq != 4 || string(rec.SnapshotBody) != "state-at-4" {
+		t.Fatalf("wrong snapshot won: seq %d body %q", rec.SnapshotSeq, rec.SnapshotBody)
+	}
+	if len(rec.Events) != 3 || rec.Events[0].Seq != 5 {
+		t.Fatalf("stale segment not skipped: %+v", rec.Events)
+	}
+}
+
+func TestSnapshotCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	mustAppend(t, j, testEvents(3)...)
+	if err := j.WriteSnapshot(SnapshotHeader{}, []byte("precious state")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 snapshot, have %v", snaps)
+	}
+	data, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(snaps[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot body: err %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLeftoverTmpFilesRemoved(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, snapshotName(5)+".tmp")
+	if err := os.WriteFile(tmp, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, rec := mustOpen(t, dir)
+	defer j.Close()
+	if rec.LastSeq != 0 {
+		t.Fatalf("tmp file influenced recovery: %+v", rec)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("tmp file survived Open: %v", err)
+	}
+}
+
+func TestReloadSeesAppends(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	defer j.Close()
+	mustAppend(t, j, testEvents(5)...)
+	rec, err := j.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 5 || rec.LastSeq != 5 {
+		t.Fatalf("reload: %d events, LastSeq %d", len(rec.Events), rec.LastSeq)
+	}
+}

@@ -1,0 +1,166 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Kind enumerates the mutation events a journal can record — exactly the
+// four commands the admission server's command loop applies to the manager.
+type Kind uint8
+
+// Journaled event kinds. Values are part of the on-disk format; never
+// renumber them.
+const (
+	KindEstablish  Kind = 1
+	KindTerminate  Kind = 2
+	KindFailLink   Kind = 3
+	KindRepairLink Kind = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEstablish:
+		return "establish"
+	case KindTerminate:
+		return "terminate"
+	case KindFailLink:
+		return "fail_link"
+	case KindRepairLink:
+		return "repair_link"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one durable mutation record. It carries the full seed-derived
+// inputs of the command — enough to re-apply it against a deterministic
+// manager and land in the same state. Fields irrelevant to the kind are
+// zero. Seq is assigned by Append and is strictly monotonic from 1.
+type Event struct {
+	Seq  uint64
+	Kind Kind
+
+	// Establish inputs: endpoints plus the full elastic spec.
+	Src, Dst                  int32
+	MinKbps, MaxKbps, IncKbps int64
+	Utility                   float64
+
+	// Terminate target.
+	Conn int64
+
+	// FailLink / RepairLink target.
+	Link int32
+}
+
+// castagnoli is the CRC-32C table used for every checksum in the journal
+// (records and snapshot bodies).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecord bounds a single record's payload. Real events are tens of
+// bytes; anything larger is garbage (a torn or corrupted length prefix).
+const maxRecord = 1 << 16
+
+// frameHeaderSize is the per-record framing overhead: u32 payload length +
+// u32 CRC-32C of the payload.
+const frameHeaderSize = 8
+
+// appendEvent encodes ev's payload (no framing) onto buf.
+func appendEvent(buf []byte, ev Event) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, ev.Seq)
+	buf = append(buf, byte(ev.Kind))
+	switch ev.Kind {
+	case KindEstablish:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Src))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Dst))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.MinKbps))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.MaxKbps))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.IncKbps))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Utility))
+	case KindTerminate:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.Conn))
+	case KindFailLink, KindRepairLink:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Link))
+	}
+	return buf
+}
+
+// decodeEvent parses one payload produced by appendEvent. It is strict:
+// trailing bytes or a short payload are errors (the CRC already passed, so
+// a length mismatch means a format bug, not bit rot).
+func decodeEvent(payload []byte) (Event, error) {
+	var ev Event
+	if len(payload) < 9 {
+		return ev, fmt.Errorf("journal: payload too short (%d bytes)", len(payload))
+	}
+	ev.Seq = binary.LittleEndian.Uint64(payload)
+	ev.Kind = Kind(payload[8])
+	rest := payload[9:]
+	need := func(n int) error {
+		if len(rest) != n {
+			return fmt.Errorf("journal: %s payload is %d bytes, want %d", ev.Kind, len(rest), n)
+		}
+		return nil
+	}
+	switch ev.Kind {
+	case KindEstablish:
+		if err := need(40); err != nil {
+			return ev, err
+		}
+		ev.Src = int32(binary.LittleEndian.Uint32(rest))
+		ev.Dst = int32(binary.LittleEndian.Uint32(rest[4:]))
+		ev.MinKbps = int64(binary.LittleEndian.Uint64(rest[8:]))
+		ev.MaxKbps = int64(binary.LittleEndian.Uint64(rest[16:]))
+		ev.IncKbps = int64(binary.LittleEndian.Uint64(rest[24:]))
+		ev.Utility = math.Float64frombits(binary.LittleEndian.Uint64(rest[32:]))
+	case KindTerminate:
+		if err := need(8); err != nil {
+			return ev, err
+		}
+		ev.Conn = int64(binary.LittleEndian.Uint64(rest))
+	case KindFailLink, KindRepairLink:
+		if err := need(4); err != nil {
+			return ev, err
+		}
+		ev.Link = int32(binary.LittleEndian.Uint32(rest))
+	default:
+		return ev, fmt.Errorf("journal: unknown event kind %d", uint8(ev.Kind))
+	}
+	return ev, nil
+}
+
+// appendFrame wraps payload in the on-disk framing: u32 length, u32 CRC-32C,
+// payload.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// frameAt tries to parse one frame at data[off:]. It returns the decoded
+// event and the offset just past the frame. ok=false means the bytes at off
+// do not form a valid frame; reason says why.
+func frameAt(data []byte, off int) (ev Event, next int, ok bool, reason string) {
+	if len(data)-off < frameHeaderSize {
+		return ev, 0, false, "short frame header"
+	}
+	ln := int(binary.LittleEndian.Uint32(data[off:]))
+	want := binary.LittleEndian.Uint32(data[off+4:])
+	if ln == 0 || ln > maxRecord {
+		return ev, 0, false, fmt.Sprintf("implausible record length %d", ln)
+	}
+	if off+frameHeaderSize+ln > len(data) {
+		return ev, 0, false, fmt.Sprintf("record length %d runs past end of segment", ln)
+	}
+	payload := data[off+frameHeaderSize : off+frameHeaderSize+ln]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return ev, 0, false, fmt.Sprintf("CRC mismatch (stored %08x, computed %08x)", want, got)
+	}
+	e, err := decodeEvent(payload)
+	if err != nil {
+		return ev, 0, false, err.Error()
+	}
+	return e, off + frameHeaderSize + ln, true, ""
+}

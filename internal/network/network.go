@@ -377,6 +377,37 @@ func (n *Network) ReserveBackup(id channel.ConnID, backupRoute routing.Path, pri
 	return nil
 }
 
+// RestoreBackup registers a backup channel without re-running the rule-3
+// admission check. It exists for one caller: rebuilding a ledger from a
+// durable snapshot, where every registration was admitted in the original
+// run but the minima+spare bound may legitimately not hold any more (the
+// post-failover dependability deficit — see DependabilityDeficit). The
+// rebuilt ledger is still validated wholesale by CheckInvariants.
+func (n *Network) RestoreBackup(id channel.ConnID, backupRoute routing.Path, primaryLinks []topology.LinkID, min qos.Kbps) error {
+	if min <= 0 {
+		return fmt.Errorf("network: non-positive backup reservation %v", min)
+	}
+	if len(primaryLinks) == 0 {
+		return fmt.Errorf("network: backup for conn %d has no primary links", id)
+	}
+	dls := backupRoute.DirLinks(n.g)
+	for _, d := range dls {
+		if _, dup := n.dirs[d].backups[id]; dup {
+			return fmt.Errorf("network: backup of conn %d already on directed link %d", id, d)
+		}
+	}
+	reg := backupReg{min: min, primaryLinks: append([]topology.LinkID(nil), primaryLinks...)}
+	for _, d := range dls {
+		ds := &n.dirs[d]
+		ds.backups[id] = reg
+		for _, f := range primaryLinks {
+			ds.conflict[f] += min
+		}
+		ds.recomputeSpare(n.noMultiplex)
+	}
+	return nil
+}
+
 // ReleaseBackup removes conn id's backup registration along backupRoute.
 func (n *Network) ReleaseBackup(id channel.ConnID, backupRoute routing.Path) error {
 	dls := backupRoute.DirLinks(n.g)

@@ -90,6 +90,7 @@ type errorBody struct {
 //	POST   /v1/connections        admit a DR-connection
 //	DELETE /v1/connections/{id}   terminate a DR-connection
 //	POST   /v1/faults/link        fail or repair a link
+//	POST   /v1/admin/recover      rebuild from the journal, exit degraded mode
 //	GET    /v1/stats              consistent service snapshot
 //	GET    /v1/invariants         run the manager's consistency audit
 //	GET    /metrics               Prometheus text metrics
@@ -195,6 +196,14 @@ func NewHandler(s *Server) http.Handler {
 		// event that tripped it, so the flag is reported either way.
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "degraded": degraded, "degraded_reason": reason})
 	})
+	mux.HandleFunc("POST /v1/admin/recover", func(w http.ResponseWriter, r *http.Request) {
+		seq, err := s.Recover(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"recovered": true, "journal_seq": seq})
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Snapshot(r.Context())
 		if err != nil {
@@ -239,6 +248,8 @@ func writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrDegraded):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrNotDegraded), errors.Is(err, ErrRecoveryInProgress), errors.Is(err, ErrNoJournal):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrServerClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	default:

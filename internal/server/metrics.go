@@ -26,10 +26,25 @@ func writeMetrics(w io.Writer, st Stats) {
 		degraded = 1
 	}
 	gauge("drqos_degraded", "1 when the service refuses mutations after an invariant violation.", degraded)
+	journaled := 0
+	if st.Journaled {
+		journaled = 1
+	}
+	gauge("drqos_journaled", "1 when mutations are persisted to a write-ahead journal.", journaled)
+	gauge("drqos_journal_seq", "Sequence number of the last journaled event.", st.JournalSeq)
+	gauge("drqos_journal_snapshot_seq", "Sequence number covered by the newest durable snapshot.", st.JournalSnapshot)
+	recovering := 0
+	if st.Recovering {
+		recovering = 1
+	}
+	gauge("drqos_recovering", "1 while a journal-replay recovery from degraded mode is running.", recovering)
 
 	counter("drqos_establish_requests_total", "Establish requests offered to admission control.", st.Requests)
 	counter("drqos_establish_rejects_total", "Establish requests rejected.", st.Rejects)
 	counter("drqos_invariant_violations_total", "Manager invariant violations detected mid-event or by audit.", st.InvariantViolations)
+	counter("drqos_journal_errors_total", "Journal append or snapshot failures.", st.JournalErrors)
+	counter("drqos_recoveries_total", "Successful recoveries from degraded mode.", st.Recoveries)
+	counter("drqos_recovery_failures_total", "Failed recovery attempts.", st.RecoveryFailures)
 
 	fmt.Fprintf(w, "# HELP drqos_connections_level Alive DR-connections per bandwidth level.\n# TYPE drqos_connections_level gauge\n")
 	for lvl, n := range st.LevelHistogram {

@@ -1,0 +1,308 @@
+// Supervised recovery: rebuilding a trusted manager from the durable
+// journal and swapping it into the command loop, so a degraded server
+// returns to service without a restart.
+//
+// The state machine is degraded → recovering → healthy:
+//
+//   - degraded: an invariant violation latched; mutations answer 503; no
+//     events are journaled (so the journal keeps describing the last
+//     trusted state).
+//   - recovering: Recover reloads the journal, rebuilds a fresh manager
+//     (snapshot restore + strict event replay), audits it with the full
+//     invariant check, and — only if everything passes — swaps it in.
+//   - healthy: the swap command (running inside the loop) installs the new
+//     manager and un-latches degraded in one atomic step; the next command
+//     sees a clean manager.
+//
+// Recovery is refused (the server stays degraded) when the journal itself
+// is damaged, the rebuilt state fails its audit, or the snapshot header's
+// aggregates disagree with the rebuilt manager. Those cases mean replaying
+// the history reproduces the corruption — i.e. the bad state was caused by
+// a journaled event, not by out-of-band damage — and serving it would be
+// lying about dependability.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"drqos/internal/channel"
+	"drqos/internal/journal"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/topology"
+)
+
+// ErrJournal reports a journal append, reload or rebuild failure. Mutations
+// that cannot be journaled are refused (write-ahead discipline).
+var ErrJournal = errors.New("server: journal error")
+
+// ErrNoJournal reports a recovery request against a server that runs
+// without a journal — there is nothing to rebuild from.
+var ErrNoJournal = errors.New("server: no journal configured")
+
+// ErrNotDegraded reports a recovery request while the server is healthy.
+var ErrNotDegraded = errors.New("server: not degraded, nothing to recover")
+
+// ErrRecoveryInProgress reports a recovery request while another recovery
+// is already running.
+var ErrRecoveryInProgress = errors.New("server: recovery already in progress")
+
+// RecoverPolicy configures automatic recovery from degraded mode.
+type RecoverPolicy struct {
+	// Auto starts a background supervisor when the server degrades, which
+	// retries Recover with capped exponential backoff until it succeeds,
+	// attempts run out, or the server shuts down.
+	Auto bool
+	// InitialBackoff is the delay after the first failed attempt
+	// (default 100ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// MaxAttempts bounds the supervisor's tries (0 = unlimited).
+	MaxAttempts int
+}
+
+func (p RecoverPolicy) withDefaults() RecoverPolicy {
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	return p
+}
+
+// RecoveryStatus reports the recovery counters for stats and metrics.
+func (s *Server) RecoveryStatus() (recovering bool, recoveries, failures int64, lastErr string) {
+	s.lastRecoveryMu.Lock()
+	lastErr = s.lastRecoveryErr
+	s.lastRecoveryMu.Unlock()
+	return s.recovering.Load(), s.recoveries.Load(), s.recoveryFailures.Load(), lastErr
+}
+
+func (s *Server) setLastRecoveryErr(msg string) {
+	s.lastRecoveryMu.Lock()
+	s.lastRecoveryErr = msg
+	s.lastRecoveryMu.Unlock()
+}
+
+// Recover rebuilds a manager from the journal and, if it passes the full
+// invariant audit, swaps it into the command loop and un-latches degraded
+// mode. It returns the journal sequence number the rebuilt manager covers.
+// Only one recovery runs at a time; concurrent calls get
+// ErrRecoveryInProgress.
+//
+// Recovery can only succeed when the corruption was out-of-band (a cosmic-
+// ray bit flip, a bug in an aggregate cache): replaying the journal then
+// reproduces the correct state. If a journaled event itself corrupts the
+// manager deterministically, replay reproduces the corruption, the audit
+// fails, and Recover refuses — the honest outcome.
+func (s *Server) Recover(ctx context.Context) (uint64, error) {
+	if s.jnl == nil {
+		return 0, ErrNoJournal
+	}
+	if ok, _ := s.Degraded(); !ok {
+		return 0, ErrNotDegraded
+	}
+	if !s.recovering.CompareAndSwap(false, true) {
+		return 0, ErrRecoveryInProgress
+	}
+	defer s.recovering.Store(false)
+	seq, err := s.recoverOnce(ctx)
+	if err != nil {
+		s.recoveryFailures.Add(1)
+		s.setLastRecoveryErr(err.Error())
+		return 0, err
+	}
+	s.recoveries.Add(1)
+	s.setLastRecoveryErr("")
+	if s.onRecover != nil {
+		s.onRecover(seq)
+	}
+	return seq, nil
+}
+
+func (s *Server) recoverOnce(ctx context.Context) (uint64, error) {
+	// Degraded mode guarantees append quiescence: every mutating command is
+	// refused before it journals, so the reload sees the complete history.
+	rec, err := s.jnl.Reload()
+	if err != nil {
+		return 0, fmt.Errorf("%w: reload: %v", ErrJournal, err)
+	}
+	fresh, err := Rebuild(s.graph, s.cfg, rec)
+	if err != nil {
+		return 0, err
+	}
+	// Swap inside the loop: installing the manager and un-latching degraded
+	// happen in one command, so every other command sees either (degraded,
+	// old manager) or (healthy, new manager) — never a mix.
+	done := make(chan struct{})
+	if err := s.submit(ctx, func(*manager.Manager) {
+		s.mgr = fresh
+		s.eventsSinceSnap = 0
+		s.degradedMu.Lock()
+		s.degradedReason = ""
+		s.degradedMu.Unlock()
+		s.degraded.Store(false)
+		close(done)
+	}); err != nil {
+		return 0, err
+	}
+	// An accepted command runs exactly once even through Shutdown's drain,
+	// so this wait always terminates.
+	<-done
+	return rec.LastSeq, nil
+}
+
+// superviseRecovery is the automatic-recovery loop, spawned by
+// noteViolation when the policy asks for it. Capped exponential backoff;
+// stops on success, on exhausted attempts, or at shutdown.
+func (s *Server) superviseRecovery() {
+	p := s.recoverPolicy
+	backoff := p.InitialBackoff
+	for attempt := 1; ; attempt++ {
+		_, err := s.Recover(context.Background())
+		switch {
+		case err == nil, errors.Is(err, ErrNotDegraded), errors.Is(err, ErrNoJournal):
+			return // recovered (possibly by a concurrent manual call)
+		case errors.Is(err, ErrServerClosed):
+			return
+		}
+		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
+			return
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > p.MaxBackoff {
+			backoff = p.MaxBackoff
+		}
+	}
+}
+
+// Rebuild reconstructs a manager from recovered journal state: restore the
+// snapshot (if any), cross-check it against the snapshot header's
+// aggregates, strictly replay the event tail, and run the full invariant
+// audit. Any disagreement is an error — callers must refuse to serve a
+// state that replay cannot vouch for.
+func Rebuild(g *topology.Graph, cfg manager.Config, rec *journal.Recovered) (*manager.Manager, error) {
+	var m *manager.Manager
+	var err error
+	if rec.SnapshotHeader != nil {
+		st, uerr := manager.UnmarshalState(rec.SnapshotBody)
+		if uerr != nil {
+			return nil, fmt.Errorf("%w: snapshot seq %d: %v", ErrJournal, rec.SnapshotSeq, uerr)
+		}
+		m, err = manager.Restore(g, cfg, st)
+		if err != nil {
+			return nil, fmt.Errorf("%w: snapshot seq %d: %v", ErrJournal, rec.SnapshotSeq, err)
+		}
+		if err := crossCheckSnapshot(m, rec.SnapshotHeader); err != nil {
+			return nil, fmt.Errorf("%w: snapshot seq %d: %v", ErrJournal, rec.SnapshotSeq, err)
+		}
+	} else {
+		m, err = manager.New(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, ev := range rec.Events {
+		if err := applyJournaled(m, ev); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("%w: replayed state fails audit: %v", ErrJournal, err)
+	}
+	return m, nil
+}
+
+// crossCheckSnapshot compares the restored manager against the aggregates
+// the snapshot header recorded at write time. A mismatch means the restore
+// machinery (not the disk — the body already passed its CRC) disagrees with
+// the state it was handed.
+func crossCheckSnapshot(m *manager.Manager, hdr *journal.SnapshotHeader) error {
+	if m.AliveCount() != hdr.Alive {
+		return fmt.Errorf("restored %d alive connections, header says %d", m.AliveCount(), hdr.Alive)
+	}
+	if m.UnprotectedCount() != hdr.Unprotected {
+		return fmt.Errorf("restored %d unprotected, header says %d", m.UnprotectedCount(), hdr.Unprotected)
+	}
+	if m.Requests() != hdr.Requests || m.Rejects() != hdr.Rejects {
+		return fmt.Errorf("restored counters %d/%d, header says %d/%d",
+			m.Requests(), m.Rejects(), hdr.Requests, hdr.Rejects)
+	}
+	hist := m.LevelHistogram(nil)
+	for l := 0; l < len(hist) || l < len(hdr.LevelHistogram); l++ {
+		var got, want int
+		if l < len(hist) {
+			got = hist[l]
+		}
+		if l < len(hdr.LevelHistogram) {
+			want = hdr.LevelHistogram[l]
+		}
+		if got != want {
+			return fmt.Errorf("restored level histogram [%d]=%d, header says %d", l, got, want)
+		}
+	}
+	failed := 0
+	for l := 0; l < m.Graph().NumLinks(); l++ {
+		if m.Network().Failed(topology.LinkID(l)) {
+			failed++
+		}
+	}
+	if failed != len(hdr.FailedLinks) {
+		return fmt.Errorf("restored %d failed links, header says %d", failed, len(hdr.FailedLinks))
+	}
+	return nil
+}
+
+// applyJournaled replays one event. Deterministic rejections (admission
+// refusal, invalid spec) are tolerated for establishes — they happened
+// identically in the original run and bumped the same counters. Everything
+// else must succeed: the server pre-validated terminate/fail/repair events
+// before journaling them, so a replay error means the journal and the state
+// machine disagree.
+func applyJournaled(m *manager.Manager, ev journal.Event) error {
+	switch ev.Kind {
+	case journal.KindEstablish:
+		if !validNode(m.Graph(), topology.NodeID(ev.Src)) || !validNode(m.Graph(), topology.NodeID(ev.Dst)) {
+			return fmt.Errorf("replay seq %d: establish endpoints %d→%d out of range — journal from a different topology?",
+				ev.Seq, ev.Src, ev.Dst)
+		}
+		spec := qos.ElasticSpec{
+			Min:       qos.Kbps(ev.MinKbps),
+			Max:       qos.Kbps(ev.MaxKbps),
+			Increment: qos.Kbps(ev.IncKbps),
+			Utility:   ev.Utility,
+		}
+		_, err := m.Establish(topology.NodeID(ev.Src), topology.NodeID(ev.Dst), spec)
+		if err != nil && !errors.Is(err, manager.ErrRejected) && !errors.Is(err, qos.ErrInvalidSpec) {
+			return fmt.Errorf("replay seq %d (establish %d→%d): %w", ev.Seq, ev.Src, ev.Dst, err)
+		}
+		return nil
+	case journal.KindTerminate:
+		if _, err := m.Terminate(channel.ConnID(ev.Conn)); err != nil {
+			return fmt.Errorf("replay seq %d (terminate %d): %w", ev.Seq, ev.Conn, err)
+		}
+		return nil
+	case journal.KindFailLink:
+		if _, err := m.FailLink(topology.LinkID(ev.Link)); err != nil {
+			return fmt.Errorf("replay seq %d (fail link %d): %w", ev.Seq, ev.Link, err)
+		}
+		return nil
+	case journal.KindRepairLink:
+		if _, err := m.RepairLink(topology.LinkID(ev.Link)); err != nil {
+			return fmt.Errorf("replay seq %d (repair link %d): %w", ev.Seq, ev.Link, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("replay seq %d: unknown event kind %d", ev.Seq, uint8(ev.Kind))
+	}
+}

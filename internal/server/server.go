@@ -11,6 +11,13 @@
 // every command already accepted, and only then stops the loop — no
 // accepted command is dropped or double-applied.
 //
+// With Options.Journal set the server follows write-ahead discipline: every
+// mutating command is appended to the journal — after its validity
+// pre-checks, before the manager mutates — and a snapshot of the manager's
+// durable state is written every SnapshotEvery journaled events to bound
+// replay. recovery.go adds the supervised exit from degraded mode: a
+// rebuilt-and-audited manager is atomically swapped into the command loop.
+//
 // The HTTP layer in http.go exposes the same operations as a JSON API plus
 // Prometheus-style /metrics; cmd/drserverd wires it to a listener and
 // cmd/drload exercises it under concurrent load.
@@ -24,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"drqos/internal/channel"
+	"drqos/internal/journal"
 	"drqos/internal/manager"
 	"drqos/internal/qos"
 	"drqos/internal/topology"
@@ -36,7 +44,8 @@ var ErrServerClosed = errors.New("server: closed")
 // violation and now refuses mutating commands (Establish / Terminate /
 // FailLink / RepairLink). Reads — Snapshot, CheckInvariants, the HTTP GET
 // endpoints — keep working, so operators can inspect the corrupted state:
-// the daemon degrades instead of dying. Mapped to HTTP 503.
+// the daemon degrades instead of dying. Mapped to HTTP 503. A journaled
+// server can leave degraded mode through Recover (POST /v1/admin/recover).
 var ErrDegraded = errors.New("server: degraded after invariant violation, mutations refused")
 
 // ErrNotFound reports an operation against an unknown connection or link.
@@ -51,15 +60,31 @@ type Options struct {
 	// QueueDepth is the command-channel buffer (default 256). A deeper
 	// queue absorbs burstier arrivals at the cost of tail latency.
 	QueueDepth int
-	// OnDegrade, when non-nil, is called exactly once — from the command
-	// loop goroutine — when the first invariant violation flips the server
-	// into degraded mode. Daemons use it to log the event.
+	// OnDegrade, when non-nil, is called exactly once per degrade episode —
+	// from the command loop goroutine — when an invariant violation flips
+	// the server into degraded mode. Daemons use it to log the event.
 	OnDegrade func(reason string)
+	// Journal, when non-nil, makes every mutation durable: commands are
+	// appended (write-ahead) before the manager applies them. The server
+	// takes ownership of snapshot writing but NOT of Close — the daemon
+	// closes the journal after Shutdown has drained the loop.
+	Journal *journal.Journal
+	// SnapshotEvery writes a state snapshot after this many journaled
+	// events (default 1024; negative disables snapshots).
+	SnapshotEvery int
+	// Recover configures automatic recovery from degraded mode; zero value
+	// means manual-only (POST /v1/admin/recover).
+	Recover RecoverPolicy
+	// OnRecover, when non-nil, is called after each successful recovery
+	// with the journal sequence the rebuilt manager reached. It mirrors
+	// OnDegrade; daemons use it to log the event.
+	OnRecover func(seq uint64)
 }
 
 // Server owns a manager.Manager behind a single-goroutine command loop.
 type Server struct {
 	graph *topology.Graph
+	cfg   manager.Config // defaults-applied; recovery rebuilds from it
 
 	mu       sync.Mutex
 	closed   bool
@@ -67,6 +92,19 @@ type Server struct {
 
 	cmds     chan func(*manager.Manager)
 	loopDone chan struct{}
+	stop     chan struct{} // closed on Shutdown; halts the recovery supervisor
+
+	// mgr is owned by the loop goroutine: it is written at construction
+	// (before the loop starts) and by the recovery swap command (which runs
+	// in the loop), and read only by the loop.
+	mgr *manager.Manager
+
+	// Durability. jnl is nil for an in-memory server. eventsSinceSnap is
+	// loop-owned.
+	jnl             *journal.Journal
+	snapshotEvery   int
+	eventsSinceSnap int
+	journalErrors   atomic.Int64
 
 	// Degraded mode: set by the loop goroutine on the first detected
 	// invariant violation, read by anyone. The reason is written under
@@ -78,6 +116,15 @@ type Server struct {
 	invariantViolations atomic.Int64
 	onDegrade           func(string)
 
+	// Recovery state (recovery.go).
+	recoverPolicy    RecoverPolicy
+	onRecover        func(uint64)
+	recovering       atomic.Bool
+	recoveries       atomic.Int64
+	recoveryFailures atomic.Int64
+	lastRecoveryMu   sync.Mutex
+	lastRecoveryErr  string
+
 	// Counters, written by the loop goroutine, read by anyone.
 	processed   atomic.Int64
 	establishes atomic.Int64
@@ -87,31 +134,52 @@ type Server struct {
 	snapshots   atomic.Int64
 }
 
-// New builds a Server over graph g and starts its command loop.
+// New builds a Server over a fresh manager for graph g and starts its
+// command loop.
 func New(g *topology.Graph, cfg manager.Config, opt Options) (*Server, error) {
 	mgr, err := manager.New(g, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return NewFromManager(g, mgr, opt)
+}
+
+// NewFromManager builds a Server around an existing manager — typically one
+// rebuilt from a journal by Rebuild — and starts its command loop. The
+// manager must not be touched by the caller afterwards.
+func NewFromManager(g *topology.Graph, mgr *manager.Manager, opt Options) (*Server, error) {
 	depth := opt.QueueDepth
 	if depth <= 0 {
 		depth = 256
 	}
-	s := &Server{
-		graph:     g,
-		cmds:      make(chan func(*manager.Manager), depth),
-		loopDone:  make(chan struct{}),
-		onDegrade: opt.OnDegrade,
+	snapEvery := opt.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = 1024
 	}
-	go s.loop(mgr)
+	s := &Server{
+		graph:         g,
+		cfg:           mgr.Config(),
+		cmds:          make(chan func(*manager.Manager), depth),
+		loopDone:      make(chan struct{}),
+		stop:          make(chan struct{}),
+		mgr:           mgr,
+		jnl:           opt.Journal,
+		snapshotEvery: snapEvery,
+		onDegrade:     opt.OnDegrade,
+		recoverPolicy: opt.Recover.withDefaults(),
+		onRecover:     opt.OnRecover,
+	}
+	go s.loop()
 	return s, nil
 }
 
-// loop is the only goroutine that ever touches the manager.
-func (s *Server) loop(mgr *manager.Manager) {
+// loop is the only goroutine that ever touches the manager. It re-reads
+// s.mgr every iteration so a recovery swap (which assigns s.mgr from inside
+// a command) takes effect for the next command.
+func (s *Server) loop() {
 	defer close(s.loopDone)
 	for fn := range s.cmds {
-		fn(mgr)
+		fn(s.mgr)
 		s.processed.Add(1)
 	}
 }
@@ -124,6 +192,9 @@ func (s *Server) QueueDepth() int { return len(s.cmds) }
 
 // Processed returns the number of commands the loop has executed.
 func (s *Server) Processed() int64 { return s.processed.Load() }
+
+// Journaled reports whether mutations are written to a durable journal.
+func (s *Server) Journaled() bool { return s.jnl != nil }
 
 // Degraded reports whether the service is refusing mutations after an
 // invariant violation, and the first violation's description.
@@ -142,7 +213,8 @@ func (s *Server) InvariantViolations() int64 { return s.invariantViolations.Load
 
 // noteViolation inspects an event handler's error for an invariant
 // violation and, on the first one, flips the server into degraded mode.
-// Only the loop goroutine calls it.
+// Only the loop goroutine calls it. When an automatic recovery policy is
+// configured, flipping also starts the background recovery supervisor.
 func (s *Server) noteViolation(err error) {
 	var iv *manager.InvariantViolation
 	if err == nil || !errors.As(err, &iv) {
@@ -154,8 +226,13 @@ func (s *Server) noteViolation(err error) {
 		s.degradedReason = iv.Error()
 	}
 	s.degradedMu.Unlock()
-	if s.degraded.CompareAndSwap(false, true) && s.onDegrade != nil {
-		s.onDegrade(iv.Error())
+	if s.degraded.CompareAndSwap(false, true) {
+		if s.onDegrade != nil {
+			s.onDegrade(iv.Error())
+		}
+		if s.recoverPolicy.Auto && s.jnl != nil {
+			go s.superviseRecovery()
+		}
 	}
 }
 
@@ -166,6 +243,60 @@ func (s *Server) refuseIfDegraded() error {
 		return fmt.Errorf("%w: %s", ErrDegraded, reason)
 	}
 	return nil
+}
+
+// journalAppend persists ev before the mutation it describes (write-ahead
+// discipline). A nil journal is a no-op. On an append error the caller must
+// NOT apply the mutation: the command fails with ErrJournal instead of
+// executing undurably.
+func (s *Server) journalAppend(ev journal.Event) error {
+	if s.jnl == nil {
+		return nil
+	}
+	if _, err := s.jnl.Append(ev); err != nil {
+		s.journalErrors.Add(1)
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	s.eventsSinceSnap++
+	return nil
+}
+
+// maybeSnapshot writes a durable snapshot once enough events accumulated
+// since the last one. Runs in the loop after a journaled command applied.
+// Degraded state is never snapshotted: the journal must keep describing the
+// last trusted state so recovery can rebuild it.
+func (s *Server) maybeSnapshot(m *manager.Manager) {
+	if s.jnl == nil || s.snapshotEvery <= 0 || s.eventsSinceSnap < s.snapshotEvery {
+		return
+	}
+	if s.degraded.Load() {
+		return
+	}
+	if err := s.writeSnapshot(m); err != nil {
+		// The WAL is still intact and replay still works — a failed
+		// snapshot costs replay time, not correctness. Counted, retried on
+		// the next journaled event.
+		s.journalErrors.Add(1)
+		return
+	}
+	s.eventsSinceSnap = 0
+}
+
+// writeSnapshot exports the manager's durable state and hands it to the
+// journal, with the aggregate cross-check fields the restore path verifies.
+func (s *Server) writeSnapshot(m *manager.Manager) error {
+	st := m.ExportState()
+	hdr := journal.SnapshotHeader{
+		Alive:          m.AliveCount(),
+		Unprotected:    m.UnprotectedCount(),
+		LevelHistogram: m.LevelHistogram(nil),
+		Requests:       m.Requests(),
+		Rejects:        m.Rejects(),
+	}
+	for _, l := range st.FailedLinks {
+		hdr.FailedLinks = append(hdr.FailedLinks, int(l))
+	}
+	return s.jnl.WriteSnapshot(hdr, st.MarshalBinary())
 }
 
 // submit enqueues fn for the loop. It returns ErrServerClosed after
@@ -197,12 +328,15 @@ func (s *Server) submit(ctx context.Context, fn func(*manager.Manager)) error {
 // Shutdown stops accepting commands, waits for every accepted command to
 // execute, and stops the loop. It is safe to call multiple times; calls
 // after the first wait for the same drain. The context bounds the wait.
+// The journal (if any) is NOT closed — the daemon owns that, after the
+// drain guarantees no more appends.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	first := !s.closed
 	s.closed = true
 	s.mu.Unlock()
 	if first {
+		close(s.stop)
 		// In-flight submits have either enqueued or aborted once Wait
 		// returns; no new submit can start, so closing cmds is safe and
 		// the loop drains the remaining buffer before exiting.
@@ -231,14 +365,34 @@ func (s *Server) Establish(ctx context.Context, src, dst topology.NodeID, spec q
 			ch <- out{nil, err}
 			return
 		}
+		// Range-check endpoints before journaling: a journaled establish
+		// must be safe to replay against the same topology.
+		if !validNode(m.Graph(), src) || !validNode(m.Graph(), dst) {
+			ch <- out{nil, fmt.Errorf("%w: node out of range", ErrNotFound)}
+			return
+		}
+		if err := s.journalAppend(journal.Event{
+			Kind: journal.KindEstablish,
+			Src:  int32(src), Dst: int32(dst),
+			MinKbps: int64(spec.Min), MaxKbps: int64(spec.Max),
+			IncKbps: int64(spec.Increment), Utility: spec.Utility,
+		}); err != nil {
+			ch <- out{nil, err}
+			return
+		}
 		rep, err := m.Establish(src, dst, spec)
 		s.noteViolation(err)
+		s.maybeSnapshot(m)
 		ch <- out{rep, err}
 	}); err != nil {
 		return nil, err
 	}
 	o := <-ch
 	return o.rep, o.err
+}
+
+func validNode(g *topology.Graph, n topology.NodeID) bool {
+	return int(n) >= 0 && int(n) < g.NumNodes()
 }
 
 // Terminate releases connection id and returns the termination report.
@@ -258,8 +412,13 @@ func (s *Server) Terminate(ctx context.Context, id channel.ConnID) (*manager.Ter
 			ch <- out{nil, ErrNotFound}
 			return
 		}
+		if err := s.journalAppend(journal.Event{Kind: journal.KindTerminate, Conn: int64(id)}); err != nil {
+			ch <- out{nil, err}
+			return
+		}
 		rep, err := m.Terminate(id)
 		s.noteViolation(err)
+		s.maybeSnapshot(m)
 		ch <- out{rep, err}
 	}); err != nil {
 		return nil, err
@@ -289,8 +448,13 @@ func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.Fail
 			ch <- out{nil, ErrConflict}
 			return
 		}
+		if err := s.journalAppend(journal.Event{Kind: journal.KindFailLink, Link: int32(l)}); err != nil {
+			ch <- out{nil, err}
+			return
+		}
 		rep, err := m.FailLink(l)
 		s.noteViolation(err)
+		s.maybeSnapshot(m)
 		ch <- out{rep, err}
 	}); err != nil {
 		return nil, err
@@ -321,8 +485,13 @@ func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error)
 			ch <- out{0, ErrConflict}
 			return
 		}
+		if err := s.journalAppend(journal.Event{Kind: journal.KindRepairLink, Link: int32(l)}); err != nil {
+			ch <- out{0, err}
+			return
+		}
 		restored, err := m.RepairLink(l)
 		s.noteViolation(err)
+		s.maybeSnapshot(m)
 		ch <- out{restored, err}
 	}); err != nil {
 		return 0, err

@@ -32,10 +32,21 @@ type Stats struct {
 	FailedLinks []int `json:"failed_links"`
 
 	// Degraded mode: set after the first detected invariant violation;
-	// mutating commands answer 503 until the operator restarts the daemon.
+	// mutating commands answer 503 until a recovery succeeds (journaled
+	// servers) or the operator restarts the daemon.
 	Degraded            bool   `json:"degraded"`
 	DegradedReason      string `json:"degraded_reason,omitempty"`
 	InvariantViolations int64  `json:"invariant_violations"`
+
+	// Durability and recovery state (all zero for in-memory servers).
+	Journaled         bool   `json:"journaled"`
+	JournalSeq        uint64 `json:"journal_seq,omitempty"`
+	JournalSnapshot   uint64 `json:"journal_snapshot_seq,omitempty"`
+	JournalErrors     int64  `json:"journal_errors,omitempty"`
+	Recovering        bool   `json:"recovering"`
+	Recoveries        int64  `json:"recoveries"`
+	RecoveryFailures  int64  `json:"recovery_failures"`
+	LastRecoveryError string `json:"last_recovery_error,omitempty"`
 
 	// Command-loop counters (cumulative) and instantaneous queue depth.
 	Commands   CommandStats `json:"commands"`
@@ -78,6 +89,13 @@ func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
 		}
 		st.Degraded, st.DegradedReason = s.Degraded()
 		st.InvariantViolations = s.invariantViolations.Load()
+		if s.jnl != nil {
+			st.Journaled = true
+			st.JournalSeq = s.jnl.LastSeq()
+			st.JournalSnapshot = s.jnl.SnapshotSeq()
+			st.JournalErrors = s.journalErrors.Load()
+		}
+		st.Recovering, st.Recoveries, st.RecoveryFailures, st.LastRecoveryError = s.RecoveryStatus()
 		st.Commands = CommandStats{
 			Processed:   s.processed.Load(),
 			Establishes: s.establishes.Load(),

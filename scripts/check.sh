@@ -2,10 +2,15 @@
 # Tier-1 verification: build, vet, and run the full test suite with the
 # race detector (the internal/server actor loop must stay race-clean).
 #
-#   scripts/check.sh           build + vet + panic gate + full race tests
-#   scripts/check.sh --chaos   build + vet + panic gate + seeded chaos
-#                              episodes under -race (manager and server),
-#                              plus the fault-injection tests
+#   scripts/check.sh             build + vet + panic gate + full race tests
+#   scripts/check.sh --chaos     build + vet + panic gate + seeded chaos
+#                                episodes under -race (manager and server),
+#                                plus the fault-injection tests
+#   scripts/check.sh --recovery  build + panic gate + end-to-end durability
+#                                smoke: kill -9 a journaled drserverd
+#                                mid-burst, restart from the same data dir,
+#                                and require the recovered population to
+#                                match the pre-kill metrics exactly
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,6 +41,99 @@ if [ "${1:-}" = "--chaos" ]; then
     go test -race -count 1 -run 'TestShrink|TestRunServer|TestDegraded|TestEpisodes' \
         ./internal/chaos/ ./internal/server/
     echo "== OK (chaos)"
+    exit 0
+fi
+
+if [ "${1:-}" = "--recovery" ]; then
+    # Library-level crash matrix first: journaled episodes killed at varying
+    # points, restarted, and compared bit-for-bit against a never-crashed
+    # reference.
+    echo "== chaos: 8 crash-restart episodes"
+    go run ./cmd/chaos -crash -episodes 8 -events 120 -q
+
+    # End-to-end: a real drserverd process, kill -9, restart from disk.
+    TMP="$(mktemp -d)"
+    SRV_PID=""
+    cleanup() {
+        [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+        rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    ADDR=127.0.0.1:18080
+    echo "== building drserverd + drload"
+    go build -o "$TMP/drserverd" ./cmd/drserverd
+    go build -o "$TMP/drload" ./cmd/drload
+
+    start_server() {
+        "$TMP/drserverd" -addr "$ADDR" -nodes 40 -seed 7 \
+            -data-dir "$TMP/data" -fsync -1 -snapshot-every 50 \
+            >>"$TMP/server.log" 2>&1 &
+        SRV_PID=$!
+        i=0
+        while ! curl -fsS "http://$ADDR/v1/stats" >/dev/null 2>&1; do
+            i=$((i + 1))
+            if [ "$i" -ge 100 ]; then
+                echo "FAIL: drserverd did not come up; log:" >&2
+                cat "$TMP/server.log" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+    }
+
+    # The deterministic slice of /metrics: population, level histogram,
+    # journal position, admission counters. Equal captures mean equal state.
+    state_metrics() {
+        curl -fsS "http://$ADDR/metrics" | grep -E \
+            '^drqos_(connections_alive|connections_level|connections_unprotected|journal_seq|establish_requests_total|establish_rejects_total|links_failed)'
+    }
+
+    echo "== recovery smoke 1: quiescent kill -9, restart, exact state match"
+    start_server
+    "$TMP/drload" -addr "http://$ADDR" -workers 4 -requests 400 -seed 11 \
+        -terminate-frac 0.1 >"$TMP/load1.log" 2>&1
+    state_metrics >"$TMP/pre.metrics"
+    if ! grep -Eq '^drqos_connections_alive [1-9]' "$TMP/pre.metrics"; then
+        echo "FAIL: burst left no alive connections; nothing meaningful to recover" >&2
+        cat "$TMP/pre.metrics" >&2
+        exit 1
+    fi
+    kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+    start_server
+    state_metrics >"$TMP/post.metrics"
+    if ! diff -u "$TMP/pre.metrics" "$TMP/post.metrics"; then
+        echo "FAIL: state after kill -9 + restart differs from the journaled state" >&2
+        exit 1
+    fi
+
+    echo "== recovery smoke 2: kill -9 mid-burst, restart, audit"
+    "$TMP/drload" -addr "http://$ADDR" -workers 4 -requests 100000 -seed 12 \
+        -retries 1 -retry-base 10ms >"$TMP/load2.log" 2>&1 &
+    LOAD_PID=$!
+    sleep 1
+    kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+    kill "$LOAD_PID" 2>/dev/null || true
+    wait "$LOAD_PID" 2>/dev/null || true
+    start_server
+    if ! curl -fsS "http://$ADDR/v1/invariants" | grep -q '"ok": *true'; then
+        echo "FAIL: invariants dirty after mid-burst crash recovery" >&2
+        curl -fsS "http://$ADDR/v1/invariants" >&2 || true
+        exit 1
+    fi
+    state_metrics >"$TMP/a.metrics"
+
+    echo "== recovery smoke 3: clean SIGTERM, restart, exact state match"
+    kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+    start_server
+    state_metrics >"$TMP/b.metrics"
+    if ! diff -u "$TMP/a.metrics" "$TMP/b.metrics"; then
+        echo "FAIL: clean shutdown + restart changed the recovered state" >&2
+        exit 1
+    fi
+    kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+    SRV_PID=""
+    grep -E 'journal: recovered' "$TMP/server.log" || true
+    echo "== OK (recovery)"
     exit 0
 fi
 
