@@ -1,4 +1,4 @@
-.PHONY: check build test race bench bench-json bench-smoke loadtest
+.PHONY: check build test race bench bench-json bench-smoke loadtest overload-smoke
 
 # Full tier-1 verification: build + vet + race-enabled tests.
 check:
@@ -26,6 +26,11 @@ bench-json:
 
 bench-smoke:
 	./scripts/bench.sh --quick
+
+# Overload control plane: in-process episodes under -race, then a live 4x
+# over-capacity burst drill against a real drserverd.
+overload-smoke:
+	./scripts/check.sh --overload
 
 # End-to-end load test: drserverd + drload (10k requests, 8 workers).
 loadtest:

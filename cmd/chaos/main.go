@@ -8,12 +8,19 @@
 //	go run -race ./cmd/chaos -episodes 60 -events 120 -seed 1
 //	go run -race ./cmd/chaos -server -episodes 10 -workers 8 -ops 200
 //	go run ./cmd/chaos -crash -episodes 12 -events 150
+//	go run -race ./cmd/chaos -overload -episodes 5
 //
 // -crash runs durability episodes instead: each journals an event stream,
 // kills it mid-run (abandoning the journal without Close, sometimes with a
 // torn half-written record appended), restarts from disk, and asserts the
 // rebuilt state is bit-identical to a never-crashed reference before driving
 // both through the rest of the episode.
+//
+// -overload runs overload-control episodes: the actor's service rate is
+// artificially capped, closed-loop workers with tiny deadlines drown the
+// consuming lane, and each episode asserts the server sheds expired work
+// unexecuted, latches (and later clears) the overloaded state, keeps
+// terminations live, never wedges and never degrades.
 package main
 
 import (
@@ -34,6 +41,7 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent clients (with -server)")
 		ops      = flag.Int("ops", 100, "operations per client (with -server)")
 		crash    = flag.Bool("crash", false, "run crash-restart durability episodes instead")
+		overload = flag.Bool("overload", false, "run overload-control episodes instead (deadline shedding, priority lanes, latch/recovery)")
 		quiet    = flag.Bool("q", false, "only report failures")
 	)
 	flag.Parse()
@@ -47,6 +55,21 @@ func main() {
 			continue
 		}
 		s := *seed + uint64(i)
+		if *overload {
+			res, err := chaos.RunOverload(chaos.OverloadConfig{
+				Seed: s, Nodes: *nodes, Workers: *workers, Ops: *ops,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: overload episode %d (seed %d): %v\n", i, s, err)
+				os.Exit(1)
+			}
+			if !*quiet {
+				fmt.Printf("overload episode %d ok (seed %d): ok=%d expired=%d terminated=%d shed=%d+%d latches=%d recovered_in=%s\n",
+					i, s, res.EstablishOK, res.EstablishExpired, res.Terminated,
+					res.ShedExpired, res.ShedCanceled, res.Episodes, res.RecoveredIn)
+			}
+			continue
+		}
 		if *srv {
 			// Odd episodes fire a mid-burst shutdown so workers race the
 			// closing command queue.

@@ -2,15 +2,21 @@
 // goroutines replay a randomized arrival/termination/fault mix against the
 // daemon's JSON API and report throughput, outcome counts and streaming
 // latency percentiles (p50/p90/p99 via the P² estimator in internal/stats).
-// Transport failures and 503s (a degraded server refusing mutations while it
-// recovers) are retried with capped exponential backoff and jitter; retries
-// and give-ups are reported separately from hard errors in the digest.
-// After the run it asks the server to audit its ledger (GET /v1/invariants)
-// and exits non-zero on any transport error, unexpected status, or a dirty
-// invariant check.
+// Transport failures, 503s (a degraded or overloaded server shedding
+// mutations) and 429s (per-client rate limit) are retried with capped
+// exponential backoff and jitter — honoring the server's Retry-After hint
+// when one is sent; retries, honored hints and give-ups are reported
+// separately from hard errors in the digest. After the run it asks the
+// server to audit its ledger (GET /v1/invariants) and exits non-zero on any
+// transport error, unexpected status, or a dirty invariant check.
 //
 //	drserverd -addr :8080 &
 //	drload -addr http://127.0.0.1:8080 -workers 8 -requests 10000
+//
+// With -overload it instead runs the sustained over-capacity burst drill
+// (see overload.go): calibrate the closed-loop rate, burst open-loop at a
+// multiple of it, and gate on the server shedding, keeping reads fast, and
+// returning to ready.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,7 +53,8 @@ type counters struct {
 	failed      atomic.Int64
 	repaired    atomic.Int64
 	conflicts   atomic.Int64 // fault raced another worker's fault
-	retries     atomic.Int64 // re-issued after a transport error or 503
+	retries     atomic.Int64 // re-issued after a transport error, 503 or 429
+	hints       atomic.Int64 // retries that honored a server Retry-After hint
 	giveups     atomic.Int64 // retry budget exhausted
 	errors      atomic.Int64
 }
@@ -93,11 +101,15 @@ func run() error {
 
 	// Discover the topology once so workers can draw endpoints and links.
 	var st server.Stats
-	if _, err := doJSON(client, "GET", *addr+"/v1/stats", nil, &st); err != nil {
+	if _, _, err := doJSON(client, "GET", *addr+"/v1/stats", nil, &st); err != nil {
 		return fmt.Errorf("initial stats (is drserverd running at %s?): %w", *addr, err)
 	}
 	fmt.Printf("target: %s — %d nodes, %d links, capacity %d Kbps\n",
 		*addr, st.Nodes, st.Links, st.CapacityKbps)
+
+	if *overloadMode {
+		return runOverload(client, *addr, st, *seed)
+	}
 
 	var (
 		cnt    counters
@@ -150,7 +162,8 @@ func run() error {
 	fmt.Printf("outcomes: established=%d rejected=%d terminated=%d gone=%d failed=%d repaired=%d conflicts=%d errors=%d\n",
 		cnt.established.Load(), cnt.rejected.Load(), cnt.terminated.Load(), cnt.gone.Load(),
 		cnt.failed.Load(), cnt.repaired.Load(), cnt.conflicts.Load(), cnt.errors.Load())
-	fmt.Printf("resilience: retries=%d giveups=%d\n", cnt.retries.Load(), cnt.giveups.Load())
+	fmt.Printf("resilience: retries=%d honored_hints=%d giveups=%d\n",
+		cnt.retries.Load(), cnt.hints.Load(), cnt.giveups.Load())
 	d := lat.d
 	// An empty digest reports NaN quantiles; render "n/a" instead of a
 	// bogus 0.00ms (Mean/Max return 0 when empty, equally misleading).
@@ -166,7 +179,7 @@ func run() error {
 		fmt.Printf("first errors: %s\n", m)
 	}
 
-	if _, err := doJSON(client, "GET", *addr+"/v1/stats", nil, &st); err != nil {
+	if _, _, err := doJSON(client, "GET", *addr+"/v1/stats", nil, &st); err != nil {
 		return fmt.Errorf("final stats: %w", err)
 	}
 	fmt.Printf("server: alive=%d unprotected=%d avg_bw=%.1fKbps reject_rate=%.3f failed_links=%v\n",
@@ -176,7 +189,7 @@ func run() error {
 		OK    bool   `json:"ok"`
 		Error string `json:"error"`
 	}
-	if _, err := doJSON(client, "GET", *addr+"/v1/invariants", nil, &inv); err != nil {
+	if _, _, err := doJSON(client, "GET", *addr+"/v1/invariants", nil, &inv); err != nil {
 		return fmt.Errorf("invariant check: %w", err)
 	}
 	if !inv.OK {
@@ -307,16 +320,19 @@ func (w *worker) fault() error {
 }
 
 // timed issues one request, recording each attempt's latency. Transport
-// errors and 503s (degraded server, mid-recovery) are retried with capped
-// exponential backoff and full jitter; once the budget is spent the request
-// is counted as a give-up and surfaces as an error.
+// errors, 503s (degraded or overloaded server) and 429s (rate limit) are
+// retried with capped exponential backoff and full jitter; once the budget
+// is spent the request is counted as a give-up and surfaces as an error.
+// When the refusal carries a Retry-After hint, the worker sleeps for the
+// hinted time instead of its own backoff guess — the server knows how long
+// its own recovery takes.
 func (w *worker) timed(method, url string, body, out any) (int, error) {
 	backoff := w.retryBase
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
-		code, err := doJSON(w.client, method, url, body, out)
+		code, retryAfter, err := doJSON(w.client, method, url, body, out)
 		w.lat.observe(time.Since(t0).Seconds())
-		if err == nil && code != http.StatusServiceUnavailable {
+		if err == nil && code != http.StatusServiceUnavailable && code != http.StatusTooManyRequests {
 			return code, nil
 		}
 		if attempt >= w.retries {
@@ -327,46 +343,58 @@ func (w *worker) timed(method, url string, body, out any) (int, error) {
 			return code, fmt.Errorf("giving up after %d attempts: status %d", attempt+1, code)
 		}
 		w.cnt.retries.Add(1)
-		// Sleep uniformly in [backoff/2, backoff] so workers don't thunder
-		// back in lockstep, then double up to the cap.
-		time.Sleep(backoff/2 + time.Duration(w.jit.Float64()*float64(backoff/2)))
+		if retryAfter > 0 {
+			// Honor the server's hint, with a little jitter on top so
+			// hinted workers don't all come back in the same instant.
+			w.cnt.hints.Add(1)
+			time.Sleep(retryAfter + time.Duration(w.jit.Float64()*float64(w.retryBase)))
+		} else {
+			// Sleep uniformly in [backoff/2, backoff] so workers don't
+			// thunder back in lockstep, then double up to the cap.
+			time.Sleep(backoff/2 + time.Duration(w.jit.Float64()*float64(backoff/2)))
+		}
 		if backoff *= 2; backoff > w.retryMax {
 			backoff = w.retryMax
 		}
 	}
 }
 
-// doJSON performs one JSON round trip, returning the status code. Transport
-// failures return an error; non-2xx statuses do not (callers classify them).
-func doJSON(client *http.Client, method, url string, body, out any) (int, error) {
+// doJSON performs one JSON round trip, returning the status code and the
+// parsed Retry-After hint (0 when absent). Transport failures return an
+// error; non-2xx statuses do not (callers classify them).
+func doJSON(client *http.Client, method, url string, body, out any) (int, time.Duration, error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		rd = bytes.NewReader(b)
 	}
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
+	var retryAfter time.Duration
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		retryAfter = time.Duration(secs) * time.Second
+	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, retryAfter, err
 	}
 	if out != nil && resp.StatusCode < 300 {
 		if err := json.Unmarshal(raw, out); err != nil {
-			return resp.StatusCode, fmt.Errorf("decode %s %s: %w", method, url, err)
+			return resp.StatusCode, retryAfter, fmt.Errorf("decode %s %s: %w", method, url, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, retryAfter, nil
 }

@@ -1,0 +1,283 @@
+// Overload mode: a sustained over-capacity burst drill against a live
+// drserverd. Instead of the default closed loop (where offered load
+// self-limits to the server's service rate), this mode first calibrates the
+// single-worker closed-loop rate, then fires establishes OPEN-LOOP at a
+// multiple of it — arrivals do not wait for completions, so the actor
+// queue must fall behind and the overload control plane must engage.
+//
+// The drill asserts the paper-level graceful-degradation contract from the
+// outside: the server sheds with 503/429 + Retry-After instead of wedging,
+// reads stay fast while it sheds, and readiness returns once the burst
+// stops.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drqos/internal/rng"
+	"drqos/internal/server"
+	"drqos/internal/stats"
+)
+
+var (
+	overloadMode  = flag.Bool("overload", false, "run the sustained over-capacity burst drill instead of the closed-loop mix")
+	ovlDuration   = flag.Duration("overload-duration", 10*time.Second, "how long the open-loop burst lasts")
+	ovlRate       = flag.Float64("overload-rate", 0, "open-loop arrival rate in req/s (0 = calibrate and use -overload-factor x the closed-loop rate)")
+	ovlFactor     = flag.Float64("overload-factor", 4, "arrival-rate multiplier over the calibrated closed-loop rate")
+	ovlCalibrate  = flag.Duration("overload-calibrate", 3*time.Second, "closed-loop calibration window before the burst")
+	ovlInflight   = flag.Int("overload-max-inflight", 512, "cap on concurrent burst requests (arrivals beyond it are dropped locally)")
+	ovlTimeout    = flag.Duration("overload-timeout", 2*time.Second, "per-request timeout during the burst; abandoned requests must be shed by the server, not executed")
+	ovlReadP99Max = flag.Duration("overload-read-p99-max", 500*time.Millisecond, "fail if GET /v1/stats p99 during the burst exceeds this")
+	ovlRecover    = flag.Duration("overload-recover-within", 30*time.Second, "fail if /readyz is not 200 this long after the burst ends")
+)
+
+// runOverload drives the three-phase drill: calibrate, burst, recover.
+// It returns an error (non-zero exit) when the server failed the contract:
+// it never shed, reads got slow, or readiness never came back.
+func runOverload(client *http.Client, addr string, st server.Stats, seed uint64) error {
+	burstClient := &http.Client{
+		Timeout: *ovlTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *ovlInflight,
+			MaxIdleConnsPerHost: *ovlInflight,
+		},
+	}
+	src := rng.New(seed)
+	pair := func() (int, int) {
+		a := src.Intn(st.Nodes)
+		b := src.Intn(st.Nodes)
+		if a == b {
+			b = (b + 1) % st.Nodes
+		}
+		return a, b
+	}
+
+	// Phase 1: calibrate. One closed-loop worker measures the end-to-end
+	// service rate; each established connection is terminated immediately
+	// so calibration does not consume capacity the burst will need.
+	rate := *ovlRate
+	if rate <= 0 {
+		n := 0
+		t0 := time.Now()
+		for time.Since(t0) < *ovlCalibrate {
+			a, b := pair()
+			var est server.EstablishResponse
+			code, _, err := doJSON(client, "POST", addr+"/v1/connections",
+				server.EstablishRequest{Src: a, Dst: b, Utility: 1}, &est)
+			if err != nil {
+				return fmt.Errorf("calibration establish: %w", err)
+			}
+			n++
+			if code == http.StatusCreated {
+				if _, _, err := doJSON(client, "DELETE", fmt.Sprintf("%s/v1/connections/%d", addr, est.ID), nil, nil); err != nil {
+					return fmt.Errorf("calibration terminate: %w", err)
+				}
+				n++
+			}
+		}
+		r1 := float64(n) / time.Since(t0).Seconds()
+		rate = r1 * *ovlFactor
+		fmt.Printf("calibration: closed-loop %.0f req/s over %s — bursting open-loop at %.0f req/s (%.1fx)\n",
+			r1, *ovlCalibrate, rate, *ovlFactor)
+	} else {
+		fmt.Printf("bursting open-loop at fixed %.0f req/s\n", rate)
+	}
+
+	// Phase 2: the burst. Arrivals fire on a fixed clock regardless of
+	// completions; a semaphore caps inflight so the generator itself stays
+	// healthy (drops beyond it are counted, not silently lost).
+	var (
+		established atomic.Int64
+		rejected    atomic.Int64
+		shed503     atomic.Int64
+		shed429     atomic.Int64
+		hinted      atomic.Int64 // sheds that carried a Retry-After hint
+		timeouts    atomic.Int64
+		hardErrs    atomic.Int64
+		otherCodes  atomic.Int64
+		localDrops  atomic.Int64
+		terminated  atomic.Int64
+		wg          sync.WaitGroup
+		sem         = make(chan struct{}, *ovlInflight)
+		ids         = make(chan int64, *ovlInflight)
+	)
+
+	// Reaper: terminations are capacity-freeing and must stay admitted
+	// while the server sheds establishes — exercising the freeing lane
+	// under load is part of the drill.
+	reapDone := make(chan struct{})
+	go func() {
+		defer close(reapDone)
+		for id := range ids {
+			code, _, err := doJSON(burstClient, "DELETE", fmt.Sprintf("%s/v1/connections/%d", addr, id), nil, nil)
+			if err == nil && code == http.StatusOK {
+				terminated.Add(1)
+			}
+		}
+	}()
+
+	// Reader: polls stats throughout the burst; its latency digest is the
+	// "reads stay live" gate.
+	readLat := stats.NewDigest()
+	var readErrs atomic.Int64
+	readStop := make(chan struct{})
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		for {
+			select {
+			case <-readStop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			if _, _, err := doJSON(burstClient, "GET", addr+"/v1/stats", nil, nil); err != nil {
+				readErrs.Add(1)
+			} else {
+				readLat.Observe(time.Since(t0).Seconds())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	burstEnd := time.Now().Add(*ovlDuration)
+	issued := 0
+	for time.Now().Before(burstEnd) {
+		<-tick.C
+		issued++
+		select {
+		case sem <- struct{}{}:
+		default:
+			localDrops.Add(1)
+			continue
+		}
+		a, b := pair()
+		wg.Add(1)
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			var est server.EstablishResponse
+			code, retryAfter, err := doJSON(burstClient, "POST", addr+"/v1/connections",
+				server.EstablishRequest{Src: a, Dst: b, Utility: 1}, &est)
+			switch {
+			case err != nil:
+				if isTimeout(err) {
+					timeouts.Add(1)
+				} else {
+					hardErrs.Add(1)
+				}
+			case code == http.StatusCreated:
+				established.Add(1)
+				select {
+				case ids <- est.ID:
+				default: // reaper saturated; leak the connection to the run
+				}
+			case code == http.StatusConflict:
+				rejected.Add(1)
+			case code == http.StatusServiceUnavailable:
+				shed503.Add(1)
+				if retryAfter > 0 {
+					hinted.Add(1)
+				}
+			case code == http.StatusTooManyRequests:
+				shed429.Add(1)
+				if retryAfter > 0 {
+					hinted.Add(1)
+				}
+			default:
+				otherCodes.Add(1)
+			}
+		}()
+	}
+	tick.Stop()
+	wg.Wait()
+	close(ids)
+	<-reapDone
+	close(readStop)
+	<-readDone
+
+	// Phase 3: recovery. The burst is over; the server must drain its
+	// backlog and report ready again.
+	recovered := false
+	var recoveryTook time.Duration
+	recT0 := time.Now()
+	for time.Since(recT0) < *ovlRecover {
+		code, _, err := doJSON(client, "GET", addr+"/readyz", nil, nil)
+		if err == nil && code == http.StatusOK {
+			recovered = true
+			recoveryTook = time.Since(recT0)
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+
+	var after server.Stats
+	if _, _, err := doJSON(client, "GET", addr+"/v1/stats", nil, &after); err != nil {
+		return fmt.Errorf("post-burst stats: %w", err)
+	}
+
+	shed := shed503.Load() + shed429.Load()
+	goodput := established.Load() + rejected.Load()
+	fmt.Printf("\noverload burst: %d arrivals over %s at %.0f req/s\n", issued, *ovlDuration, rate)
+	fmt.Printf("outcomes: established=%d rejected=%d terminated=%d shed_503=%d shed_429=%d hinted=%d timeouts=%d local_drops=%d errors=%d other=%d\n",
+		established.Load(), rejected.Load(), terminated.Load(), shed503.Load(), shed429.Load(),
+		hinted.Load(), timeouts.Load(), localDrops.Load(), hardErrs.Load(), otherCodes.Load())
+	fmt.Printf("goodput: %d serviced (%.0f%% of arrivals), %d shed at the door\n",
+		goodput, 100*float64(goodput)/float64(max(issued, 1)), shed)
+	ms := func(seconds float64) string {
+		if readLat.N() == 0 || math.IsNaN(seconds) {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2fms", seconds*1e3)
+	}
+	fmt.Printf("reads during burst: n=%d p50=%s p99=%s max=%s errors=%d\n",
+		readLat.N(), ms(readLat.P50()), ms(readLat.P99()), ms(readLat.Max()), readErrs.Load())
+	fmt.Printf("server: overload_episodes=%d shed_expired=%d shed_canceled=%d alive=%d\n",
+		after.OverloadEpisodes, after.ShedExpired, after.ShedCanceled, after.Alive)
+	if recovered {
+		fmt.Printf("recovery: ready again %.1fs after burst end\n", recoveryTook.Seconds())
+	}
+
+	// The contract gates.
+	var failures []string
+	if shed == 0 && after.ShedExpired+after.ShedCanceled == 0 {
+		failures = append(failures, "server never shed: no 503/429 and no server-side sheds under sustained over-capacity load")
+	}
+	if p99 := readLat.P99(); readLat.N() > 0 && p99 > ovlReadP99Max.Seconds() {
+		failures = append(failures, fmt.Sprintf("read p99 %.0fms exceeds bound %s (reads must stay live while shedding)", p99*1e3, *ovlReadP99Max))
+	}
+	if readLat.N() == 0 {
+		failures = append(failures, "no successful reads during the burst")
+	}
+	if !recovered {
+		failures = append(failures, fmt.Sprintf("/readyz not 200 within %s of burst end", *ovlRecover))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Println("FAIL:", f)
+		}
+		return fmt.Errorf("overload drill failed %d contract gate(s)", len(failures))
+	}
+	fmt.Println("overload drill: all contract gates passed")
+	return nil
+}
+
+// isTimeout reports whether the request died of its own deadline — an
+// expected casualty during an over-capacity burst, counted apart from
+// hard transport errors.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

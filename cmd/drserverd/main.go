@@ -14,9 +14,14 @@
 // returned to service with POST /v1/admin/recover, or automatically with
 // -auto-recover.
 //
+// Under sustained overload (actor-queue delay above -overload-target for
+// -overload-interval) the daemon sheds new establishes with 503 +
+// Retry-After while terminations, repairs and reads stay live; -rate-limit
+// adds a per-client token bucket (429 + Retry-After) on top.
+//
 // Endpoints: POST /v1/connections, DELETE /v1/connections/{id},
 // POST /v1/faults/link, POST /v1/admin/recover, GET /v1/stats,
-// GET /v1/invariants, GET /metrics.
+// GET /v1/invariants, GET /metrics, GET /healthz, GET /readyz.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"drqos/internal/core"
 	"drqos/internal/journal"
 	"drqos/internal/manager"
+	"drqos/internal/overload"
 	"drqos/internal/qos"
 	"drqos/internal/server"
 )
@@ -119,6 +125,15 @@ func run() error {
 		readHdrTO     = flag.Duration("read-header-timeout", 5*time.Second, "http.Server.ReadHeaderTimeout (slowloris guard)")
 		idleTimeout   = flag.Duration("idle-timeout", 2*time.Minute, "http.Server.IdleTimeout for keep-alive connections")
 		maxHeaderByte = flag.Int("max-header-bytes", 1<<20, "http.Server.MaxHeaderBytes")
+
+		// Overload control plane.
+		overloadTarget   = flag.Duration("overload-target", 100*time.Millisecond, "actor queueing-delay target; sustained delay above it sheds new establishes with 503 (negative disables)")
+		overloadInterval = flag.Duration("overload-interval", time.Second, "how long delay must stay above -overload-target before shedding starts; also the Retry-After hint")
+		rateLimit        = flag.Float64("rate-limit", 0, "per-client mutation budget in requests/second, keyed by X-Client-ID or remote host (0 disables)")
+		rateBurst        = flag.Float64("rate-burst", 0, "per-client burst allowance on top of -rate-limit (0 = same as -rate-limit)")
+		maxBodyBytes     = flag.Int64("max-body-bytes", 1<<20, "request-body cap on mutation endpoints; oversized bodies answer 413")
+		pprofOn          = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live overload investigation")
+		execDelay        = flag.Duration("exec-delay", 0, "artificial per-command execution delay — overload drills only, caps the service rate so a burst reliably overruns it")
 	)
 	flag.Parse()
 
@@ -200,14 +215,33 @@ func run() error {
 		OnRecover: func(seq uint64) {
 			log.Printf("RECOVERED: rebuilt from journal to seq %d, serving mutations again", seq)
 		},
+		Overload:  overload.DetectorConfig{Target: *overloadTarget, Interval: *overloadInterval},
+		ExecDelay: *execDelay,
+		OnOverload: func(on bool) {
+			if on {
+				log.Printf("OVERLOADED: sustained actor-queue delay above %s — shedding new establishes with 503, terminations and reads stay live", *overloadTarget)
+			} else {
+				log.Printf("overload cleared: queue delay back under %s, admitting establishes again", *overloadTarget)
+			}
+		},
 	})
 	if err != nil {
 		return err
 	}
 
+	handlerOpts := []server.HandlerOption{server.WithMaxBodyBytes(*maxBodyBytes)}
+	if *rateLimit > 0 {
+		handlerOpts = append(handlerOpts, server.WithRateLimit(*rateLimit, *rateBurst))
+		log.Printf("rate limit: %.3g req/s per client (burst %.3g)", *rateLimit, *rateBurst)
+	}
+	if *pprofOn {
+		handlerOpts = append(handlerOpts, server.WithPprof())
+		log.Printf("pprof: serving /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewHandler(srv),
+		Handler:           server.NewHandler(srv, handlerOpts...),
 		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: *readHdrTO,
 		IdleTimeout:       *idleTimeout,

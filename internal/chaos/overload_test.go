@@ -1,0 +1,33 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunOverload runs seeded overload episodes and relies on RunOverload's
+// internal contract gates: real pressure (expired deadlines), real shedding
+// (unexecuted commands), a latched overload state, live terminations, and a
+// clean recovery with no degradation.
+func TestRunOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload episodes run real backlogs; skipped in -short")
+	}
+	for _, seed := range []uint64{1, 7} {
+		res, err := RunOverload(OverloadConfig{
+			Seed:    seed,
+			Workers: 8,
+			Ops:     80,
+			// 1ms service vs 2ms caller deadlines keeps the episode quick
+			// while still drowning the consuming lane.
+			ExecDelay: time.Millisecond,
+			Deadline:  2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		t.Logf("seed %d: ok=%d expired=%d terminated=%d shed=%d+%d episodes=%d recovered_in=%s",
+			seed, res.EstablishOK, res.EstablishExpired, res.Terminated,
+			res.ShedExpired, res.ShedCanceled, res.Episodes, res.RecoveredIn)
+	}
+}

@@ -1,0 +1,106 @@
+// Package overload implements the admission daemon's overload control
+// primitives: a per-client token-bucket rate limiter (one hot client must
+// not starve the rest) and a CoDel-style sustained-queue-delay detector
+// that drives the server's "overloaded" state, where new capacity-consuming
+// work is shed with a retry hint while reads and capacity-freeing work stay
+// live. Both are stdlib-only and clock-injectable for deterministic tests.
+//
+// The design applies the paper's elastic-QoS discipline to the server's own
+// request stream: when resources (here, actor-loop service time) run out,
+// degrade service gracefully and predictably instead of letting the queue
+// collapse for everyone.
+package overload
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a per-key token-bucket rate limiter. Each key (client) owns a
+// bucket holding up to Burst tokens that refills at Rate tokens per second;
+// a request spends one token or is refused with a retry hint. Safe for
+// concurrent use.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	sweeps  int // Allow calls since the last idle-bucket sweep
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxIdleBuckets bounds the client map: once it grows past this, Allow
+// sweeps out buckets that have refilled to capacity (idle long enough that
+// forgetting them is indistinguishable from keeping them).
+const maxIdleBuckets = 4096
+
+// NewLimiter returns a limiter granting rate requests/second with bursts of
+// up to burst. A rate <= 0 disables limiting (Allow always succeeds);
+// burst <= 0 defaults to rate (1-second burst window) with a floor of 1.
+func NewLimiter(rate, burst float64) *Limiter {
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token from key's bucket at time now. When the bucket is
+// empty it reports false and how long the caller should wait before the
+// next token is available — the Retry-After hint.
+func (l *Limiter) Allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		l.maybeSweep(now)
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	// Time until the bucket holds one full token again.
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// Clients returns the number of tracked buckets (for stats).
+func (l *Limiter) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// maybeSweep drops fully-refilled (idle) buckets once the map is large.
+// Called with l.mu held, before inserting a new bucket.
+func (l *Limiter) maybeSweep(now time.Time) {
+	if len(l.buckets) < maxIdleBuckets {
+		return
+	}
+	l.sweeps++
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

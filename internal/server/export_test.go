@@ -6,8 +6,24 @@ import (
 	"drqos/internal/manager"
 )
 
-// Submit exposes the raw command-loop enqueue to tests so they can wedge
-// the loop and exercise queue-full and drain behavior.
+// Submit exposes the raw command-loop enqueue (freeing lane) to tests so
+// they can wedge the loop and exercise queue-full, shedding and drain
+// behavior. The command carries ctx, so the loop sheds it if ctx dies
+// before execution.
 func (s *Server) Submit(ctx context.Context, fn func(*manager.Manager)) error {
-	return s.submit(ctx, fn)
+	return s.submit(ctx, laneFreeing, false, fn)
 }
+
+// SubmitConsuming is Submit for the capacity-consuming lane, so tests can
+// assert strict freeing-first drain ordering.
+func (s *Server) SubmitConsuming(ctx context.Context, fn func(*manager.Manager)) error {
+	return s.submit(ctx, laneConsuming, false, fn)
+}
+
+// ForceOverloaded latches or clears the overload detector directly, for
+// readiness-probe and HTTP shedding tests.
+func (s *Server) ForceOverloaded(v bool) { s.detector.Force(v) }
+
+// Establishes exposes the executed-establish counter so shedding tests can
+// assert abandoned commands never ran.
+func (s *Server) Establishes() int64 { return s.establishes.Load() }

@@ -4,11 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"drqos/internal/channel"
 	"drqos/internal/manager"
+	"drqos/internal/overload"
 	"drqos/internal/qos"
 	"drqos/internal/topology"
 )
@@ -79,10 +84,50 @@ type FaultResponse struct {
 	Reprotected int     `json:"reprotected"`
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. RetryAfterSeconds mirrors the
+// Retry-After header on 429/503 shed responses.
 type errorBody struct {
-	Error    string `json:"error"`
-	Rejected bool   `json:"rejected,omitempty"`
+	Error             string `json:"error"`
+	Rejected          bool   `json:"rejected,omitempty"`
+	RetryAfterSeconds int64  `json:"retry_after_seconds,omitempty"`
+}
+
+// HandlerOption customizes NewHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	limiter      *overload.Limiter
+	maxBodyBytes int64
+	pprof        bool
+	rateLimited  atomic.Int64
+}
+
+// WithRateLimit adds per-client token-bucket rate limiting to the mutation
+// endpoints: each client (X-Client-ID header, else remote host) gets rate
+// requests/second with bursts of burst; beyond that, 429 + Retry-After.
+// rate <= 0 disables limiting.
+func WithRateLimit(rate, burst float64) HandlerOption {
+	return func(c *handlerConfig) {
+		if rate > 0 {
+			c.limiter = overload.NewLimiter(rate, burst)
+		}
+	}
+}
+
+// WithMaxBodyBytes caps request-body size on the mutation endpoints;
+// oversized bodies answer 413. n <= 0 keeps the default (1 MiB).
+func WithMaxBodyBytes(n int64) HandlerOption {
+	return func(c *handlerConfig) {
+		if n > 0 {
+			c.maxBodyBytes = n
+		}
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ so overload
+// investigations can pull CPU/heap/goroutine profiles from a live daemon.
+func WithPprof() HandlerOption {
+	return func(c *handlerConfig) { c.pprof = true }
 }
 
 // NewHandler returns the HTTP/JSON API over s:
@@ -94,12 +139,80 @@ type errorBody struct {
 //	GET    /v1/stats              consistent service snapshot
 //	GET    /v1/invariants         run the manager's consistency audit
 //	GET    /metrics               Prometheus text metrics
-func NewHandler(s *Server) http.Handler {
+//	GET    /healthz               liveness: 200 while the process serves
+//	GET    /readyz                readiness: 503 while degraded, recovering
+//	                              or overloaded
+//
+// Overload semantics: while the server's sustained-queue-delay detector is
+// latched, new capacity-consuming work (establish, link fail) answers 503
+// with a Retry-After hint; terminations, repairs and every read stay live.
+// With WithRateLimit, each client is additionally token-bucket limited on
+// the mutation endpoints (429 + Retry-After).
+func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
+	cfg := &handlerConfig{maxBodyBytes: 1 << 20}
+	for _, o := range opts {
+		o(cfg)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/connections", func(w http.ResponseWriter, r *http.Request) {
-		var req EstablishRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+
+	// decodeBody reads a JSON body under the size cap; a limit overrun
+	// answers 413, malformed JSON 400. Returns false when a response was
+	// already written.
+	decodeBody := func(w http.ResponseWriter, r *http.Request, v any) bool {
+		r.Body = http.MaxBytesReader(w, r.Body, cfg.maxBodyBytes)
+		if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+				return false
+			}
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+			return false
+		}
+		return true
+	}
+
+	// admitClient enforces the per-client token bucket on mutating
+	// endpoints. Returns false when the request was already answered 429.
+	admitClient := func(w http.ResponseWriter, r *http.Request) bool {
+		if cfg.limiter == nil {
+			return true
+		}
+		key := r.Header.Get("X-Client-ID")
+		if key == "" {
+			if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+				key = host
+			} else {
+				key = r.RemoteAddr
+			}
+		}
+		ok, retry := cfg.limiter.Allow(key, time.Now())
+		if ok {
+			return true
+		}
+		cfg.rateLimited.Add(1)
+		writeShed(w, http.StatusTooManyRequests, retry,
+			fmt.Sprintf("client %q over rate limit", key))
+		return false
+	}
+
+	// shedIfOverloaded refuses new capacity-consuming work while the
+	// overloaded state holds. Returns false when already answered 503.
+	shedIfOverloaded := func(w http.ResponseWriter) bool {
+		if !s.Overloaded() {
+			return true
+		}
+		writeShed(w, http.StatusServiceUnavailable, s.RetryAfterHint(), ErrOverloaded.Error())
+		return false
+	}
+
+	mux.HandleFunc("POST /v1/connections", func(w http.ResponseWriter, r *http.Request) {
+		if !admitClient(w, r) || !shedIfOverloaded(w) {
+			return
+		}
+		var req EstablishRequest
+		if !decodeBody(w, r, &req) {
 			return
 		}
 		rep, err := s.Establish(r.Context(), topology.NodeID(req.Src), topology.NodeID(req.Dst), req.Spec())
@@ -119,6 +232,11 @@ func NewHandler(s *Server) http.Handler {
 		})
 	})
 	mux.HandleFunc("DELETE /v1/connections/{id}", func(w http.ResponseWriter, r *http.Request) {
+		// Terminations stay admitted under overload: freeing capacity is
+		// the way out. Only the per-client limiter applies.
+		if !admitClient(w, r) {
+			return
+		}
 		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad connection id: " + err.Error()})
@@ -136,13 +254,20 @@ func NewHandler(s *Server) http.Handler {
 		})
 	})
 	mux.HandleFunc("POST /v1/faults/link", func(w http.ResponseWriter, r *http.Request) {
+		if !admitClient(w, r) {
+			return
+		}
 		var req FaultRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		if !decodeBody(w, r, &req) {
 			return
 		}
 		switch req.Action {
 		case "", "fail":
+			// Fail injection activates backups and squeezes peers —
+			// capacity-consuming — so it is shed while overloaded.
+			if !shedIfOverloaded(w) {
+				return
+			}
 			rep, err := s.FailLink(r.Context(), topology.LinkID(req.Link))
 			if err != nil {
 				writeError(w, err)
@@ -212,7 +337,46 @@ func NewHandler(s *Server) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, st)
+		if cfg.limiter != nil {
+			fmt.Fprintf(w, "# HELP drqos_rate_limited_total Requests refused by the per-client token bucket.\n# TYPE drqos_rate_limited_total counter\ndrqos_rate_limited_total %d\n",
+				cfg.rateLimited.Load())
+			fmt.Fprintf(w, "# HELP drqos_rate_limit_clients Client buckets currently tracked.\n# TYPE drqos_rate_limit_clients gauge\ndrqos_rate_limit_clients %d\n",
+				cfg.limiter.Clients())
+		}
 	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness: the process is up and the mux is answering. Degraded
+		// and overloaded servers are still alive — restarting them would
+		// only lose state, so this never goes red while serving.
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		degraded, reason := s.Degraded()
+		recovering, _, _, _ := s.RecoveryStatus()
+		overloaded := s.Overloaded()
+		body := map[string]any{
+			"ready":      !degraded && !recovering && !overloaded,
+			"degraded":   degraded,
+			"recovering": recovering,
+			"overloaded": overloaded,
+		}
+		if reason != "" {
+			body["degraded_reason"] = reason
+		}
+		if degraded || recovering || overloaded {
+			w.Header().Set("Retry-After", strconv.FormatInt(int64(s.RetryAfterHint()/time.Second), 10))
+			writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
+	if cfg.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -235,6 +399,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeShed answers a load-shedding refusal (429 rate limit, 503 overload)
+// with a Retry-After header and a matching JSON hint, so clients back off
+// for the right amount of time instead of guessing.
+func writeShed(w http.ResponseWriter, code int, retryAfter time.Duration, msg string) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, code, errorBody{Error: msg, RetryAfterSeconds: secs})
+}
+
 // writeError maps typed service errors onto HTTP status codes.
 func writeError(w http.ResponseWriter, err error) {
 	switch {
@@ -246,6 +422,8 @@ func writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrConflict):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrOverloaded):
+		writeShed(w, http.StatusServiceUnavailable, time.Second, err.Error())
 	case errors.Is(err, ErrDegraded):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrNotDegraded), errors.Is(err, ErrRecoveryInProgress), errors.Is(err, ErrNoJournal):

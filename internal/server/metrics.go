@@ -26,6 +26,11 @@ func writeMetrics(w io.Writer, st Stats) {
 		degraded = 1
 	}
 	gauge("drqos_degraded", "1 when the service refuses mutations after an invariant violation.", degraded)
+	overloaded := 0
+	if st.Overloaded {
+		overloaded = 1
+	}
+	gauge("drqos_overloaded", "1 while sustained actor-queue delay makes the service shed new capacity-consuming work.", overloaded)
 	journaled := 0
 	if st.Journaled {
 		journaled = 1
@@ -45,6 +50,26 @@ func writeMetrics(w io.Writer, st Stats) {
 	counter("drqos_journal_errors_total", "Journal append or snapshot failures.", st.JournalErrors)
 	counter("drqos_recoveries_total", "Successful recoveries from degraded mode.", st.Recoveries)
 	counter("drqos_recovery_failures_total", "Failed recovery attempts.", st.RecoveryFailures)
+	counter("drqos_overload_episodes_total", "Times the overloaded state latched.", st.OverloadEpisodes)
+
+	fmt.Fprintf(w, "# HELP drqos_shed_total Queued commands dropped unexecuted because their caller gave up, by reason.\n# TYPE drqos_shed_total counter\n")
+	fmt.Fprintf(w, "drqos_shed_total{reason=\"expired\"} %d\n", st.ShedExpired)
+	fmt.Fprintf(w, "drqos_shed_total{reason=\"canceled\"} %d\n", st.ShedCanceled)
+
+	fmt.Fprintf(w, "# HELP drqos_queue_depth Commands buffered per priority lane.\n# TYPE drqos_queue_depth gauge\n")
+	for _, q := range []string{"freeing", "consuming"} {
+		fmt.Fprintf(w, "drqos_queue_depth{q=%q} %d\n", q, st.Lanes[q].Depth)
+	}
+	fmt.Fprintf(w, "# HELP drqos_queue_delay_seconds Actor-loop queueing delay per priority lane (streaming P2 quantiles).\n# TYPE drqos_queue_delay_seconds summary\n")
+	for _, q := range []string{"freeing", "consuming"} {
+		ls := st.Lanes[q]
+		if ls.DelayCount > 0 {
+			fmt.Fprintf(w, "drqos_queue_delay_seconds{q=%q,quantile=\"0.5\"} %g\n", q, ls.DelayP50Sec)
+			fmt.Fprintf(w, "drqos_queue_delay_seconds{q=%q,quantile=\"0.9\"} %g\n", q, ls.DelayP90Sec)
+			fmt.Fprintf(w, "drqos_queue_delay_seconds{q=%q,quantile=\"0.99\"} %g\n", q, ls.DelayP99Sec)
+		}
+		fmt.Fprintf(w, "drqos_queue_delay_seconds_count{q=%q} %d\n", q, ls.DelayCount)
+	}
 
 	fmt.Fprintf(w, "# HELP drqos_connections_level Alive DR-connections per bandwidth level.\n# TYPE drqos_connections_level gauge\n")
 	for lvl, n := range st.LevelHistogram {

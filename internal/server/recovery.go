@@ -138,9 +138,13 @@ func (s *Server) recoverOnce(ctx context.Context) (uint64, error) {
 	}
 	// Swap inside the loop: installing the manager and un-latching degraded
 	// happen in one command, so every other command sees either (degraded,
-	// old manager) or (healthy, new manager) — never a mix.
+	// old manager) or (healthy, new manager) — never a mix. The swap rides
+	// the freeing lane (it is what un-wedges the service, so it must not
+	// queue behind backlogged establishes) and is critical: once accepted
+	// it always executes, even if ctx dies, because the <-done wait below
+	// must terminate.
 	done := make(chan struct{})
-	if err := s.submit(ctx, func(*manager.Manager) {
+	if err := s.submit(ctx, laneFreeing, true, func(*manager.Manager) {
 		s.mgr = fresh
 		s.eventsSinceSnap = 0
 		s.degradedMu.Lock()

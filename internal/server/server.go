@@ -2,14 +2,38 @@
 // long-running concurrent admission service. The manager is not safe for
 // concurrent use, so the Server runs it behind an actor-style command loop:
 // exactly one goroutine owns the manager and executes commands submitted
-// over a buffered channel, while any number of client goroutines call
+// over buffered channels, while any number of client goroutines call
 // Establish / Terminate / FailLink / RepairLink / Snapshot concurrently.
 //
-// Command semantics: a call that returns anything other than
-// ErrServerClosed (or a submit-time context error) was applied to the
-// manager exactly once. Shutdown stops admission of new commands, drains
-// every command already accepted, and only then stops the loop — no
-// accepted command is dropped or double-applied.
+// The command queue is the server's own overload control plane, applying
+// the paper's elastic-QoS discipline to the request stream itself:
+//
+//   - Priority lanes: commands are split into capacity-FREEING work
+//     (terminate, repair, recovery swaps, reads) and capacity-CONSUMING
+//     work (establish, fail injection), drained strictly freeing-first.
+//     Releasing bandwidth is what lets degraded connections climb back
+//     toward Bmax, so under pressure the work that frees capacity — and
+//     the reads that let operators see what is happening — never queues
+//     behind a backlog of new admissions.
+//   - Deadline propagation: every command carries its caller's context and
+//     enqueue time. The loop sheds commands whose caller has already given
+//     up instead of executing dead work (counted per reason in
+//     drqos_shed_total), so a wedged burst cannot force the manager to
+//     churn through requests nobody is waiting for.
+//   - Adaptive shedding: per-command queueing delay feeds a CoDel-style
+//     detector (internal/overload); sustained delay above target latches
+//     an "overloaded" state that the HTTP layer uses to refuse new
+//     capacity-consuming work with 503 + Retry-After while reads and
+//     terminations stay live.
+//
+// Command semantics: a call that returns a nil or domain error was applied
+// to the manager exactly once. A call that returns the context's error was
+// NOT applied if the loop shed it before execution; in the unavoidable race
+// where the deadline expires at execution time, it may have been applied
+// with the result discarded — the same ambiguity any timed-out RPC has.
+// ErrServerClosed means the command was never accepted. Shutdown stops
+// admission, drains every accepted command (shedding the expired ones), and
+// only then stops the loop.
 //
 // With Options.Journal set the server follows write-ahead discipline: every
 // mutating command is appended to the journal — after its validity
@@ -19,8 +43,8 @@
 // rebuilt-and-audited manager is atomically swapped into the command loop.
 //
 // The HTTP layer in http.go exposes the same operations as a JSON API plus
-// Prometheus-style /metrics; cmd/drserverd wires it to a listener and
-// cmd/drload exercises it under concurrent load.
+// Prometheus-style /metrics and /healthz + /readyz probes; cmd/drserverd
+// wires it to a listener and cmd/drload exercises it under concurrent load.
 package server
 
 import (
@@ -29,11 +53,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"drqos/internal/channel"
 	"drqos/internal/journal"
 	"drqos/internal/manager"
+	"drqos/internal/overload"
 	"drqos/internal/qos"
+	"drqos/internal/stats"
 	"drqos/internal/topology"
 )
 
@@ -48,6 +75,12 @@ var ErrServerClosed = errors.New("server: closed")
 // server can leave degraded mode through Recover (POST /v1/admin/recover).
 var ErrDegraded = errors.New("server: degraded after invariant violation, mutations refused")
 
+// ErrOverloaded reports that sustained actor-queue delay latched the
+// overloaded state: new capacity-consuming work (establish, fail injection)
+// is refused with a retry hint while reads and capacity-freeing work stay
+// live. Mapped to HTTP 503 + Retry-After.
+var ErrOverloaded = errors.New("server: overloaded, retry later")
+
 // ErrNotFound reports an operation against an unknown connection or link.
 var ErrNotFound = errors.New("server: not found")
 
@@ -55,11 +88,52 @@ var ErrNotFound = errors.New("server: not found")
 // failing an already-failed link.
 var ErrConflict = errors.New("server: conflict")
 
+// lane identifies which priority queue a command rides.
+type lane int
+
+const (
+	// laneFreeing carries capacity-freeing and observability work:
+	// terminate, repair, recovery swaps, snapshots, audits. Always drained
+	// before laneConsuming.
+	laneFreeing lane = iota
+	// laneConsuming carries capacity-consuming work: establish and fail
+	// injection.
+	laneConsuming
+)
+
+func (l lane) String() string {
+	if l == laneFreeing {
+		return "freeing"
+	}
+	return "consuming"
+}
+
+// command is one unit of actor-loop work: the closure plus the caller's
+// context (for expired-work shedding) and enqueue time (for queue-delay
+// accounting).
+type command struct {
+	ctx      context.Context
+	fn       func(*manager.Manager)
+	enqueued time.Time
+}
+
 // Options tunes the command loop.
 type Options struct {
-	// QueueDepth is the command-channel buffer (default 256). A deeper
-	// queue absorbs burstier arrivals at the cost of tail latency.
+	// QueueDepth is the per-lane command-channel buffer (default 256). A
+	// deeper queue absorbs burstier arrivals at the cost of tail latency.
 	QueueDepth int
+	// Overload tunes the sustained-queue-delay detector that latches the
+	// overloaded state. Zero selects the defaults (100ms target, 1s
+	// interval); Target < 0 disables detection entirely.
+	Overload overload.DetectorConfig
+	// OnOverload, when non-nil, is called from the command loop goroutine
+	// each time the overloaded state flips (true = latched, false =
+	// cleared by a good sample). Daemons use it to log transitions.
+	OnOverload func(overloaded bool)
+	// ExecDelay adds an artificial pause before each executed command.
+	// Zero in production; overload drills and the chaos harness use it to
+	// make queueing delay — and therefore shedding — deterministic.
+	ExecDelay time.Duration
 	// OnDegrade, when non-nil, is called exactly once per degrade episode —
 	// from the command loop goroutine — when an invariant violation flips
 	// the server into degraded mode. Daemons use it to log the event.
@@ -90,14 +164,26 @@ type Server struct {
 	closed   bool
 	inflight sync.WaitGroup // submits past the closed-check, not yet enqueued
 
-	cmds     chan func(*manager.Manager)
-	loopDone chan struct{}
-	stop     chan struct{} // closed on Shutdown; halts the recovery supervisor
+	freeing   chan command // terminate / repair / admin / reads
+	consuming chan command // establish / fail injection
+	loopDone  chan struct{}
+	stop      chan struct{} // closed on Shutdown; halts the recovery supervisor
 
 	// mgr is owned by the loop goroutine: it is written at construction
 	// (before the loop starts) and by the recovery swap command (which runs
 	// in the loop), and read only by the loop.
 	mgr *manager.Manager
+
+	// Overload control plane. detector is internally synchronized; the
+	// delay digests are loop-owned and only read from inside loop commands
+	// (Snapshot).
+	detector       *overload.Detector
+	onOverload     func(bool)
+	execDelay      time.Duration
+	delayFreeing   *stats.Digest
+	delayConsuming *stats.Digest
+	shedExpired    atomic.Int64
+	shedCanceled   atomic.Int64
 
 	// Durability. jnl is nil for an in-memory server. eventsSinceSnap is
 	// loop-owned.
@@ -157,41 +243,126 @@ func NewFromManager(g *topology.Graph, mgr *manager.Manager, opt Options) (*Serv
 		snapEvery = 1024
 	}
 	s := &Server{
-		graph:         g,
-		cfg:           mgr.Config(),
-		cmds:          make(chan func(*manager.Manager), depth),
-		loopDone:      make(chan struct{}),
-		stop:          make(chan struct{}),
-		mgr:           mgr,
-		jnl:           opt.Journal,
-		snapshotEvery: snapEvery,
-		onDegrade:     opt.OnDegrade,
-		recoverPolicy: opt.Recover.withDefaults(),
-		onRecover:     opt.OnRecover,
+		graph:          g,
+		cfg:            mgr.Config(),
+		freeing:        make(chan command, depth),
+		consuming:      make(chan command, depth),
+		loopDone:       make(chan struct{}),
+		stop:           make(chan struct{}),
+		mgr:            mgr,
+		detector:       overload.NewDetector(opt.Overload, nil),
+		onOverload:     opt.OnOverload,
+		execDelay:      opt.ExecDelay,
+		delayFreeing:   stats.NewDigest(),
+		delayConsuming: stats.NewDigest(),
+		jnl:            opt.Journal,
+		snapshotEvery:  snapEvery,
+		onDegrade:      opt.OnDegrade,
+		recoverPolicy:  opt.Recover.withDefaults(),
+		onRecover:      opt.OnRecover,
 	}
 	go s.loop()
 	return s, nil
 }
 
-// loop is the only goroutine that ever touches the manager. It re-reads
-// s.mgr every iteration so a recovery swap (which assigns s.mgr from inside
-// a command) takes effect for the next command.
+// loop is the only goroutine that ever touches the manager. Freeing-lane
+// commands are drained strictly before consuming-lane ones: each iteration
+// first polls the freeing lane without blocking, and only when it is empty
+// waits on both. The loop re-reads s.mgr every command so a recovery swap
+// (which assigns s.mgr from inside a command) takes effect immediately.
 func (s *Server) loop() {
 	defer close(s.loopDone)
-	for fn := range s.cmds {
-		fn(s.mgr)
-		s.processed.Add(1)
+	freeing, consuming := s.freeing, s.consuming
+	for freeing != nil || consuming != nil {
+		select {
+		case cmd, ok := <-freeing:
+			if !ok {
+				freeing = nil
+				continue
+			}
+			s.run(cmd, laneFreeing)
+			continue
+		default:
+		}
+		select {
+		case cmd, ok := <-freeing:
+			if !ok {
+				freeing = nil
+				continue
+			}
+			s.run(cmd, laneFreeing)
+		case cmd, ok := <-consuming:
+			if !ok {
+				consuming = nil
+				continue
+			}
+			s.run(cmd, laneConsuming)
+		}
 	}
+}
+
+// run executes one dequeued command: account its queueing delay, shed it if
+// the caller has already given up, otherwise apply it to the manager.
+func (s *Server) run(cmd command, l lane) {
+	delay := time.Since(cmd.enqueued)
+	if l == laneFreeing {
+		s.delayFreeing.Observe(delay.Seconds())
+	} else {
+		s.delayConsuming.Observe(delay.Seconds())
+		// Only consuming-lane delay drives the overload detector: freeing
+		// work jumps the queue by design, so its (always small) delay says
+		// nothing about the backlog admission control must react to.
+		if over, changed := s.detector.Observe(delay); changed && s.onOverload != nil {
+			s.onOverload(over)
+		}
+	}
+	if err := cmd.ctx.Err(); err != nil {
+		// The caller gave up while the command sat in the queue: executing
+		// it now would mutate state nobody is waiting for (and, journaled,
+		// persist it). Drop it, counted per reason.
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.shedExpired.Add(1)
+		} else {
+			s.shedCanceled.Add(1)
+		}
+		return
+	}
+	if s.execDelay > 0 {
+		time.Sleep(s.execDelay)
+	}
+	cmd.fn(s.mgr)
+	s.processed.Add(1)
 }
 
 // Graph returns the (immutable after construction) topology.
 func (s *Server) Graph() *topology.Graph { return s.graph }
 
-// QueueDepth returns the number of commands currently buffered.
-func (s *Server) QueueDepth() int { return len(s.cmds) }
+// QueueDepth returns the number of commands currently buffered across both
+// lanes.
+func (s *Server) QueueDepth() int { return len(s.freeing) + len(s.consuming) }
 
-// Processed returns the number of commands the loop has executed.
+// Processed returns the number of commands the loop has executed (shed
+// commands are counted separately — see Sheds).
 func (s *Server) Processed() int64 { return s.processed.Load() }
+
+// Sheds returns how many queued commands the loop dropped without executing
+// because their caller's context had expired (deadline) or been canceled.
+func (s *Server) Sheds() (expired, canceled int64) {
+	return s.shedExpired.Load(), s.shedCanceled.Load()
+}
+
+// Overloaded reports whether sustained consuming-lane queue delay has
+// latched the overloaded state. The HTTP layer refuses new capacity-
+// consuming work while it holds. The latch self-clears once the consuming
+// lane has fully drained and stayed silent for a detector interval.
+func (s *Server) Overloaded() bool { return s.detector.Overloaded(len(s.consuming)) }
+
+// OverloadEpisodes returns how many times the overloaded state has latched.
+func (s *Server) OverloadEpisodes() int64 { return s.detector.Episodes() }
+
+// RetryAfterHint is the wait the server suggests to shed clients, derived
+// from the detector interval (whole seconds, minimum 1).
+func (s *Server) RetryAfterHint() time.Duration { return s.detector.RetryAfter() }
 
 // Journaled reports whether mutations are written to a durable journal.
 func (s *Server) Journaled() bool { return s.jnl != nil }
@@ -299,10 +470,13 @@ func (s *Server) writeSnapshot(m *manager.Manager) error {
 	return s.jnl.WriteSnapshot(hdr, st.MarshalBinary())
 }
 
-// submit enqueues fn for the loop. It returns ErrServerClosed after
-// Shutdown began, or ctx's error if the queue stays full past the caller's
-// deadline. A nil return means fn will run exactly once.
-func (s *Server) submit(ctx context.Context, fn func(*manager.Manager)) error {
+// submit enqueues fn on lane l. The context governs both the enqueue wait
+// and — unless critical — the command's life in the queue: the loop sheds
+// it unexecuted if ctx dies first. Critical commands (the recovery swap)
+// carry a background context so an accepted swap always runs. It returns
+// ErrServerClosed after Shutdown began, or ctx's error if the queue stays
+// full past the caller's deadline.
+func (s *Server) submit(ctx context.Context, l lane, critical bool, fn func(*manager.Manager)) error {
 	// A dead context must never mutate the manager: when both cases of the
 	// select below are ready, Go picks uniformly at random, so an already-
 	// cancelled caller could still enqueue. Check cancellation first.
@@ -317,8 +491,17 @@ func (s *Server) submit(ctx context.Context, fn func(*manager.Manager)) error {
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer s.inflight.Done()
+	cmdCtx := ctx
+	if critical {
+		cmdCtx = context.Background()
+	}
+	cmd := command{ctx: cmdCtx, fn: fn, enqueued: time.Now()}
+	ch := s.freeing
+	if l == laneConsuming {
+		ch = s.consuming
+	}
 	select {
-	case s.cmds <- fn:
+	case ch <- cmd:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -326,10 +509,11 @@ func (s *Server) submit(ctx context.Context, fn func(*manager.Manager)) error {
 }
 
 // Shutdown stops accepting commands, waits for every accepted command to
-// execute, and stops the loop. It is safe to call multiple times; calls
-// after the first wait for the same drain. The context bounds the wait.
-// The journal (if any) is NOT closed — the daemon owns that, after the
-// drain guarantees no more appends.
+// execute (or be shed, if its caller's context expired), and stops the
+// loop. It is safe to call multiple times; calls after the first wait for
+// the same drain. The context bounds the wait. The journal (if any) is NOT
+// closed — the daemon owns that, after the drain guarantees no more
+// appends.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	first := !s.closed
@@ -338,10 +522,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if first {
 		close(s.stop)
 		// In-flight submits have either enqueued or aborted once Wait
-		// returns; no new submit can start, so closing cmds is safe and
-		// the loop drains the remaining buffer before exiting.
+		// returns; no new submit can start, so closing the lanes is safe
+		// and the loop drains the remaining buffers before exiting.
 		s.inflight.Wait()
-		close(s.cmds)
+		close(s.freeing)
+		close(s.consuming)
 	}
 	select {
 	case <-s.loopDone:
@@ -351,15 +536,29 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// await collects the command's answer, or gives up when the caller's
+// context dies first (in which case the loop sheds the command, or — if
+// execution had already begun — discards its result).
+func await[T any](ctx context.Context, ch <-chan T) (T, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
 // Establish admits a DR-connection from src to dst with the given elastic
 // spec (§3.1 arrival handling) and returns the manager's arrival report.
+// Establish rides the capacity-consuming lane.
 func (s *Server) Establish(ctx context.Context, src, dst topology.NodeID, spec qos.ElasticSpec) (*manager.ArrivalReport, error) {
 	type out struct {
 		rep *manager.ArrivalReport
 		err error
 	}
 	ch := make(chan out, 1)
-	if err := s.submit(ctx, func(m *manager.Manager) {
+	if err := s.submit(ctx, laneConsuming, false, func(m *manager.Manager) {
 		s.establishes.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
 			ch <- out{nil, err}
@@ -387,7 +586,10 @@ func (s *Server) Establish(ctx context.Context, src, dst topology.NodeID, spec q
 	}); err != nil {
 		return nil, err
 	}
-	o := <-ch
+	o, err := await(ctx, ch)
+	if err != nil {
+		return nil, err
+	}
 	return o.rep, o.err
 }
 
@@ -396,13 +598,15 @@ func validNode(g *topology.Graph, n topology.NodeID) bool {
 }
 
 // Terminate releases connection id and returns the termination report.
+// Terminate rides the capacity-freeing lane and is never refused for
+// overload: releasing bandwidth is what ends an overload.
 func (s *Server) Terminate(ctx context.Context, id channel.ConnID) (*manager.TerminationReport, error) {
 	type out struct {
 		rep *manager.TerminationReport
 		err error
 	}
 	ch := make(chan out, 1)
-	if err := s.submit(ctx, func(m *manager.Manager) {
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
 		s.terminates.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
 			ch <- out{nil, err}
@@ -423,18 +627,23 @@ func (s *Server) Terminate(ctx context.Context, id channel.ConnID) (*manager.Ter
 	}); err != nil {
 		return nil, err
 	}
-	o := <-ch
+	o, err := await(ctx, ch)
+	if err != nil {
+		return nil, err
+	}
 	return o.rep, o.err
 }
 
 // FailLink injects a failure of link l and returns the failure report.
+// Fault injection consumes capacity (backup activation, squeezing), so it
+// rides the consuming lane.
 func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.FailureReport, error) {
 	type out struct {
 		rep *manager.FailureReport
 		err error
 	}
 	ch := make(chan out, 1)
-	if err := s.submit(ctx, func(m *manager.Manager) {
+	if err := s.submit(ctx, laneConsuming, false, func(m *manager.Manager) {
 		s.failures.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
 			ch <- out{nil, err}
@@ -459,19 +668,22 @@ func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.Fail
 	}); err != nil {
 		return nil, err
 	}
-	o := <-ch
+	o, err := await(ctx, ch)
+	if err != nil {
+		return nil, err
+	}
 	return o.rep, o.err
 }
 
 // RepairLink marks link l repaired and returns how many connections were
-// re-protected.
+// re-protected. Repair frees capacity, so it rides the freeing lane.
 func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error) {
 	type out struct {
 		restored int
 		err      error
 	}
 	ch := make(chan out, 1)
-	if err := s.submit(ctx, func(m *manager.Manager) {
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
 		s.repairs.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
 			ch <- out{0, err}
@@ -496,7 +708,10 @@ func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error)
 	}); err != nil {
 		return 0, err
 	}
-	o := <-ch
+	o, err := await(ctx, ch)
+	if err != nil {
+		return 0, err
+	}
 	return o.restored, o.err
 }
 
@@ -506,12 +721,21 @@ func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error)
 // disqualifying as causing it.
 func (s *Server) CheckInvariants(ctx context.Context) error {
 	ch := make(chan error, 1)
-	if err := s.submit(ctx, func(m *manager.Manager) {
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
 		err := m.CheckInvariants()
 		s.noteViolation(err)
 		ch <- err
 	}); err != nil {
 		return err
 	}
-	return <-ch
+	return unwrapAwait(await(ctx, ch))
+}
+
+// unwrapAwait folds await's two errors (the command's own answer and the
+// context giving up first) into one.
+func unwrapAwait(inner, outer error) error {
+	if outer != nil {
+		return outer
+	}
+	return inner
 }

@@ -211,8 +211,8 @@ func TestShutdownWhileBusy(t *testing.T) {
 }
 
 // TestSubmitQueueFullTimeout wedges the loop, fills the queue, and checks a
-// bounded-context submit gives up with the context's error while previously
-// accepted commands still execute.
+// bounded-context submit gives up with the context's error. Accepted fill
+// commands whose deadline expired while queued are shed, not executed.
 func TestSubmitQueueFullTimeout(t *testing.T) {
 	s := newTestServer(t, 1)
 	release := make(chan struct{})
@@ -253,13 +253,19 @@ func TestSubmitQueueFullTimeout(t *testing.T) {
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
-	// The wedge plus every accepted fill command ran.
+	// Only the wedge ran: every accepted fill command's 30ms deadline died
+	// behind the wedge, so the loop shed them instead of executing stale
+	// work the caller already abandoned.
 	close(ran)
 	got := 0
 	for range ran {
 		got++
 	}
-	if got != accepted+1 {
-		t.Errorf("%d accepted commands executed, want %d", got, accepted+1)
+	if got != 1 {
+		t.Errorf("%d commands executed, want 1 (the wedge; expired fills must be shed)", got)
+	}
+	expired, canceled := s.Sheds()
+	if int(expired+canceled) != accepted {
+		t.Errorf("sheds = %d expired + %d canceled, want %d total", expired, canceled, accepted)
 	}
 }

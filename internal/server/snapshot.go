@@ -2,8 +2,10 @@ package server
 
 import (
 	"context"
+	"math"
 
 	"drqos/internal/manager"
+	"drqos/internal/stats"
 	"drqos/internal/topology"
 )
 
@@ -38,6 +40,15 @@ type Stats struct {
 	DegradedReason      string `json:"degraded_reason,omitempty"`
 	InvariantViolations int64  `json:"invariant_violations"`
 
+	// Overload control plane: the overloaded state (sustained consuming-
+	// lane queue delay above target), cumulative shed counters by reason,
+	// and per-lane queueing-delay digests.
+	Overloaded       bool                 `json:"overloaded"`
+	OverloadEpisodes int64                `json:"overload_episodes"`
+	ShedExpired      int64                `json:"shed_expired"`
+	ShedCanceled     int64                `json:"shed_canceled"`
+	Lanes            map[string]LaneStats `json:"lanes"`
+
 	// Durability and recovery state (all zero for in-memory servers).
 	Journaled         bool   `json:"journaled"`
 	JournalSeq        uint64 `json:"journal_seq,omitempty"`
@@ -48,7 +59,8 @@ type Stats struct {
 	RecoveryFailures  int64  `json:"recovery_failures"`
 	LastRecoveryError string `json:"last_recovery_error,omitempty"`
 
-	// Command-loop counters (cumulative) and instantaneous queue depth.
+	// Command-loop counters (cumulative) and instantaneous queue depth
+	// (both lanes combined; per-lane depths live in Lanes).
 	Commands   CommandStats `json:"commands"`
 	QueueDepth int          `json:"queue_depth"`
 }
@@ -63,10 +75,43 @@ type CommandStats struct {
 	Snapshots   int64 `json:"snapshots"`
 }
 
+// LaneStats describes one priority lane: its instantaneous backlog and the
+// streaming queueing-delay distribution of everything it has dequeued.
+type LaneStats struct {
+	Depth        int     `json:"depth"`
+	DelayCount   int     `json:"delay_count"`
+	DelayP50Sec  float64 `json:"delay_p50_seconds"`
+	DelayP90Sec  float64 `json:"delay_p90_seconds"`
+	DelayP99Sec  float64 `json:"delay_p99_seconds"`
+	DelayMaxSec  float64 `json:"delay_max_seconds"`
+	DelayMeanSec float64 `json:"delay_mean_seconds"`
+}
+
+// laneStats renders a delay digest, guarding the empty case: JSON cannot
+// encode NaN, so an unobserved lane reports zeros with DelayCount 0.
+func laneStats(depth int, d *stats.Digest) LaneStats {
+	ls := LaneStats{Depth: depth, DelayCount: d.N()}
+	if d.N() == 0 {
+		return ls
+	}
+	clean := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return v
+	}
+	ls.DelayP50Sec = clean(d.P50())
+	ls.DelayP90Sec = clean(d.P90())
+	ls.DelayP99Sec = clean(d.P99())
+	ls.DelayMaxSec = clean(d.Max())
+	ls.DelayMeanSec = clean(d.Mean())
+	return ls
+}
+
 // Snapshot captures the current service state through the command loop.
 func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
 	ch := make(chan Stats, 1)
-	if err := s.submit(ctx, func(m *manager.Manager) {
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
 		s.snapshots.Add(1)
 		st := Stats{
 			Nodes:            m.Graph().NumNodes(),
@@ -89,6 +134,15 @@ func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
 		}
 		st.Degraded, st.DegradedReason = s.Degraded()
 		st.InvariantViolations = s.invariantViolations.Load()
+		st.Overloaded = s.Overloaded()
+		st.OverloadEpisodes = s.OverloadEpisodes()
+		st.ShedExpired, st.ShedCanceled = s.Sheds()
+		// The digests are loop-owned; this closure runs in the loop, so
+		// reading them here is race-free.
+		st.Lanes = map[string]LaneStats{
+			laneFreeing.String():   laneStats(len(s.freeing), s.delayFreeing),
+			laneConsuming.String(): laneStats(len(s.consuming), s.delayConsuming),
+		}
 		if s.jnl != nil {
 			st.Journaled = true
 			st.JournalSeq = s.jnl.LastSeq()
@@ -104,10 +158,10 @@ func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
 			Repairs:     s.repairs.Load(),
 			Snapshots:   s.snapshots.Load(),
 		}
-		st.QueueDepth = len(s.cmds)
+		st.QueueDepth = s.QueueDepth()
 		ch <- st
 	}); err != nil {
 		return Stats{}, err
 	}
-	return <-ch, nil
+	return await(ctx, ch)
 }

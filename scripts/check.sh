@@ -11,6 +11,11 @@
 #                                mid-burst, restart from the same data dir,
 #                                and require the recovered population to
 #                                match the pre-kill metrics exactly
+#   scripts/check.sh --overload  build + panic gate + in-process overload
+#                                episodes under -race, then a live 4x
+#                                over-capacity drload burst against a real
+#                                drserverd: non-zero sheds with Retry-After,
+#                                bounded read p99, clean return to ready
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -134,6 +139,68 @@ if [ "${1:-}" = "--recovery" ]; then
     SRV_PID=""
     grep -E 'journal: recovered' "$TMP/server.log" || true
     echo "== OK (recovery)"
+    exit 0
+fi
+
+if [ "${1:-}" = "--overload" ]; then
+    # In-process first: seeded overload episodes under the race detector
+    # assert shedding, lane priority, latch/recovery and no degradation.
+    echo "== chaos: 4 overload episodes under -race"
+    go run -race ./cmd/chaos -overload -episodes 4 -q
+    echo "== overload unit tests under -race"
+    go test -race -count 1 -run 'TestRunOverload|TestExpiredCommandShed|TestPriorityLane|TestOverload|TestHTTPOverload|TestHTTPRateLimit|TestReadyz|TestLimiter|TestDetector' \
+        ./internal/chaos/ ./internal/server/ ./internal/overload/
+
+    # End-to-end: a race-built drserverd with a capped service rate, and
+    # drload's open-loop burst at 4x the calibrated closed-loop rate. The
+    # drill's own contract gates (sheds > 0, read p99 bounded, ready again
+    # after the burst) decide the exit code.
+    TMP="$(mktemp -d)"
+    SRV_PID=""
+    cleanup() {
+        [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+        rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    ADDR=127.0.0.1:18081
+    echo "== building drserverd (-race) + drload"
+    go build -race -o "$TMP/drserverd" ./cmd/drserverd
+    go build -o "$TMP/drload" ./cmd/drload
+
+    # -exec-delay caps the actor at ~500 cmd/s so the 4x burst reliably
+    # overruns it; -rate-limit stays off here (the burst is one client).
+    "$TMP/drserverd" -addr "$ADDR" -nodes 40 -seed 7 -queue 512 \
+        -exec-delay 2ms -overload-target 100ms -overload-interval 1s \
+        >"$TMP/server.log" 2>&1 &
+    SRV_PID=$!
+    i=0
+    while ! curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "FAIL: drserverd did not come up; log:" >&2
+            cat "$TMP/server.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+
+    echo "== overload smoke: 4x open-loop burst against live drserverd"
+    "$TMP/drload" -addr "http://$ADDR" -overload \
+        -overload-calibrate 2s -overload-duration 8s \
+        -overload-read-p99-max 500ms -overload-recover-within 30s
+
+    # The daemon must have logged the state transitions and still be sane.
+    if ! grep -q 'OVERLOADED' "$TMP/server.log"; then
+        echo "FAIL: drserverd never logged an OVERLOADED transition" >&2
+        exit 1
+    fi
+    if ! curl -fsS "http://$ADDR/v1/invariants" | grep -q '"ok": *true'; then
+        echo "FAIL: invariants dirty after the overload burst" >&2
+        exit 1
+    fi
+    kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+    SRV_PID=""
+    echo "== OK (overload)"
     exit 0
 fi
 
