@@ -1,4 +1,4 @@
-.PHONY: check build test race bench bench-json bench-smoke loadtest overload-smoke
+.PHONY: check build test race bench bench-json bench-smoke loadtest overload-smoke forecast-smoke
 
 # Full tier-1 verification: build + vet + race-enabled tests.
 check:
@@ -31,6 +31,12 @@ bench-smoke:
 # over-capacity burst drill against a real drserverd.
 overload-smoke:
 	./scripts/check.sh --overload
+
+# Live analytic control plane: forecast unit tests under -race, then a
+# closed-loop drload run that gates the online Markov model's predicted
+# mean bandwidth within 10% of the measurement.
+forecast-smoke:
+	./scripts/check.sh --forecast
 
 # End-to-end load test: drserverd + drload (10k requests, 8 workers).
 loadtest:

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"drqos/internal/server"
+)
+
+// The -forecast probe rides along a normal closed-loop run: a background
+// goroutine polls GET /v1/forecast while the workers drive load, and the
+// final digest compares the model-predicted mean bandwidth against the
+// measured one. With -forecast-max-rel-err > 0 the comparison becomes a
+// gate: the run exits non-zero when the model misses by more than the
+// bound (the --forecast CI smoke passes 0.10 per the paper's ~10%
+// model-vs-simulation agreement).
+var (
+	forecastOn = flag.Bool("forecast", false,
+		"poll GET /v1/forecast during the run and report model-predicted vs measured mean bandwidth in the digest")
+	forecastPollEvery = flag.Duration("forecast-poll", time.Second,
+		"forecast poll cadence while the run is active")
+	forecastMaxRelErr = flag.Float64("forecast-max-rel-err", 0,
+		"fail the run when |predicted-measured|/measured exceeds this bound (0 = report only)")
+)
+
+// forecastProbe polls the forecast and stats endpoints in the background.
+type forecastProbe struct {
+	client *http.Client
+	addr   string
+	stop   chan struct{}
+	done   chan struct{}
+
+	polls       int
+	unavailable int
+	stalePolls  int
+	last        *server.ForecastEnvelope // last available envelope
+
+	// Population-weighted running average of the measured per-channel
+	// bandwidth: Σ avg_bw(t)·alive(t) / Σ alive(t) over the poll samples.
+	// This is the measured counterpart of the model's steady-state mean —
+	// both cover the whole run, so a ramping population biases neither
+	// side. The final instantaneous average would compare a whole-window
+	// estimate against a single end-of-run instant.
+	bwWeighted float64
+	bwWeight   float64
+}
+
+func startForecastProbe(client *http.Client, addr string, every time.Duration) *forecastProbe {
+	if every <= 0 {
+		every = time.Second
+	}
+	p := &forecastProbe{
+		client: client, addr: addr,
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.poll()
+			}
+		}
+	}()
+	return p
+}
+
+// poll fetches one forecast + measurement sample. Only the probe goroutine
+// (and, after halt, the reporter) touches the fields.
+func (p *forecastProbe) poll() {
+	var st server.Stats
+	if code, _, err := doJSON(p.client, "GET", p.addr+"/v1/stats", nil, &st); err == nil && code == http.StatusOK && st.Alive > 0 {
+		p.bwWeighted += st.AvgBandwidthKbps * float64(st.Alive)
+		p.bwWeight += float64(st.Alive)
+	}
+	var env server.ForecastEnvelope
+	code, _, err := doJSON(p.client, "GET", p.addr+"/v1/forecast", nil, &env)
+	p.polls++
+	if err != nil || code != http.StatusOK || !env.Available {
+		p.unavailable++
+		return
+	}
+	if env.Forecast != nil && env.Forecast.Stale {
+		p.stalePolls++
+	}
+	p.last = &env
+}
+
+// halt stops the background poller and waits for it.
+func (p *forecastProbe) halt() {
+	close(p.stop)
+	<-p.done
+}
+
+// report takes one final sample, prints the model-vs-measured digest line
+// and applies the relative-error gate. finalBW is the server's average
+// reserved bandwidth at run end, used as a fallback when too few poll
+// samples accumulated to form the windowed measurement.
+func (p *forecastProbe) report(finalBW float64, maxRel float64) error {
+	p.poll()
+	if p.last == nil {
+		fmt.Printf("forecast: never available over %d polls\n", p.polls)
+		if maxRel > 0 {
+			return fmt.Errorf("forecast gate: no forecast became available over %d polls", p.polls)
+		}
+		return nil
+	}
+	measured := finalBW
+	if p.bwWeight > 0 {
+		measured = p.bwWeighted / p.bwWeight
+	}
+	f := p.last.Forecast
+	absErr := math.Abs(f.MeanBandwidthKbps - measured)
+	relErr := math.Inf(1)
+	if measured > 0 {
+		relErr = absErr / measured
+	}
+	staleNote := ""
+	if f.Stale {
+		staleNote = fmt.Sprintf(" STALE(%s)", f.LastError)
+	}
+	fmt.Printf("forecast: predicted_mean=%.1fKbps measured_mean=%.1fKbps (final=%.1fKbps) abs_err=%.1fKbps rel_err=%.1f%%%s\n",
+		f.MeanBandwidthKbps, measured, finalBW, absErr, 100*relErr, staleNote)
+	fmt.Printf("forecast: λ=%.2f/s μ=%.2f/s γ=%.3f/s Pf=%.3f Ps=%.3f δ=%.4f/s avg_alive=%.1f discarded=(%.3f,%.3f,%.3f)\n",
+		f.Lambda, f.Mu, f.Gamma, f.Pf, f.Ps, f.Delta, f.AvgAlive, f.DiscardedA, f.DiscardedB, f.DiscardedT)
+	fmt.Printf("forecast: polls=%d unavailable=%d stale_polls=%d solves=%d solve_errors=%d age=%.1fs\n",
+		p.polls, p.unavailable, p.stalePolls, f.Solves, f.SolveErrors, p.last.AgeSeconds)
+	if maxRel > 0 {
+		if measured <= 0 {
+			return fmt.Errorf("forecast gate: no measured bandwidth to compare against (no alive connections at run end)")
+		}
+		if relErr > maxRel {
+			return fmt.Errorf("forecast gate: relative error %.1f%% exceeds the %.1f%% bound",
+				100*relErr, 100*maxRel)
+		}
+		fmt.Printf("forecast gate: rel_err %.1f%% within %.1f%% bound\n", 100*relErr, 100*maxRel)
+	}
+	return nil
+}

@@ -111,6 +111,11 @@ func run() error {
 		return runOverload(client, *addr, st, *seed)
 	}
 
+	var probe *forecastProbe
+	if *forecastOn {
+		probe = startForecastProbe(client, *addr, *forecastPollEvery)
+	}
+
 	var (
 		cnt    counters
 		lat    = &latencies{d: stats.NewDigest()}
@@ -184,6 +189,13 @@ func run() error {
 	}
 	fmt.Printf("server: alive=%d unprotected=%d avg_bw=%.1fKbps reject_rate=%.3f failed_links=%v\n",
 		st.Alive, st.Unprotected, st.AvgBandwidthKbps, st.RejectRate, st.FailedLinks)
+
+	if probe != nil {
+		probe.halt()
+		if err := probe.report(st.AvgBandwidthKbps, *forecastMaxRelErr); err != nil {
+			return err
+		}
+	}
 
 	var inv struct {
 		OK    bool   `json:"ok"`

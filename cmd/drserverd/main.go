@@ -19,9 +19,16 @@
 // Retry-After while terminations, repairs and reads stay live; -rate-limit
 // adds a per-client token bucket (429 + Retry-After) on top.
 //
+// With -forecast-interval the daemon runs the live analytic control plane:
+// the paper's Markov model is re-solved from live-estimated parameters on
+// that cadence and served on GET /v1/forecast (plus POST /v1/forecast/whatif
+// admission counterfactuals); -forecast-predictive lets model-predicted
+// saturation pre-latch overload shedding before the reactive detector fires.
+//
 // Endpoints: POST /v1/connections, DELETE /v1/connections/{id},
 // POST /v1/faults/link, POST /v1/admin/recover, GET /v1/stats,
-// GET /v1/invariants, GET /metrics, GET /healthz, GET /readyz.
+// GET /v1/invariants, GET /v1/forecast, POST /v1/forecast/whatif,
+// GET /metrics, GET /healthz, GET /readyz.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"drqos/internal/core"
+	"drqos/internal/forecast"
 	"drqos/internal/journal"
 	"drqos/internal/manager"
 	"drqos/internal/overload"
@@ -95,6 +103,14 @@ func checkMeta(dir string, want dataMeta) error {
 	return nil
 }
 
+// statesLabel renders the -forecast-states flag for the startup log line.
+func statesLabel(states int) string {
+	if states <= 1 {
+		return "default"
+	}
+	return fmt.Sprintf("%d", states)
+}
+
 func run() error {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
@@ -134,6 +150,12 @@ func run() error {
 		maxBodyBytes     = flag.Int64("max-body-bytes", 1<<20, "request-body cap on mutation endpoints; oversized bodies answer 413")
 		pprofOn          = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live overload investigation")
 		execDelay        = flag.Duration("exec-delay", 0, "artificial per-command execution delay — overload drills only, caps the service rate so a burst reliably overruns it")
+
+		// Live analytic control plane (internal/forecast).
+		forecastInterval   = flag.Duration("forecast-interval", 0, "re-solve the live Markov forecast this often, serving GET /v1/forecast (0 disables forecasting)")
+		forecastStates     = flag.Int("forecast-states", 0, "bandwidth states the forecast models over the default spec's range (0 = the spec's own grid, 9 states)")
+		forecastPredictive = flag.Bool("forecast-predictive", false, "let model-predicted saturation pre-latch overload shedding before the reactive queue-delay detector fires")
+		forecastTimeout    = flag.Duration("forecast-timeout", 0, "per-solve deadline; an overrun serves the previous forecast marked stale (0 = the forecast interval)")
 	)
 	flag.Parse()
 
@@ -195,6 +217,25 @@ func run() error {
 		}
 	}
 
+	var fcfg *forecast.Config
+	if *forecastInterval > 0 {
+		fcfg = &forecast.Config{
+			States:       *forecastStates,
+			Interval:     *forecastInterval,
+			SolveTimeout: *forecastTimeout,
+			Predictive:   *forecastPredictive,
+			OnPredict: func(saturated bool) {
+				if saturated {
+					log.Printf("FORECAST: model predicts saturation — pre-latching overload shedding")
+				} else {
+					log.Printf("forecast: predicted saturation cleared, admitting establishes again")
+				}
+			},
+		}
+		log.Printf("forecast: solving every %s (%s states, predictive=%v)",
+			*forecastInterval, statesLabel(*forecastStates), *forecastPredictive)
+	}
+
 	srv, err := server.NewFromManager(sys.Graph(), mgr, server.Options{
 		QueueDepth:    *queue,
 		Journal:       jnl,
@@ -217,6 +258,7 @@ func run() error {
 		},
 		Overload:  overload.DetectorConfig{Target: *overloadTarget, Interval: *overloadInterval},
 		ExecDelay: *execDelay,
+		Forecast:  fcfg,
 		OnOverload: func(on bool) {
 			if on {
 				log.Printf("OVERLOADED: sustained actor-queue delay above %s — shedding new establishes with 503, terminations and reads stay live", *overloadTarget)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"drqos/internal/channel"
+	"drqos/internal/forecast"
 	"drqos/internal/manager"
 	"drqos/internal/overload"
 	"drqos/internal/qos"
@@ -43,6 +44,13 @@ type OverloadConfig struct {
 	// Target and Interval configure the delay detector (defaults 1ms/5ms —
 	// tight, so the latch engages deterministically on any real backlog).
 	Target, Interval time.Duration
+
+	// DisableForecast turns off the live forecaster that otherwise runs
+	// (with a fast solve cadence) through the episode, to pin down a
+	// failure to the overload plane alone. The default-on forecaster is
+	// part of the contract: its reads must stay live while the consuming
+	// lane drowns, and its solve loop must never wedge the actor loop.
+	DisableForecast bool
 }
 
 func (c OverloadConfig) withDefaults() OverloadConfig {
@@ -88,6 +96,9 @@ type OverloadResult struct {
 	ShedCanceled     int64
 	Episodes         int64 // overload latch engagements
 	RecoveredIn      time.Duration
+
+	ForecastReads  int64 // lock-free forecast reads completed during the burst
+	ForecastSolves int64 // solve-loop sequence number reached by episode end
 }
 
 // RunOverload drives one seeded overload episode and asserts the graceful-
@@ -114,11 +125,18 @@ func RunOverload(cfg OverloadConfig) (OverloadResult, error) {
 	if err != nil {
 		return res, fmt.Errorf("chaos: topology: %w", err)
 	}
-	srv, err := server.New(g, cfg.Manager, server.Options{
+	opts := server.Options{
 		QueueDepth: cfg.QueueDepth,
 		ExecDelay:  cfg.ExecDelay,
 		Overload:   overload.DetectorConfig{Target: cfg.Target, Interval: cfg.Interval},
-	})
+	}
+	if !cfg.DisableForecast {
+		// A fast cadence so the solve loop runs many times inside the
+		// episode, maximizing its chances to interfere with the actor loop
+		// if it ever could.
+		opts.Forecast = &forecast.Config{Interval: 10 * time.Millisecond, MinEvents: 10}
+	}
+	srv, err := server.New(g, cfg.Manager, opts)
 	if err != nil {
 		return res, fmt.Errorf("chaos: server: %w", err)
 	}
@@ -140,6 +158,45 @@ func RunOverload(cfg OverloadConfig) (OverloadResult, error) {
 		}
 		firstMu.Unlock()
 	}
+
+	// Forecast liveness probe: hammer the lock-free read path for the whole
+	// burst. Every read completes (it cannot block by construction — the
+	// race detector is what makes this loop interesting), and the highest
+	// sequence number observed proves the solve loop kept making progress
+	// while the consuming lane was drowning.
+	var (
+		fcReads  atomic.Int64
+		fcMaxSeq atomic.Int64
+		stopPoll = make(chan struct{})
+		pollDone = make(chan struct{})
+	)
+	if fc := srv.Forecaster(); fc != nil {
+		go func() {
+			defer close(pollDone)
+			for {
+				select {
+				case <-stopPoll:
+					return
+				default:
+				}
+				if cur := fc.Current(); cur != nil && cur.Seq > fcMaxSeq.Load() {
+					fcMaxSeq.Store(cur.Seq)
+				}
+				fcReads.Add(1)
+				time.Sleep(500 * time.Microsecond)
+			}
+		}()
+	} else {
+		close(pollDone)
+	}
+	defer func() {
+		select {
+		case <-stopPoll:
+		default:
+			close(stopPoll)
+		}
+		<-pollDone
+	}()
 
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -219,11 +276,31 @@ func RunOverload(cfg OverloadConfig) (OverloadResult, error) {
 	}
 	res.RecoveredIn = time.Since(recT0)
 
+	close(stopPoll)
+	<-pollDone
+
 	res.EstablishOK = okN.Load()
 	res.EstablishExpired = expiredN.Load()
 	res.Terminated = termN.Load()
 	res.ShedExpired, res.ShedCanceled = srv.Sheds()
 	res.Episodes = srv.OverloadEpisodes()
+	res.ForecastReads = fcReads.Load()
+	res.ForecastSolves = fcMaxSeq.Load()
+
+	// Forecast liveness: the control plane must have kept serving reads
+	// through the episode, and — once enough events were admitted to feed
+	// the estimator — kept solving too.
+	if fc := srv.Forecaster(); fc != nil {
+		if res.ForecastReads == 0 {
+			return res, errors.New("chaos: forecast probe completed zero reads during the episode")
+		}
+		if res.EstablishOK+res.Terminated >= 10 && res.ForecastSolves == 0 {
+			// The solve loop had events and tens of intervals; silence
+			// means it wedged behind the overloaded actor loop.
+			return res, fmt.Errorf("chaos: forecaster never solved during the episode (%d events observed)",
+				res.EstablishOK+res.Terminated)
+		}
+	}
 
 	// The pressure must have been real: deadlines died, commands were
 	// shed unexecuted, and the latch engaged.

@@ -26,8 +26,34 @@ func TestRunOverload(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		t.Logf("seed %d: ok=%d expired=%d terminated=%d shed=%d+%d episodes=%d recovered_in=%s",
+		t.Logf("seed %d: ok=%d expired=%d terminated=%d shed=%d+%d episodes=%d recovered_in=%s forecast_reads=%d forecast_solves=%d",
 			seed, res.EstablishOK, res.EstablishExpired, res.Terminated,
-			res.ShedExpired, res.ShedCanceled, res.Episodes, res.RecoveredIn)
+			res.ShedExpired, res.ShedCanceled, res.Episodes, res.RecoveredIn,
+			res.ForecastReads, res.ForecastSolves)
+		if res.ForecastReads == 0 || res.ForecastSolves == 0 {
+			t.Fatalf("seed %d: forecast control plane made no progress through the episode: %+v", seed, res)
+		}
+	}
+}
+
+// TestRunOverloadWithoutForecast pins the overload contract down without
+// the forecaster riding along (the opt-out used to bisect failures).
+func TestRunOverloadWithoutForecast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload episodes run real backlogs; skipped in -short")
+	}
+	res, err := RunOverload(OverloadConfig{
+		Seed:            3,
+		Workers:         8,
+		Ops:             80,
+		ExecDelay:       time.Millisecond,
+		Deadline:        2 * time.Millisecond,
+		DisableForecast: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForecastReads != 0 || res.ForecastSolves != 0 {
+		t.Fatalf("forecast probe ran despite DisableForecast: %+v", res)
 	}
 }

@@ -44,6 +44,15 @@ type Detector struct {
 	overloaded  bool
 	since       time.Time // when the current episode latched
 	episodes    int64     // times the flag flipped on
+
+	// predicted is the model-driven input: the forecast control plane
+	// latches it when the solved steady-state distribution predicts
+	// saturation, BEFORE queue delay builds up. It is a separate latch from
+	// the reactive one — the idle self-clear in Overloaded never touches
+	// it; only SetPredicted(false) (the next solve predicting headroom, or
+	// the forecast going stale) releases it.
+	predicted         bool
+	predictedEpisodes int64
 }
 
 // NewDetector builds a detector; nowFn may be nil (defaults to time.Now).
@@ -100,16 +109,49 @@ func (d *Detector) Observe(delay time.Duration) (overloaded, changed bool) {
 // Without this, a burst that ends in silence would leave the server
 // refusing work forever.
 func (d *Detector) Overloaded(queueDepth int) bool {
-	if d.Disabled() {
-		return false
-	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.Disabled() {
+		// Target < 0 turns the reactive detector off; the predictive latch
+		// is a separate, explicitly-enabled mechanism and still counts.
+		return d.predicted
+	}
 	if d.overloaded && queueDepth == 0 && d.now().Sub(d.lastObserve) >= d.cfg.Interval {
 		d.overloaded = false
 		d.firstAbove = time.Time{}
 	}
-	return d.overloaded
+	return d.overloaded || d.predicted
+}
+
+// SetPredicted latches (or clears) the model-predicted overload input and
+// reports whether the call changed it. Unlike the reactive latch it has no
+// idle self-clear: the forecaster that set it owns clearing it — on the
+// next solve predicting headroom, or when its forecast goes stale.
+func (d *Detector) SetPredicted(on bool) (changed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if on == d.predicted {
+		return false
+	}
+	d.predicted = on
+	if on {
+		d.predictedEpisodes++
+	}
+	return true
+}
+
+// Predicted reports the model-predicted overload latch.
+func (d *Detector) Predicted() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.predicted
+}
+
+// PredictedEpisodes returns how many times the predictive latch has fired.
+func (d *Detector) PredictedEpisodes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.predictedEpisodes
 }
 
 // Episodes returns how many times the overloaded flag has latched.

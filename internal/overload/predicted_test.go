@@ -1,0 +1,97 @@
+package overload
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDetectorPredictedLatch: the model-driven input latches and releases
+// independently of the reactive CoDel latch, ORs into Overloaded, and is
+// immune to the idle self-clear.
+func TestDetectorPredictedLatch(t *testing.T) {
+	clk := newFakeClock()
+	d := NewDetector(DetectorConfig{Target: 100 * time.Millisecond, Interval: time.Second}, clk.now)
+
+	if d.Overloaded(0) {
+		t.Fatal("fresh detector must not be overloaded")
+	}
+	if !d.SetPredicted(true) {
+		t.Fatal("first SetPredicted(true) must report a change")
+	}
+	if d.SetPredicted(true) {
+		t.Fatal("repeated SetPredicted(true) must be a no-op")
+	}
+	if !d.Predicted() || !d.Overloaded(0) {
+		t.Fatal("predictive latch must make the detector overloaded")
+	}
+	if got := d.PredictedEpisodes(); got != 1 {
+		t.Fatalf("predicted episodes = %d, want 1", got)
+	}
+	if got := d.Episodes(); got != 0 {
+		t.Fatalf("reactive episodes = %d, want 0 (predictive latch is separate)", got)
+	}
+
+	// The idle self-clear (empty queue, no samples for an interval) must
+	// not release the predictive latch — only its owner clears it.
+	clk.advance(10 * time.Second)
+	if !d.Overloaded(0) {
+		t.Fatal("idle self-clear must not touch the predictive latch")
+	}
+
+	if !d.SetPredicted(false) {
+		t.Fatal("SetPredicted(false) must report a change")
+	}
+	if d.Predicted() || d.Overloaded(0) {
+		t.Fatal("cleared predictive latch must release the overload")
+	}
+	d.SetPredicted(true)
+	d.SetPredicted(false)
+	if got := d.PredictedEpisodes(); got != 2 {
+		t.Fatalf("predicted episodes = %d, want 2", got)
+	}
+}
+
+// TestDetectorPredictedWithReactive: both latches engaged — clearing one
+// leaves the other holding the overload.
+func TestDetectorPredictedWithReactive(t *testing.T) {
+	clk := newFakeClock()
+	d := NewDetector(DetectorConfig{Target: 100 * time.Millisecond, Interval: time.Second}, clk.now)
+
+	// Latch the reactive detector: sustained above-target delay.
+	d.Observe(time.Second)
+	clk.advance(2 * time.Second)
+	if over, _ := d.Observe(time.Second); !over {
+		t.Fatal("sustained delay must latch the reactive detector")
+	}
+	d.SetPredicted(true)
+
+	// Reactive clears on a good sample; the predictive latch holds.
+	d.Observe(time.Millisecond)
+	if !d.Overloaded(1) {
+		t.Fatal("predictive latch must hold after the reactive latch clears")
+	}
+	d.SetPredicted(false)
+	if d.Overloaded(1) {
+		t.Fatal("both latches clear → not overloaded")
+	}
+}
+
+// TestDetectorPredictedWhileDisabled: Target < 0 turns the reactive
+// detector off, but the explicitly-driven predictive latch still counts.
+func TestDetectorPredictedWhileDisabled(t *testing.T) {
+	d := NewDetector(DetectorConfig{Target: -1}, nil)
+	if !d.Disabled() {
+		t.Fatal("negative target must disable the reactive detector")
+	}
+	if d.Overloaded(100) {
+		t.Fatal("disabled detector without predictive input must report healthy")
+	}
+	d.SetPredicted(true)
+	if !d.Overloaded(100) {
+		t.Fatal("predictive latch must count even with the reactive detector disabled")
+	}
+	d.SetPredicted(false)
+	if d.Overloaded(100) {
+		t.Fatal("cleared predictive latch must release the overload")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"drqos/internal/channel"
+	"drqos/internal/forecast"
 	"drqos/internal/manager"
 	"drqos/internal/overload"
 	"drqos/internal/qos"
@@ -294,6 +295,55 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 		default:
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown action %q", req.Action)})
 		}
+	})
+	mux.HandleFunc("GET /v1/forecast", func(w http.ResponseWriter, r *http.Request) {
+		fc := s.Forecaster()
+		if fc == nil {
+			writeJSON(w, http.StatusNotFound,
+				errorBody{Error: "forecasting disabled (start the daemon with -forecast-interval > 0)"})
+			return
+		}
+		// Reads the lock-free published pointer — never touches the actor
+		// loop, so the forecast stays available under overload, degraded
+		// mode and even after shutdown.
+		cur := fc.Current()
+		if cur == nil {
+			_, _, lastErr := fc.Status()
+			if lastErr == "" {
+				lastErr = "no solve attempted yet"
+			}
+			writeJSON(w, http.StatusOK, ForecastEnvelope{Available: false, Reason: lastErr})
+			return
+		}
+		writeJSON(w, http.StatusOK, ForecastEnvelope{
+			Available:         true,
+			AgeSeconds:        time.Since(cur.SolvedAt).Seconds(),
+			PredictedOverload: fc.Predicted(),
+			Forecast:          cur,
+		})
+	})
+	mux.HandleFunc("POST /v1/forecast/whatif", func(w http.ResponseWriter, r *http.Request) {
+		fc := s.Forecaster()
+		if fc == nil {
+			writeJSON(w, http.StatusNotFound,
+				errorBody{Error: "forecasting disabled (start the daemon with -forecast-interval > 0)"})
+			return
+		}
+		var req forecast.WhatIfRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := fc.WhatIf(req)
+		if err != nil {
+			switch {
+			case errors.Is(err, forecast.ErrNoForecast):
+				writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+			default:
+				writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Snapshot(r.Context())

@@ -76,6 +76,41 @@ func writeMetrics(w io.Writer, st Stats) {
 		fmt.Fprintf(w, "drqos_connections_level{level=\"%d\"} %d\n", lvl, n)
 	}
 
+	if f := st.Forecast; f != nil {
+		available := 0
+		if f.Available {
+			available = 1
+		}
+		gauge("drqos_forecast_available", "1 once the live Markov forecast has solved at least once.", available)
+		stale := 0
+		if f.Stale {
+			stale = 1
+		}
+		gauge("drqos_forecast_stale", "1 while the served forecast is an old result republished after a solve failure.", stale)
+		predicted := 0
+		if f.PredictedOverload {
+			predicted = 1
+		}
+		gauge("drqos_forecast_predicted_overload", "1 while the solved model predicts saturation and pre-latches shedding.", predicted)
+		gauge("drqos_forecast_mean_bandwidth_kbps", "Model-predicted steady-state mean bandwidth (Kb/s).", f.MeanBandwidthKbps)
+		gauge("drqos_forecast_lambda_per_sec", "Live-estimated effective arrival rate λ.", f.Lambda)
+		gauge("drqos_forecast_mu_per_sec", "Live-estimated effective termination rate μ.", f.Mu)
+		gauge("drqos_forecast_gamma_per_sec", "Live-estimated effective link-failure rate γ.", f.Gamma)
+		gauge("drqos_forecast_delta_per_sec", "Per-channel death rate δ = μ/N̄ of the restart model.", f.Delta)
+		gauge("drqos_forecast_pf", "Live-estimated link-sharing probability Pf.", f.Pf)
+		gauge("drqos_forecast_ps", "Live-estimated indirect-chaining probability Ps.", f.Ps)
+		gauge("drqos_forecast_avg_alive", "Time-weighted mean standing population behind the forecast.", f.AvgAlive)
+		gauge("drqos_forecast_age_seconds", "Age of the served forecast solution.", f.AgeSeconds)
+		gauge("drqos_forecast_solve_duration_seconds", "Duration of the last successful solve.", f.SolveDurationSeconds)
+		fmt.Fprintf(w, "# HELP drqos_forecast_discarded_mass Fraction of observed jumps outside the model's triangular structure, per matrix.\n# TYPE drqos_forecast_discarded_mass gauge\n")
+		fmt.Fprintf(w, "drqos_forecast_discarded_mass{matrix=\"A\"} %g\n", f.DiscardedA)
+		fmt.Fprintf(w, "drqos_forecast_discarded_mass{matrix=\"B\"} %g\n", f.DiscardedB)
+		fmt.Fprintf(w, "drqos_forecast_discarded_mass{matrix=\"T\"} %g\n", f.DiscardedT)
+		counter("drqos_forecast_solves_total", "Successful Markov solves.", f.Solves)
+		counter("drqos_forecast_solve_errors_total", "Failed or timed-out Markov solves (stale fallback served).", f.SolveErrors)
+		counter("drqos_forecast_ignored_transitions_total", "Observed transitions outside the modeled state grid.", f.IgnoredTransitions)
+	}
+
 	fmt.Fprintf(w, "# HELP drqos_commands_total Commands executed by the actor loop, by kind.\n# TYPE drqos_commands_total counter\n")
 	for _, kv := range []struct {
 		kind string

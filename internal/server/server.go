@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"drqos/internal/channel"
+	"drqos/internal/forecast"
 	"drqos/internal/journal"
 	"drqos/internal/manager"
 	"drqos/internal/overload"
@@ -153,6 +154,15 @@ type Options struct {
 	// with the journal sequence the rebuilt manager reached. It mirrors
 	// OnDegrade; daemons use it to log the event.
 	OnRecover func(seq uint64)
+	// Forecast, when non-nil, runs the live analytic control plane
+	// (internal/forecast): every applied establish / terminate / fail-link
+	// event feeds the online parameter estimator, the Markov chain is
+	// re-solved on Forecast.Interval off the actor loop, and the HTTP
+	// layer serves /v1/forecast and /v1/forecast/whatif. With
+	// Forecast.Predictive the solved model additionally drives the
+	// overload detector's predictive latch (the server chains the
+	// detector update in front of any caller-supplied OnPredict).
+	Forecast *forecast.Config
 }
 
 // Server owns a manager.Manager behind a single-goroutine command loop.
@@ -201,6 +211,11 @@ type Server struct {
 	degradedReason      string
 	invariantViolations atomic.Int64
 	onDegrade           func(string)
+
+	// Live analytic control plane (forecast.go); nil when disabled. The
+	// loop goroutine feeds it, its own goroutine solves, readers are
+	// lock-free.
+	fc *forecast.Forecaster
 
 	// Recovery state (recovery.go).
 	recoverPolicy    RecoverPolicy
@@ -260,6 +275,32 @@ func NewFromManager(g *topology.Graph, mgr *manager.Manager, opt Options) (*Serv
 		onDegrade:      opt.OnDegrade,
 		recoverPolicy:  opt.Recover.withDefaults(),
 		onRecover:      opt.OnRecover,
+	}
+	if opt.Forecast != nil {
+		fcfg := *opt.Forecast
+		if fcfg.CapacityKbps <= 0 {
+			fcfg.CapacityKbps = mgr.Network().Capacity()
+		}
+		if fcfg.DirectedLinks <= 0 {
+			fcfg.DirectedLinks = g.NumDirLinks()
+		}
+		if fcfg.Predictive {
+			// The detector update must run even when the caller also wants
+			// the flip for logging: chain, detector first.
+			userPredict := fcfg.OnPredict
+			fcfg.OnPredict = func(saturated bool) {
+				s.detector.SetPredicted(saturated)
+				if userPredict != nil {
+					userPredict(saturated)
+				}
+			}
+		}
+		fc, err := forecast.New(fcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.fc = fc
+		fc.Start()
 	}
 	go s.loop()
 	return s, nil
@@ -527,6 +568,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.inflight.Wait()
 		close(s.freeing)
 		close(s.consuming)
+		if s.fc != nil {
+			// Stop the solve loop after admission stopped; the last
+			// forecast stays readable for post-shutdown inspection.
+			s.fc.Stop()
+		}
 	}
 	select {
 	case <-s.loopDone:
@@ -579,9 +625,17 @@ func (s *Server) Establish(ctx context.Context, src, dst topology.NodeID, spec q
 			ch <- out{nil, err}
 			return
 		}
+		alivePrior := m.AliveCount()
 		rep, err := m.Establish(src, dst, spec)
 		s.noteViolation(err)
 		s.maybeSnapshot(m)
+		if s.fc != nil {
+			if err == nil && rep != nil && rep.Conn != nil {
+				s.fc.ObserveArrival(m, rep, alivePrior)
+			} else if errors.Is(err, manager.ErrRejected) {
+				s.fc.ObserveReject()
+			}
+		}
 		ch <- out{rep, err}
 	}); err != nil {
 		return nil, err
@@ -623,6 +677,9 @@ func (s *Server) Terminate(ctx context.Context, id channel.ConnID) (*manager.Ter
 		rep, err := m.Terminate(id)
 		s.noteViolation(err)
 		s.maybeSnapshot(m)
+		if s.fc != nil && err == nil && rep != nil {
+			s.fc.ObserveTermination(m, rep)
+		}
 		ch <- out{rep, err}
 	}); err != nil {
 		return nil, err
@@ -661,9 +718,13 @@ func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.Fail
 			ch <- out{nil, err}
 			return
 		}
+		alivePrior := m.AliveCount()
 		rep, err := m.FailLink(l)
 		s.noteViolation(err)
 		s.maybeSnapshot(m)
+		if s.fc != nil && err == nil && rep != nil {
+			s.fc.ObserveFailure(m, rep, alivePrior)
+		}
 		ch <- out{rep, err}
 	}); err != nil {
 		return nil, err

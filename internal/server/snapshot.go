@@ -63,6 +63,11 @@ type Stats struct {
 	// (both lanes combined; per-lane depths live in Lanes).
 	Commands   CommandStats `json:"commands"`
 	QueueDepth int          `json:"queue_depth"`
+
+	// Forecast summarizes the live analytic control plane (estimated
+	// parameters, solve health, predictive latch); nil when disabled. The
+	// full distribution lives on GET /v1/forecast.
+	Forecast *ForecastStats `json:"forecast,omitempty"`
 }
 
 // CommandStats counts processed commands by kind.
@@ -159,6 +164,7 @@ func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
 			Snapshots:   s.snapshots.Load(),
 		}
 		st.QueueDepth = s.QueueDepth()
+		st.Forecast = forecastStats(s.fc)
 		ch <- st
 	}); err != nil {
 		return Stats{}, err

@@ -294,53 +294,6 @@ func TestIdealAverageBandwidth(t *testing.T) {
 	}
 }
 
-func TestEstimatorProjection(t *testing.T) {
-	// Directly feed the estimator counters via a tiny crafted scenario is
-	// cumbersome; instead unit-test the projection helpers through a
-	// Params round trip with synthetic counts.
-	e := NewEstimator(3)
-	// Simulate: direct arrivals from state 2 go down twice, stay once, and
-	// once (anomalously) go up — the upward jump must be projected away.
-	e.arrDirect.Record(2, 0)
-	e.arrDirect.Record(2, 1)
-	e.arrDirect.Record(2, 2)
-	e.arrDirect.Record(0, 1) // anomalous upward for a direct channel
-	e.term.Record(0, 2)
-	e.arrIndirect.Record(0, 1)
-	e.pf.ObserveN(1, 2)
-	e.ps.ObserveN(1, 4)
-
-	p := e.Params(0.001, 0.001, 0)
-	if err := p.Validate(); err != nil {
-		t.Fatalf("projected params invalid: %v", err)
-	}
-	if p.Pf != 0.5 || p.Ps != 0.25 {
-		t.Fatalf("Pf=%v Ps=%v", p.Pf, p.Ps)
-	}
-	// Row 2 of A: 3 events (2 moved down, 1 stayed) → activity 2/3 split
-	// evenly between the two downward targets.
-	if math.Abs(p.A[2][0]-1.0/3) > 1e-12 || math.Abs(p.A[2][1]-1.0/3) > 1e-12 {
-		t.Fatalf("A row 2 = %v", p.A[2])
-	}
-	// Row 0 of A: its only jump was upward → fully discarded → zero row.
-	if p.A[0][1] != 0 && p.A[0][2] != 0 {
-		t.Fatalf("A row 0 = %v", p.A[0])
-	}
-	da, db, dt := e.Discarded()
-	if da <= 0 {
-		t.Fatalf("discardedA = %v, want > 0", da)
-	}
-	if db != 0 || dt != 0 {
-		t.Fatalf("discarded B/T = %v/%v", db, dt)
-	}
-	if p.T[0][2] != 1 {
-		t.Fatalf("T = %v", p.T)
-	}
-	if p.B[0][1] != 1 {
-		t.Fatalf("B = %v", p.B)
-	}
-}
-
 func BenchmarkSimChurnEvent(b *testing.B) {
 	g := paperGraph(b, 11)
 	cfg := baseConfig(1)

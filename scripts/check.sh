@@ -16,6 +16,13 @@
 #                                over-capacity drload burst against a real
 #                                drserverd: non-zero sheds with Retry-After,
 #                                bounded read p99, clean return to ready
+#   scripts/check.sh --forecast  build + panic gate + forecast unit tests
+#                                under -race, then a live forecasting
+#                                drserverd driven by a steady closed-loop
+#                                drload run: the online Markov model must
+#                                land within 10% of the measured mean
+#                                bandwidth, and /v1/forecast + what-if must
+#                                answer throughout
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -201,6 +208,73 @@ if [ "${1:-}" = "--overload" ]; then
     kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
     SRV_PID=""
     echo "== OK (overload)"
+    exit 0
+fi
+
+if [ "${1:-}" = "--forecast" ]; then
+    # In-process first: estimator-feed correctness, staleness/fallback,
+    # predictive latch, what-if and the HTTP surface, all under -race.
+    echo "== forecast unit tests under -race"
+    go test -race -count 1 -run 'TestForecast|TestWhatIf|TestDeltaTuning|TestDetectorPredicted|TestEstimator|TestRunOverload' \
+        ./internal/forecast/ ./internal/server/ ./internal/overload/ \
+        ./internal/estimator/ ./internal/chaos/
+
+    # End-to-end: a race-built drserverd with live forecasting, driven by a
+    # steady closed-loop drload run. drload's -forecast probe gates the
+    # model against the measurement: |predicted-measured|/measured <= 10%.
+    TMP="$(mktemp -d)"
+    SRV_PID=""
+    cleanup() {
+        [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+        rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    ADDR=127.0.0.1:18082
+    echo "== building drserverd (-race) + drload"
+    go build -race -o "$TMP/drserverd" ./cmd/drserverd
+    go build -o "$TMP/drload" ./cmd/drload
+
+    # -no-require-backup on the seed-3 topology gives a real standing
+    # population (hundreds of channels, genuine bandwidth sharing); the
+    # protected default on this sparse graph rejects ~90% and leaves the
+    # model a trivial everyone-at-max comparison.
+    "$TMP/drserverd" -addr "$ADDR" -nodes 40 -seed 3 -queue 256 \
+        -no-require-backup -forecast-interval 500ms -forecast-predictive \
+        >"$TMP/server.log" 2>&1 &
+    SRV_PID=$!
+    i=0
+    while ! curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "FAIL: drserverd did not come up; log:" >&2
+            cat "$TMP/server.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+
+    echo "== forecast smoke: steady closed-loop run, model within 10% of measurement"
+    "$TMP/drload" -addr "http://$ADDR" -workers 4 -requests 10000 -seed 11 \
+        -terminate-frac 0.4 -forecast -forecast-max-rel-err 0.10
+
+    # The live surface must still answer, fresh, after the run.
+    if ! curl -fsS "http://$ADDR/v1/forecast" | grep -q '"available": *true'; then
+        echo "FAIL: /v1/forecast not available after the run" >&2
+        curl -fsS "http://$ADDR/v1/forecast" >&2 || true
+        exit 1
+    fi
+    if ! curl -fsS -X POST -H 'Content-Type: application/json' -d '{"count":5}' \
+        "http://$ADDR/v1/forecast/whatif" | grep -q '"admit"'; then
+        echo "FAIL: /v1/forecast/whatif did not answer a counterfactual" >&2
+        exit 1
+    fi
+    if ! curl -fsS "http://$ADDR/metrics" | grep -q '^drqos_forecast_solves_total [1-9]'; then
+        echo "FAIL: no successful solves on the metrics surface" >&2
+        exit 1
+    fi
+    kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+    SRV_PID=""
+    echo "== OK (forecast)"
     exit 0
 fi
 
