@@ -134,6 +134,10 @@ func crashEpisode(i int, seed uint64, events, nodes int, quiet bool) error {
 		CrashAfter:    1 + (i*events/7)%(events-1),
 		SnapshotEvery: []int{-1, 4, 16, 64}[i%4],
 		TornTailBytes: []int{0, 0, 23, 0, 200, 1}[i%6],
+		// Alternate group-commit mode so half the episodes crash inside the
+		// commit window (framed-but-unacknowledged appends lost mid-batch).
+		GroupCommit:   i%2 == 1,
+		UnackedWindow: []int{0, 3, 0, 9}[i%4],
 	}
 	res, err := chaos.RunCrashRestart(cfg)
 	if err != nil {
@@ -141,8 +145,8 @@ func crashEpisode(i int, seed uint64, events, nodes int, quiet bool) error {
 			i, seed, cfg.CrashAfter, cfg.SnapshotEvery, cfg.TornTailBytes, err)
 	}
 	if !quiet {
-		fmt.Printf("crash episode %d ok (seed %d, crash_after=%d, journaled=%d, snapshot_seq=%d, torn=%dB, fp=%.12s)\n",
-			i, seed, cfg.CrashAfter, res.Journaled, res.SnapshotSeq, res.TornBytes, res.Fingerprint)
+		fmt.Printf("crash episode %d ok (seed %d, crash_after=%d, journaled=%d, snapshot_seq=%d, torn=%dB, group_commit=%v, unacked_lost=%d, fp=%.12s)\n",
+			i, seed, cfg.CrashAfter, res.Journaled, res.SnapshotSeq, res.TornBytes, cfg.GroupCommit, res.UnackedLost, res.Fingerprint)
 	}
 	return nil
 }

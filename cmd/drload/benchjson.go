@@ -1,0 +1,96 @@
+// -bench-json: merge this run's end-to-end measurement into a benchparse
+// JSON report, so server-level throughput baselines live next to the
+// microbenchmark baselines produced by scripts/bench.sh and compare with the
+// same tooling (cmd/benchjson -compare). The record is keyed like a real
+// benchmark line — pkg drqos/cmd/drload, name BenchmarkDrloadEndToEnd — and
+// re-running against the same file replaces it in place.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"drqos/internal/benchparse"
+	"drqos/internal/stats"
+)
+
+var benchJSON = flag.String("bench-json", "",
+	"merge this run's end-to-end RPS and latency percentiles into a benchparse JSON report at this path")
+
+// benchRecord shapes one drload run as a benchmark result: NsPerOp is wall
+// time per issued request (the closed-loop end-to-end cost), and the custom
+// metrics carry throughput, the latency percentiles in milliseconds, and the
+// worker count so runs at different concurrency are not confused.
+func benchRecord(requests int64, elapsed time.Duration, workers int, d *stats.Digest) benchparse.Result {
+	rec := benchparse.Result{
+		Pkg:        "drqos/cmd/drload",
+		Name:       "BenchmarkDrloadEndToEnd",
+		Iterations: requests,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(requests),
+		Metrics: map[string]float64{
+			"rps":     float64(requests) / elapsed.Seconds(),
+			"workers": float64(workers),
+		},
+	}
+	if d.N() > 0 {
+		clean := func(seconds float64) float64 {
+			if math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+				return 0
+			}
+			return seconds * 1e3
+		}
+		rec.Metrics["p50-ms"] = clean(d.P50())
+		rec.Metrics["p90-ms"] = clean(d.P90())
+		rec.Metrics["p99-ms"] = clean(d.P99())
+	}
+	return rec
+}
+
+// writeBenchRecord loads the report at path (or starts a fresh one), replaces
+// any existing record with the same key, and writes the file back.
+func writeBenchRecord(path string, rec benchparse.Result) error {
+	var rep benchparse.Report
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return fmt.Errorf("parse existing report %s: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// Fresh report.
+	default:
+		return err
+	}
+	if rep.Date == "" {
+		rep.Date = time.Now().Format("2006-01-02")
+	}
+	if rep.GoVersion == "" {
+		rep.GoVersion = runtime.Version()
+	}
+	if rep.Host == "" {
+		host, _ := os.Hostname()
+		rep.Host = host
+	}
+	replaced := false
+	for i := range rep.Results {
+		if rep.Results[i].Key() == rec.Key() {
+			rep.Results[i] = rec
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		rep.Results = append(rep.Results, rec)
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"drqos/internal/channel"
 	"drqos/internal/journal"
@@ -50,6 +51,16 @@ type CrashConfig struct {
 	// FsyncEvery is the journal fsync policy (default -1: a process crash
 	// keeps the page cache, and episodes should not grind the disk).
 	FsyncEvery int
+	// GroupCommit opens the journal in group-commit mode and makes the
+	// crash land inside the commit window: after the acknowledged prefix, a
+	// burst of UnackedWindow appends is framed into the active segment but
+	// the "power dies" before the batch fsync completes — the segment is
+	// truncated back to its pre-burst size. Recovery must see exactly the
+	// acknowledged prefix; the unacknowledged burst is legitimately lost.
+	GroupCommit bool
+	// UnackedWindow is the number of in-flight, never-acknowledged appends
+	// lost in the crash when GroupCommit is set (default 6).
+	UnackedWindow int
 }
 
 // CrashResult summarizes a clean episode.
@@ -62,6 +73,9 @@ type CrashResult struct {
 	SnapshotSeq uint64
 	// TornBytes is what recovery discarded from the tail.
 	TornBytes int64
+	// UnackedLost counts group-commit-window appends that were framed but
+	// never acknowledged and so legitimately vanished in the crash.
+	UnackedLost int
 	// Fingerprint is the common state digest of reference and restored
 	// managers at the end of the episode.
 	Fingerprint string
@@ -117,6 +131,21 @@ func snapshotNow(jnl *journal.Journal, m *manager.Manager) error {
 	return jnl.WriteSnapshot(hdr, st.MarshalBinary())
 }
 
+// activeSegment resolves the newest wal segment (zero-padded names sort
+// lexically) and its current size.
+func activeSegment(dir string) (string, int64, error) {
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		return "", 0, fmt.Errorf("chaos: no active wal segment (%v)", err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		return "", 0, err
+	}
+	return last, fi.Size(), nil
+}
+
 // tearTail appends a partial frame to the newest wal segment: a plausible
 // length prefix whose payload never finished writing.
 func tearTail(dir string, n int) error {
@@ -160,12 +189,19 @@ func RunCrashRestart(cfg CrashConfig) (*CrashResult, error) {
 	if cfg.FsyncEvery == 0 {
 		cfg.FsyncEvery = -1
 	}
+	if cfg.GroupCommit && cfg.UnackedWindow <= 0 {
+		cfg.UnackedWindow = 6
+	}
 
 	ref, err := newRunner(base)
 	if err != nil {
 		return nil, err
 	}
-	jnl, rec0, err := journal.Open(cfg.Dir, journal.Options{FsyncEvery: cfg.FsyncEvery})
+	jnl, rec0, err := journal.Open(cfg.Dir, journal.Options{
+		FsyncEvery:         cfg.FsyncEvery,
+		GroupCommit:        cfg.GroupCommit,
+		GroupCommitMaxWait: 500 * time.Microsecond,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -205,6 +241,55 @@ func RunCrashRestart(cfg CrashConfig) (*CrashResult, error) {
 
 	// Crash: abandon the journal without Close (the OS page cache keeps the
 	// un-synced writes, exactly like kill -9), optionally tear the tail.
+	if cfg.GroupCommit {
+		// Land the crash inside the group-commit window. Every pre-crash
+		// Append above was acknowledged (Append waits for the batch fsync),
+		// so the acknowledged prefix ends exactly at LastSeq here. Then a
+		// burst of establishes is framed into the active segment with
+		// AppendAsync — no caller ever waited for durability — and the power
+		// dies before the committer's fsync: Abandon stops the committer
+		// without syncing and the segment is truncated back to its pre-burst
+		// size, losing the batch deterministically whatever the background
+		// committer managed first. The burst comes from a separate rng stream
+		// so the acknowledged prefix is identical with or without the window,
+		// and it is never applied to the reference manager.
+		ackedSeq := jnl.LastSeq()
+		if ackedSeq != uint64(res.Journaled) {
+			jnl.Abandon()
+			return nil, fmt.Errorf("chaos: acked seq %d, journaled %d events", ackedSeq, res.Journaled)
+		}
+		segPath, ackedSize, err := activeSegment(cfg.Dir)
+		if err != nil {
+			jnl.Abandon()
+			return nil, err
+		}
+		nodes := ref.m.Graph().NumNodes()
+		wsrc := rng.New(base.Seed ^ 0x9e3779b97f4a7c15)
+		for i := 0; i < cfg.UnackedWindow; i++ {
+			a := wsrc.Intn(nodes)
+			b := wsrc.Intn(nodes - 1)
+			if b >= a {
+				b++
+			}
+			jev := journal.Event{
+				Kind: journal.KindEstablish,
+				Src:  int32(a), Dst: int32(b),
+				MinKbps: int64(base.Spec.Min), MaxKbps: int64(base.Spec.Max),
+				IncKbps: int64(base.Spec.Increment), Utility: base.Spec.Utility,
+			}
+			if _, err := jnl.AppendAsync(jev); err != nil {
+				jnl.Abandon()
+				return nil, fmt.Errorf("chaos: unacked window append: %w", err)
+			}
+			res.UnackedLost++
+		}
+		if err := jnl.Abandon(); err != nil {
+			return nil, fmt.Errorf("chaos: abandon journal: %w", err)
+		}
+		if err := os.Truncate(segPath, ackedSize); err != nil {
+			return nil, fmt.Errorf("chaos: lose unsynced batch: %w", err)
+		}
+	}
 	if cfg.TornTailBytes > 0 {
 		if err := tearTail(cfg.Dir, cfg.TornTailBytes); err != nil {
 			return nil, err

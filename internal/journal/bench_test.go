@@ -1,0 +1,52 @@
+package journal
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The two benchmarks below measure the same workload — parallel appenders
+// that each require FsyncEvery:1 durability before proceeding — under the
+// two durability engines. Single pays one private fsync per record;
+// GroupCommit batches concurrent records under one fsync. The box running
+// CI has a single CPU, so parallelism is forced explicitly: the contention
+// being measured is on the journal, not the scheduler.
+
+const benchParallelism = 8
+
+func benchAppend(b *testing.B, opt Options) {
+	b.Helper()
+	j, _, err := Open(b.TempDir(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	var src atomic.Int32
+	b.SetParallelism(benchParallelism)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := src.Add(1)
+		for pb.Next() {
+			if _, err := j.Append(Event{Kind: KindEstablish, Src: w, Dst: w + 1, MinKbps: 100, MaxKbps: 500, IncKbps: 50, Utility: 1}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if j.opt.GroupCommit {
+		batches, covered := j.GroupCommitStats()
+		if batches > 0 {
+			b.ReportMetric(float64(covered)/float64(batches), "appends/fsync")
+		}
+	}
+}
+
+func BenchmarkJournalAppendSingle(b *testing.B) {
+	benchAppend(b, Options{FsyncEvery: 1})
+}
+
+func BenchmarkJournalAppendGroupCommit(b *testing.B) {
+	benchAppend(b, Options{GroupCommit: true, GroupCommitMaxWait: 2 * time.Millisecond})
+}

@@ -30,6 +30,7 @@
 package journal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -39,6 +40,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // ErrCorrupt reports unrecoverable journal damage: a bad record with valid
@@ -51,8 +53,21 @@ var ErrCorrupt = errors.New("journal: corrupt")
 type Options struct {
 	// FsyncEvery controls how often Append calls fsync: 1 (the default)
 	// syncs every record, N>1 every N records, negative never (tests).
-	// Zero selects the default.
+	// Zero selects the default. Ignored with GroupCommit, which always
+	// provides FsyncEvery:1 durability.
 	FsyncEvery int
+	// GroupCommit batches fsyncs across concurrent appenders: AppendAsync
+	// writes the frame and returns, WaitDurable parks on a commit ticket,
+	// and a committer goroutine fsyncs once per batch (see groupcommit.go).
+	// The durability contract is identical to FsyncEvery:1 — no record is
+	// reported durable before an fsync covering it returned — but N
+	// concurrent appends cost one fsync instead of N.
+	GroupCommit bool
+	// GroupCommitMaxWait caps how long the committer lets a forming batch
+	// accumulate before fsyncing it (default 2ms; negative disables the
+	// accumulation window — each committer round syncs immediately). It
+	// bounds the extra latency group commit may add to a single append.
+	GroupCommitMaxWait time.Duration
 }
 
 // Recovered is what Open found on disk: the newest snapshot (if any) and
@@ -87,6 +102,10 @@ type Journal struct {
 	snapSeq   uint64   // sequence covered by the newest snapshot
 	sinceSync int
 	buf       []byte
+
+	// gc is the group-commit ledger (groupcommit.go), always allocated; the
+	// committer goroutine runs only when opt.GroupCommit is set.
+	gc *groupState
 }
 
 // Open scans dir (creating it if needed), verifies every record, discards a
@@ -96,6 +115,9 @@ type Journal struct {
 func Open(dir string, opt Options) (*Journal, *Recovered, error) {
 	if opt.FsyncEvery == 0 {
 		opt.FsyncEvery = 1
+	}
+	if opt.GroupCommit && opt.GroupCommitMaxWait == 0 {
+		opt.GroupCommitMaxWait = 2 * time.Millisecond
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("journal: %w", err)
@@ -131,6 +153,11 @@ func Open(dir string, opt Options) (*Journal, *Recovered, error) {
 		}
 		j.f = f
 	}
+	j.gc = newGroupState(j.seq)
+	if opt.GroupCommit {
+		j.gc.started = true
+		go j.committer()
+	}
 	return j, rec, nil
 }
 
@@ -163,30 +190,21 @@ func (j *Journal) SnapshotSeq() uint64 {
 func (j *Journal) Dir() string { return j.dir }
 
 // Append assigns the next sequence number to ev, writes the framed record,
-// and applies the fsync policy. It returns the assigned sequence number.
-// The caller must append BEFORE mutating state (write-ahead discipline).
+// and applies the fsync policy; in group-commit mode it additionally waits
+// for the record's batch to become durable, so a successful return carries
+// the same guarantee in every mode. It returns the assigned sequence
+// number. The caller must append BEFORE mutating state (write-ahead
+// discipline). Callers that can overlap other work with the fsync should
+// use AppendAsync + WaitDurable instead.
 func (j *Journal) Append(ev Event) (uint64, error) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
-		return 0, errors.New("journal: closed")
+	seq, err := j.AppendAsync(ev)
+	if err != nil {
+		return 0, err
 	}
-	ev.Seq = j.seq + 1
-	j.buf = j.buf[:0]
-	payload := appendEvent(nil, ev)
-	j.buf = appendFrame(j.buf, payload)
-	if _, err := j.f.Write(j.buf); err != nil {
-		return 0, fmt.Errorf("journal: append seq %d: %w", ev.Seq, err)
+	if err := j.WaitDurable(context.Background(), seq); err != nil {
+		return 0, err
 	}
-	j.sinceSync++
-	if j.opt.FsyncEvery > 0 && j.sinceSync >= j.opt.FsyncEvery {
-		if err := j.f.Sync(); err != nil {
-			return 0, fmt.Errorf("journal: fsync seq %d: %w", ev.Seq, err)
-		}
-		j.sinceSync = 0
-	}
-	j.seq = ev.Seq
-	return ev.Seq, nil
+	return seq, nil
 }
 
 // Sync flushes the active segment to stable storage regardless of policy.
@@ -197,18 +215,31 @@ func (j *Journal) Sync() error {
 		return nil
 	}
 	j.sinceSync = 0
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.markSyncedLocked()
+	return nil
 }
 
 // Close syncs and closes the active segment. The directory stays valid for
 // a later Open.
 func (j *Journal) Close() error {
+	j.stopCommitter(nil)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return nil
 	}
 	err := j.f.Sync()
+	if err == nil {
+		j.markSyncedLocked()
+	}
+	gc := j.gc
+	gc.mu.Lock()
+	gc.closed = true
+	gc.durable.Broadcast()
+	gc.mu.Unlock()
 	if cerr := j.f.Close(); err == nil {
 		err = cerr
 	}
@@ -378,6 +409,10 @@ func (j *Journal) WriteSnapshot(hdr SnapshotHeader, body []byte) error {
 		return fmt.Errorf("journal: snapshot pre-sync: %w", err)
 	}
 	j.sinceSync = 0
+	// The pre-sync made every written record durable: release parked
+	// group-commit tickets now, before the rotation closes this segment
+	// under the committer.
+	j.markSyncedLocked()
 	seq := j.seq
 	if err := writeSnapshotFile(j.dir, seq, hdr, body); err != nil {
 		return err

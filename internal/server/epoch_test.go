@@ -1,0 +1,468 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"drqos/internal/channel"
+	"drqos/internal/journal"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/server"
+	"drqos/internal/topology"
+)
+
+// checkEpochInternal asserts that one observed EpochView is internally
+// consistent: every aggregate it carries is derivable from the State it
+// carries, so no reader can see a half-applied mutation.
+func checkEpochInternal(t *testing.T, v *server.EpochView) {
+	t.Helper()
+	if v == nil {
+		t.Fatal("nil epoch view")
+	}
+	if v.State == nil || v.PublishedAt.IsZero() || v.Seq == 0 {
+		t.Fatalf("malformed epoch: seq %d, state %v, published %v", v.Seq, v.State != nil, v.PublishedAt)
+	}
+	if age := time.Since(v.PublishedAt); age < 0 || age > time.Minute {
+		t.Fatalf("epoch %d age %v out of bounds", v.Seq, age)
+	}
+	if v.Requests != v.State.Requests || v.Rejects != v.State.Rejects {
+		t.Fatalf("epoch %d: aggregate counters %d/%d disagree with state %d/%d",
+			v.Seq, v.Requests, v.Rejects, v.State.Requests, v.State.Rejects)
+	}
+	// State holds exactly the alive connections, so the population
+	// aggregates must match it.
+	if v.Alive != len(v.State.Conns) {
+		t.Fatalf("epoch %d: alive %d but state carries %d connections", v.Seq, v.Alive, len(v.State.Conns))
+	}
+	histSum := 0
+	for _, n := range v.LevelHistogram {
+		histSum += n
+	}
+	if histSum != v.Alive {
+		t.Fatalf("epoch %d: level histogram sums to %d, alive %d", v.Seq, histSum, v.Alive)
+	}
+	if len(v.FailedLinks) != len(v.State.FailedLinks) {
+		t.Fatalf("epoch %d: %d failed links vs state's %d", v.Seq, len(v.FailedLinks), len(v.State.FailedLinks))
+	}
+}
+
+// TestEpochViewConsistencyUnderChurn is the snapshot-consistency contract
+// under -race: one sequential mutator drives the server while a shadow
+// manager replays the identical acknowledged prefix; concurrent pollers
+// grab epoch views the whole time. Every observed view must have a
+// monotonically non-decreasing seq, bounded age, internally consistent
+// aggregates, and a State fingerprint equal to the shadow's state after
+// some acknowledged prefix — i.e. each epoch IS a real point in history,
+// never a blend of two mutations.
+func TestEpochViewConsistencyUnderChurn(t *testing.T) {
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: 40, Alpha: 0.33, Beta: 0.25, EnsureConnected: true,
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := manager.Config{Capacity: 10000}
+	s, err := server.New(g, cfg, server.Options{QueueDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	shadow, err := manager.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var prefixMu sync.Mutex
+	prefixes := map[string]int{shadow.ExportState().Fingerprint(): 0}
+	recordPrefix := func(i int) {
+		fp := shadow.ExportState().Fingerprint()
+		prefixMu.Lock()
+		prefixes[fp] = i
+		prefixMu.Unlock()
+	}
+
+	type observed struct {
+		seq uint64
+		fp  string
+	}
+	done := make(chan struct{})
+	const pollers = 3
+	obs := make([][]observed, pollers)
+	var pollWg sync.WaitGroup
+	for p := 0; p < pollers; p++ {
+		pollWg.Add(1)
+		go func(p int) {
+			defer pollWg.Done()
+			var lastSeq uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := s.View()
+				checkEpochInternal(t, v)
+				if v.Seq < lastSeq {
+					t.Errorf("poller %d: epoch seq went backwards %d -> %d", p, lastSeq, v.Seq)
+					return
+				}
+				if v.Seq != lastSeq {
+					lastSeq = v.Seq
+					obs[p] = append(obs[p], observed{v.Seq, v.State.Fingerprint()})
+				}
+			}
+		}(p)
+	}
+
+	ctx := context.Background()
+	src := rng.New(99)
+	spec := qos.DefaultSpec()
+	var alive []channel.ConnID
+	const ops = 200
+	for i := 1; i <= ops; i++ {
+		if len(alive) > 0 && src.Float64() < 0.35 {
+			id := alive[len(alive)-1]
+			alive = alive[:len(alive)-1]
+			if _, err := s.Terminate(ctx, id); err != nil {
+				t.Fatalf("terminate %d: %v", id, err)
+			}
+			if _, err := shadow.Terminate(id); err != nil {
+				t.Fatalf("shadow terminate %d: %v", id, err)
+			}
+		} else {
+			a, b := src.Intn(g.NumNodes()), src.Intn(g.NumNodes())
+			if a == b {
+				b = (b + 1) % g.NumNodes()
+			}
+			rep, err := s.Establish(ctx, topology.NodeID(a), topology.NodeID(b), spec)
+			_, shadowErr := shadow.Establish(topology.NodeID(a), topology.NodeID(b), spec)
+			if (err == nil) != (shadowErr == nil) {
+				t.Fatalf("op %d: server err %v, shadow err %v — divergence", i, err, shadowErr)
+			}
+			if err != nil && !errors.Is(err, manager.ErrRejected) {
+				t.Fatalf("establish: %v", err)
+			}
+			if err == nil {
+				alive = append(alive, rep.Conn.ID)
+			}
+		}
+		recordPrefix(i)
+	}
+	close(done)
+	pollWg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	total := 0
+	for p := 0; p < pollers; p++ {
+		total += len(obs[p])
+		for _, o := range obs[p] {
+			prefixMu.Lock()
+			idx, ok := prefixes[o.fp]
+			prefixMu.Unlock()
+			if !ok {
+				t.Fatalf("poller %d observed epoch %d with fingerprint %s matching NO acknowledged prefix",
+					p, o.seq, o.fp[:16])
+			}
+			_ = idx
+		}
+	}
+	if total == 0 {
+		t.Fatal("pollers observed no epochs at all")
+	}
+	t.Logf("pollers matched %d distinct epoch observations against %d prefixes", total, ops+1)
+}
+
+// TestEpochViewMultiMutatorInternalConsistency: with many concurrent
+// mutators there is no single acknowledged order to fingerprint against,
+// but every published epoch must STILL be internally consistent and its
+// seq monotonic — a torn export would show up here under -race.
+func TestEpochViewMultiMutatorInternalConsistency(t *testing.T) {
+	s := newTestServer(t, 64)
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+	nodes := s.Graph().NumNodes()
+	spec := qos.DefaultSpec()
+
+	done := make(chan struct{})
+	var pollWg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		pollWg.Add(1)
+		go func() {
+			defer pollWg.Done()
+			var lastSeq uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := s.View()
+				checkEpochInternal(t, v)
+				if v.Seq < lastSeq {
+					t.Errorf("epoch seq went backwards %d -> %d", lastSeq, v.Seq)
+					return
+				}
+				lastSeq = v.Seq
+			}
+		}()
+	}
+
+	var mutWg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		mutWg.Add(1)
+		go func(w int) {
+			defer mutWg.Done()
+			src := rng.New(uint64(500 + w))
+			var mine []channel.ConnID
+			for i := 0; i < 80; i++ {
+				if len(mine) > 0 && src.Float64() < 0.4 {
+					id := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if _, err := s.Terminate(ctx, id); err != nil && !errors.Is(err, server.ErrNotFound) {
+						t.Errorf("terminate: %v", err)
+						return
+					}
+					continue
+				}
+				a, b := src.Intn(nodes), src.Intn(nodes)
+				if a == b {
+					b = (b + 1) % nodes
+				}
+				rep, err := s.Establish(ctx, topology.NodeID(a), topology.NodeID(b), spec)
+				if err == nil {
+					mine = append(mine, rep.Conn.ID)
+				} else if !errors.Is(err, manager.ErrRejected) {
+					t.Errorf("establish: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	mutWg.Wait()
+	close(done)
+	pollWg.Wait()
+}
+
+// TestStatsServedFromEpochDuringSaturatedLane is the acceptance read-path
+// proof: with the consuming lane saturated by slow commands, GET /v1/stats
+// answers immediately from the published epoch — without queueing a
+// command — and reports the backlog it did not have to wait behind.
+func TestStatsServedFromEpochDuringSaturatedLane(t *testing.T) {
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: 40, Alpha: 0.33, Beta: 0.25, EnsureConnected: true,
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const execDelay = 30 * time.Millisecond
+	s, err := server.New(g, manager.Config{Capacity: 10000}, server.Options{
+		QueueDepth: 32, ExecDelay: execDelay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(server.NewHandler(s))
+	defer ts.Close()
+
+	// Saturate the consuming lane: each no-op command still pays ExecDelay
+	// in the loop, so the backlog drains at ~33 commands/second.
+	const backlog = 16
+	for i := 0; i < backlog; i++ {
+		if err := s.SubmitConsuming(context.Background(), func(*manager.Manager) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	elapsed := time.Since(start)
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	// A queued read would wait behind the remaining backlog (hundreds of
+	// ms). The epoch read must come back in a fraction of that.
+	if budget := execDelay * backlog / 4; elapsed > budget {
+		t.Fatalf("GET /v1/stats took %v with a saturated lane (budget %v) — did it queue a command?", elapsed, budget)
+	}
+	if st.Commands.Snapshots != 0 {
+		t.Fatalf("stats read queued %d snapshot command(s); epoch reads must queue none", st.Commands.Snapshots)
+	}
+	if st.Epoch == nil || st.Epoch.Seq == 0 {
+		t.Fatal("stats response carries no epoch staleness block")
+	}
+	if depth := st.Lanes["consuming"].Depth; depth == 0 {
+		t.Fatalf("expected a visible consuming backlog in the stats response; lane depth 0 after %v", elapsed)
+	}
+	// /metrics rides the same path.
+	mStart := time.Now()
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mResp.Body.Close()
+	if elapsed := time.Since(mStart); elapsed > execDelay*backlog/4 {
+		t.Fatalf("GET /metrics took %v with a saturated lane", elapsed)
+	}
+}
+
+// TestEpochReadYourWrites pins the idle-publish contract: a sequential
+// caller's acknowledged mutation is visible in the very next StatsView.
+func TestEpochReadYourWrites(t *testing.T) {
+	s := newTestServer(t, 16)
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+	if _, err := s.Establish(ctx, 0, 1, qos.DefaultSpec()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.StatsView()
+	if st.Requests != 1 || st.Alive != 1 {
+		t.Fatalf("read-your-writes broken: requests %d alive %d after acknowledged establish", st.Requests, st.Alive)
+	}
+	if st.Epoch == nil || st.Epoch.Seq < 2 {
+		t.Fatalf("expected a post-mutation epoch, got %+v", st.Epoch)
+	}
+}
+
+// TestAuditEpoch: the off-loop audit rebuilds a manager from the published
+// State and runs the full invariant check; on a healthy server it must
+// pass, and the HTTP variant must answer without touching the loop.
+func TestAuditEpoch(t *testing.T) {
+	s := newTestServer(t, 16)
+	defer s.Shutdown(context.Background())
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Establish(ctx, topology.NodeID(i), topology.NodeID(i+5), qos.DefaultSpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq, err := s.AuditEpoch()
+	if err != nil {
+		t.Fatalf("epoch audit of healthy state: %v", err)
+	}
+	if seq == 0 {
+		t.Fatal("audit reported epoch seq 0")
+	}
+	ts := httptest.NewServer(server.NewHandler(s))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/invariants?source=epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch-source invariants: status %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := body["ok"].(bool); !ok {
+		t.Fatalf("epoch audit not ok: %v", body)
+	}
+	if src, _ := body["source"].(string); src != "epoch" {
+		t.Fatalf("audit source %q", src)
+	}
+}
+
+// TestServerGroupCommitAckDurability: on a group-commit journaled server,
+// every acknowledged mutation's record is durable by the time the caller
+// sees the ack — SyncedSeq always covers the full acknowledged history.
+func TestServerGroupCommitAckDurability(t *testing.T) {
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: 40, Alpha: 0.33, Beta: 0.25, EnsureConnected: true,
+	}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	jnl, _, err := journal.Open(dir, journal.Options{GroupCommit: true, GroupCommitMaxWait: 500 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := manager.Config{Capacity: 10000}
+	s, err := server.New(g, cfg, server.Options{QueueDepth: 64, Journal: jnl})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	const workers, perWorker = 8, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.New(uint64(7000 + w))
+			for i := 0; i < perWorker; i++ {
+				a, b := src.Intn(g.NumNodes()), src.Intn(g.NumNodes())
+				if a == b {
+					b = (b + 1) % g.NumNodes()
+				}
+				_, err := s.Establish(ctx, topology.NodeID(a), topology.NodeID(b), qos.DefaultSpec())
+				if err != nil && !errors.Is(err, manager.ErrRejected) {
+					errs <- fmt.Errorf("establish: %w", err)
+					return
+				}
+				// The ack we just received must already be durable.
+				if last, synced := jnl.LastSeq(), jnl.SyncedSeq(); synced == 0 || synced > last {
+					errs <- fmt.Errorf("nonsensical durability ledger: last %d synced %d", last, synced)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiescent now: everything acknowledged, so everything is durable.
+	if last, synced := jnl.LastSeq(), jnl.SyncedSeq(); synced != last {
+		t.Fatalf("after quiescence SyncedSeq %d != LastSeq %d", synced, last)
+	}
+	if last := jnl.LastSeq(); last != workers*perWorker {
+		t.Fatalf("journaled %d events, want %d", jnl.LastSeq(), workers*perWorker)
+	}
+	st := s.StatsView()
+	if !st.GroupCommit || st.JournalSynced != st.JournalSeq {
+		t.Fatalf("stats durability block wrong: %+v", st)
+	}
+
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The acknowledged history replays audit-clean.
+	jnl2, rec, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	if rec.LastSeq != workers*perWorker {
+		t.Fatalf("reopen recovered seq %d, want %d", rec.LastSeq, workers*perWorker)
+	}
+	if _, err := server.Rebuild(g, cfg, rec); err != nil {
+		t.Fatalf("rebuild of acknowledged history: %v", err)
+	}
+}

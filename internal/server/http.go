@@ -346,14 +346,41 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		st, err := s.Snapshot(r.Context())
-		if err != nil {
-			writeError(w, err)
+		// Served from the published epoch view plus live overlays — no
+		// command is queued, so stats stay fast (and available) no matter
+		// how deep the consuming-lane backlog is. The staleness bound is
+		// explicit in the payload's "epoch" block. ?source=loop forces the
+		// legacy in-loop snapshot for exact point-in-time debugging.
+		if r.URL.Query().Get("source") == "loop" {
+			st, err := s.Snapshot(r.Context())
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, st)
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
+		writeJSON(w, http.StatusOK, s.StatsView())
 	})
 	mux.HandleFunc("GET /v1/invariants", func(w http.ResponseWriter, r *http.Request) {
+		// ?source=epoch audits the published epoch off the actor loop: it
+		// cannot see corruption newer than the epoch and never flips the
+		// live server degraded, but it also never queues behind a backlog.
+		if r.URL.Query().Get("source") == "epoch" {
+			seq, err := s.AuditEpoch()
+			degraded, reason := s.Degraded()
+			body := map[string]any{
+				"ok": err == nil, "source": "epoch", "epoch_seq": seq,
+				"degraded": degraded, "degraded_reason": reason,
+			}
+			if err != nil {
+				body["error"] = err.Error()
+				writeJSON(w, http.StatusInternalServerError, body)
+				return
+			}
+			writeJSON(w, http.StatusOK, body)
+			return
+		}
 		err := s.CheckInvariants(r.Context())
 		degraded, reason := s.Degraded()
 		if err != nil {
@@ -380,11 +407,9 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"recovered": true, "journal_seq": seq})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		st, err := s.Snapshot(r.Context())
-		if err != nil {
-			writeError(w, err)
-			return
-		}
+		// Scrapes ride the epoch view: a wedged or saturated actor loop can
+		// no longer take monitoring down with it.
+		st := s.StatsView()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, st)
 		if cfg.limiter != nil {

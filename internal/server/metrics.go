@@ -43,6 +43,16 @@ func writeMetrics(w io.Writer, st Stats) {
 		recovering = 1
 	}
 	gauge("drqos_recovering", "1 while a journal-replay recovery from degraded mode is running.", recovering)
+	if st.Epoch != nil {
+		gauge("drqos_snapshot_seq", "Sequence number of the published epoch state snapshot serving the read path.", st.Epoch.Seq)
+		gauge("drqos_snapshot_age_seconds", "Age of the published epoch snapshot — the read path's staleness bound.", st.Epoch.AgeSeconds)
+		counter("drqos_snapshot_publishes_total", "Epoch snapshots published by the actor loop.", st.Epoch.Publishes)
+	}
+	if st.GroupCommit {
+		gauge("drqos_journal_synced_seq", "Highest journal sequence known durable (acknowledged mutations are always <= this).", st.JournalSynced)
+		counter("drqos_journal_fsync_batches_total", "Group-commit fsync batches issued.", st.FsyncBatches)
+		counter("drqos_journal_batched_appends_total", "Journal records made durable by group-commit batches.", st.BatchedAppends)
+	}
 
 	counter("drqos_establish_requests_total", "Establish requests offered to admission control.", st.Requests)
 	counter("drqos_establish_rejects_total", "Establish requests rejected.", st.Rejects)

@@ -151,6 +151,10 @@ func (s *Server) recoverOnce(ctx context.Context) (uint64, error) {
 		s.degradedReason = ""
 		s.degradedMu.Unlock()
 		s.degraded.Store(false)
+		// Degraded mode froze epoch publishing at the last trusted state;
+		// the rebuilt manager IS the trusted state now, so publish it
+		// unconditionally before anyone reads post-recovery stats.
+		s.publishEpoch(fresh)
 		close(done)
 	}); err != nil {
 		return 0, err

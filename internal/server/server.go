@@ -154,6 +154,11 @@ type Options struct {
 	// with the journal sequence the rebuilt manager reached. It mirrors
 	// OnDegrade; daemons use it to log the event.
 	OnRecover func(seq uint64)
+	// EpochInterval caps the staleness of the published epoch view under
+	// sustained load (default 25ms; see epoch.go). When the command lanes
+	// are idle a new epoch is published immediately after each mutation, so
+	// the cap only bites while a backlog keeps the loop busy.
+	EpochInterval time.Duration
 	// Forecast, when non-nil, runs the live analytic control plane
 	// (internal/forecast): every applied establish / terminate / fail-link
 	// event feeds the online parameter estimator, the Markov chain is
@@ -201,6 +206,17 @@ type Server struct {
 	snapshotEvery   int
 	eventsSinceSnap int
 	journalErrors   atomic.Int64
+
+	// Epoch view (epoch.go): the published pointer is read by anyone;
+	// epochSeq / epochDirty / lastPublish are loop-owned. capacityKbps is
+	// immutable after construction so StatsView can report it off-loop.
+	view           atomic.Pointer[EpochView]
+	epochSeq       uint64
+	epochDirty     bool
+	lastPublish    time.Time
+	epochInterval  time.Duration
+	epochPublishes atomic.Int64
+	capacityKbps   int64
 
 	// Degraded mode: set by the loop goroutine on the first detected
 	// invariant violation, read by anyone. The reason is written under
@@ -275,7 +291,16 @@ func NewFromManager(g *topology.Graph, mgr *manager.Manager, opt Options) (*Serv
 		onDegrade:      opt.OnDegrade,
 		recoverPolicy:  opt.Recover.withDefaults(),
 		onRecover:      opt.OnRecover,
+		epochInterval:  opt.EpochInterval,
+		capacityKbps:   int64(mgr.Network().Capacity()),
 	}
+	if s.epochInterval <= 0 {
+		s.epochInterval = 25 * time.Millisecond
+	}
+	// Epoch 1 is published before the loop starts, so View never returns
+	// nil and a freshly booted (or journal-recovered) server serves its
+	// state without waiting for the first mutation.
+	s.publishEpoch(mgr)
 	if opt.Forecast != nil {
 		fcfg := *opt.Forecast
 		if fcfg.CapacityKbps <= 0 {
@@ -366,6 +391,7 @@ func (s *Server) run(cmd command, l lane) {
 		} else {
 			s.shedCanceled.Add(1)
 		}
+		s.publishEpochIfDue(s.mgr)
 		return
 	}
 	if s.execDelay > 0 {
@@ -373,6 +399,10 @@ func (s *Server) run(cmd command, l lane) {
 	}
 	cmd.fn(s.mgr)
 	s.processed.Add(1)
+	// Backstop for a publish deferred mid-burst: once the burst drains (or
+	// the staleness cap expires) the next command of any kind — including a
+	// read — flushes the pending epoch. No-op when the epoch is clean.
+	s.publishEpochIfDue(s.mgr)
 }
 
 // Graph returns the (immutable after construction) topology.
@@ -458,18 +488,47 @@ func (s *Server) refuseIfDegraded() error {
 }
 
 // journalAppend persists ev before the mutation it describes (write-ahead
-// discipline). A nil journal is a no-op. On an append error the caller must
-// NOT apply the mutation: the command fails with ErrJournal instead of
-// executing undurably.
-func (s *Server) journalAppend(ev journal.Event) error {
+// discipline). A nil journal is a no-op (seq 0). On an append error the
+// caller must NOT apply the mutation: the command fails with ErrJournal
+// instead of executing undurably.
+//
+// The write is asynchronous with respect to durability: in group-commit
+// mode the record is on disk but possibly not yet fsynced when this
+// returns. The loop may apply the mutation and move on — streaming writes
+// while the committer batches fsyncs — but the caller's acknowledgment is
+// gated on waitDurable(seq), so no client ever observes success for a
+// mutation whose record could still be lost.
+func (s *Server) journalAppend(ev journal.Event) (uint64, error) {
 	if s.jnl == nil {
+		return 0, nil
+	}
+	seq, err := s.jnl.AppendAsync(ev)
+	if err != nil {
+		s.journalErrors.Add(1)
+		return 0, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	s.eventsSinceSnap++
+	return seq, nil
+}
+
+// waitDurable blocks the calling (per-request) goroutine until the
+// journaled record seq is durable. Runs outside the loop: the actor keeps
+// executing commands while acknowledgments wait on the committer's next
+// fsync batch. No-op for unjournaled servers, seq 0, or non-group-commit
+// journals (Append was already durable inline there).
+func (s *Server) waitDurable(ctx context.Context, seq uint64) error {
+	if s.jnl == nil || seq == 0 {
 		return nil
 	}
-	if _, err := s.jnl.Append(ev); err != nil {
+	if err := s.jnl.WaitDurable(ctx, seq); err != nil {
+		if ctx.Err() != nil {
+			// The caller gave up first; the mutation may or may not have
+			// become durable — the usual timed-out-RPC ambiguity.
+			return ctx.Err()
+		}
 		s.journalErrors.Add(1)
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
-	s.eventsSinceSnap++
 	return nil
 }
 
@@ -602,27 +661,29 @@ func (s *Server) Establish(ctx context.Context, src, dst topology.NodeID, spec q
 	type out struct {
 		rep *manager.ArrivalReport
 		err error
+		seq uint64
 	}
 	ch := make(chan out, 1)
 	if err := s.submit(ctx, laneConsuming, false, func(m *manager.Manager) {
 		s.establishes.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
-			ch <- out{nil, err}
+			ch <- out{nil, err, 0}
 			return
 		}
 		// Range-check endpoints before journaling: a journaled establish
 		// must be safe to replay against the same topology.
 		if !validNode(m.Graph(), src) || !validNode(m.Graph(), dst) {
-			ch <- out{nil, fmt.Errorf("%w: node out of range", ErrNotFound)}
+			ch <- out{nil, fmt.Errorf("%w: node out of range", ErrNotFound), 0}
 			return
 		}
-		if err := s.journalAppend(journal.Event{
+		seq, err := s.journalAppend(journal.Event{
 			Kind: journal.KindEstablish,
 			Src:  int32(src), Dst: int32(dst),
 			MinKbps: int64(spec.Min), MaxKbps: int64(spec.Max),
 			IncKbps: int64(spec.Increment), Utility: spec.Utility,
-		}); err != nil {
-			ch <- out{nil, err}
+		})
+		if err != nil {
+			ch <- out{nil, err, 0}
 			return
 		}
 		alivePrior := m.AliveCount()
@@ -636,13 +697,22 @@ func (s *Server) Establish(ctx context.Context, src, dst topology.NodeID, spec q
 				s.fc.ObserveReject()
 			}
 		}
-		ch <- out{rep, err}
+		// The manager executed (a rejection still bumped its counters):
+		// the published epoch is stale now.
+		s.markEpochDirty()
+		s.publishEpochIfDue(m)
+		ch <- out{rep, err, seq}
 	}); err != nil {
 		return nil, err
 	}
 	o, err := await(ctx, ch)
 	if err != nil {
 		return nil, err
+	}
+	// Even a domain error (rejection) was journaled and mutated counters:
+	// the acknowledgment — success or not — waits for durability.
+	if derr := s.waitDurable(ctx, o.seq); derr != nil {
+		return nil, derr
 	}
 	return o.rep, o.err
 }
@@ -658,20 +728,22 @@ func (s *Server) Terminate(ctx context.Context, id channel.ConnID) (*manager.Ter
 	type out struct {
 		rep *manager.TerminationReport
 		err error
+		seq uint64
 	}
 	ch := make(chan out, 1)
 	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
 		s.terminates.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
-			ch <- out{nil, err}
+			ch <- out{nil, err, 0}
 			return
 		}
 		if c := m.Conn(id); c == nil || !c.Alive() {
-			ch <- out{nil, ErrNotFound}
+			ch <- out{nil, ErrNotFound, 0}
 			return
 		}
-		if err := s.journalAppend(journal.Event{Kind: journal.KindTerminate, Conn: int64(id)}); err != nil {
-			ch <- out{nil, err}
+		seq, err := s.journalAppend(journal.Event{Kind: journal.KindTerminate, Conn: int64(id)})
+		if err != nil {
+			ch <- out{nil, err, 0}
 			return
 		}
 		rep, err := m.Terminate(id)
@@ -680,13 +752,18 @@ func (s *Server) Terminate(ctx context.Context, id channel.ConnID) (*manager.Ter
 		if s.fc != nil && err == nil && rep != nil {
 			s.fc.ObserveTermination(m, rep)
 		}
-		ch <- out{rep, err}
+		s.markEpochDirty()
+		s.publishEpochIfDue(m)
+		ch <- out{rep, err, seq}
 	}); err != nil {
 		return nil, err
 	}
 	o, err := await(ctx, ch)
 	if err != nil {
 		return nil, err
+	}
+	if derr := s.waitDurable(ctx, o.seq); derr != nil {
+		return nil, derr
 	}
 	return o.rep, o.err
 }
@@ -698,24 +775,26 @@ func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.Fail
 	type out struct {
 		rep *manager.FailureReport
 		err error
+		seq uint64
 	}
 	ch := make(chan out, 1)
 	if err := s.submit(ctx, laneConsuming, false, func(m *manager.Manager) {
 		s.failures.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
-			ch <- out{nil, err}
+			ch <- out{nil, err, 0}
 			return
 		}
 		if int(l) < 0 || int(l) >= m.Graph().NumLinks() {
-			ch <- out{nil, ErrNotFound}
+			ch <- out{nil, ErrNotFound, 0}
 			return
 		}
 		if m.Network().Failed(l) {
-			ch <- out{nil, ErrConflict}
+			ch <- out{nil, ErrConflict, 0}
 			return
 		}
-		if err := s.journalAppend(journal.Event{Kind: journal.KindFailLink, Link: int32(l)}); err != nil {
-			ch <- out{nil, err}
+		seq, err := s.journalAppend(journal.Event{Kind: journal.KindFailLink, Link: int32(l)})
+		if err != nil {
+			ch <- out{nil, err, 0}
 			return
 		}
 		alivePrior := m.AliveCount()
@@ -725,13 +804,18 @@ func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.Fail
 		if s.fc != nil && err == nil && rep != nil {
 			s.fc.ObserveFailure(m, rep, alivePrior)
 		}
-		ch <- out{rep, err}
+		s.markEpochDirty()
+		s.publishEpochIfDue(m)
+		ch <- out{rep, err, seq}
 	}); err != nil {
 		return nil, err
 	}
 	o, err := await(ctx, ch)
 	if err != nil {
 		return nil, err
+	}
+	if derr := s.waitDurable(ctx, o.seq); derr != nil {
+		return nil, derr
 	}
 	return o.rep, o.err
 }
@@ -742,36 +826,43 @@ func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error)
 	type out struct {
 		restored int
 		err      error
+		seq      uint64
 	}
 	ch := make(chan out, 1)
 	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
 		s.repairs.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
-			ch <- out{0, err}
+			ch <- out{0, err, 0}
 			return
 		}
 		if int(l) < 0 || int(l) >= m.Graph().NumLinks() {
-			ch <- out{0, ErrNotFound}
+			ch <- out{0, ErrNotFound, 0}
 			return
 		}
 		if !m.Network().Failed(l) {
-			ch <- out{0, ErrConflict}
+			ch <- out{0, ErrConflict, 0}
 			return
 		}
-		if err := s.journalAppend(journal.Event{Kind: journal.KindRepairLink, Link: int32(l)}); err != nil {
-			ch <- out{0, err}
+		seq, err := s.journalAppend(journal.Event{Kind: journal.KindRepairLink, Link: int32(l)})
+		if err != nil {
+			ch <- out{0, err, 0}
 			return
 		}
 		restored, err := m.RepairLink(l)
 		s.noteViolation(err)
 		s.maybeSnapshot(m)
-		ch <- out{restored, err}
+		s.markEpochDirty()
+		s.publishEpochIfDue(m)
+		ch <- out{restored, err, seq}
 	}); err != nil {
 		return 0, err
 	}
 	o, err := await(ctx, ch)
 	if err != nil {
 		return 0, err
+	}
+	if derr := s.waitDurable(ctx, o.seq); derr != nil {
+		return 0, derr
 	}
 	return o.restored, o.err
 }

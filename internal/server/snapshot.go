@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"math"
+	"time"
 
 	"drqos/internal/manager"
 	"drqos/internal/stats"
@@ -58,6 +59,21 @@ type Stats struct {
 	Recoveries        int64  `json:"recoveries"`
 	RecoveryFailures  int64  `json:"recovery_failures"`
 	LastRecoveryError string `json:"last_recovery_error,omitempty"`
+
+	// Group-commit durability (zero unless the journal batches fsyncs):
+	// JournalSynced is the highest sequence known durable — acknowledged
+	// mutations are always <= it; FsyncBatches/BatchedAppends expose the
+	// realized amortization.
+	GroupCommit    bool   `json:"group_commit,omitempty"`
+	JournalSynced  uint64 `json:"journal_synced_seq,omitempty"`
+	FsyncBatches   int64  `json:"fsync_batches,omitempty"`
+	BatchedAppends int64  `json:"batched_appends,omitempty"`
+
+	// Epoch describes the published read-path snapshot this Stats was (or
+	// could have been) served from: its sequence number, its age — the
+	// staleness bound — and the cumulative publish count. Nil only for a
+	// Stats built before the epoch layer existed.
+	Epoch *EpochStats `json:"epoch,omitempty"`
 
 	// Command-loop counters (cumulative) and instantaneous queue depth
 	// (both lanes combined; per-lane depths live in Lanes).
@@ -153,6 +169,18 @@ func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
 			st.JournalSeq = s.jnl.LastSeq()
 			st.JournalSnapshot = s.jnl.SnapshotSeq()
 			st.JournalErrors = s.journalErrors.Load()
+			if s.jnl.GroupCommit() {
+				st.GroupCommit = true
+				st.JournalSynced = s.jnl.SyncedSeq()
+				st.FsyncBatches, st.BatchedAppends = s.jnl.GroupCommitStats()
+			}
+		}
+		if v := s.View(); v != nil {
+			st.Epoch = &EpochStats{
+				Seq:        v.Seq,
+				AgeSeconds: time.Since(v.PublishedAt).Seconds(),
+				Publishes:  s.epochPublishes.Load(),
+			}
 		}
 		st.Recovering, st.Recoveries, st.RecoveryFailures, st.LastRecoveryError = s.RecoveryStatus()
 		st.Commands = CommandStats{

@@ -7,6 +7,15 @@
 #   scripts/bench.sh --force          overwrite an existing BENCH_<date>.json
 #   scripts/bench.sh --compare A B    diff two BENCH json files; exit 1 on
 #                                     any ns/op, B/op or allocs/op >10% worse
+#   scripts/bench.sh --no-probe       skip the end-to-end drserverd/drload
+#                                     RPS probe (and quick's journal rerun)
+#
+# Besides the go-test microbenchmarks, a run boots a journaled drserverd with
+# fsync-per-mutation group commit and drives it with drload -bench-json, so
+# the recorded report also carries an end-to-end RPS + latency record
+# (drqos/cmd/drload.BenchmarkDrloadEndToEnd). Quick mode reruns the two
+# journal append benchmarks at -benchtime 64x first — group commit needs
+# enough parallel iterations to actually form batches, which 1x cannot show.
 #
 # Extra arguments after -- are passed to `go test`, in any combination with
 # the flags above, e.g.:
@@ -18,6 +27,7 @@ cd "$(dirname "$0")/.."
 
 quick=0
 force=0
+probe=1
 extra=()
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -32,6 +42,10 @@ while [[ $# -gt 0 ]]; do
         ;;
     --force)
         force=1
+        shift
+        ;;
+    --no-probe)
+        probe=0
         shift
         ;;
     --)
@@ -77,4 +91,57 @@ else
     # Quick mode still exercises the parser so CI catches format drift.
     go run ./cmd/benchjson < "$raw" > /dev/null
     echo "quick bench parsed ok"
+fi
+
+if [[ $quick -eq 1 && $probe -eq 1 ]]; then
+    # 1x iterations cannot form a group-commit batch; rerun the journal
+    # append pair with enough parallel iterations that the appends/fsync
+    # amortization (and the single-fsync baseline it beats) is visible.
+    echo "== journal append benchmarks (group-commit batching)"
+    go test -run '^$' -bench 'BenchmarkJournalAppend' -benchmem \
+        -benchtime 64x -count 1 ./internal/journal/
+fi
+
+if [[ $probe -eq 1 ]]; then
+    # End-to-end probe: a journaled drserverd with fsync-per-mutation group
+    # commit, driven closed-loop by drload; the run's RPS + latency record is
+    # merged into the report (or a throwaway file in quick mode).
+    echo "== end-to-end RPS probe (drserverd fsync=1 group commit + drload)"
+    tmp="$(mktemp -d)"
+    srv_pid=""
+    probe_cleanup() {
+        [[ -n "$srv_pid" ]] && kill -9 "$srv_pid" 2>/dev/null || true
+        rm -rf "$tmp" "$raw"
+    }
+    trap probe_cleanup EXIT
+    go build -o "$tmp/drserverd" ./cmd/drserverd
+    go build -o "$tmp/drload" ./cmd/drload
+    addr=127.0.0.1:18097
+    "$tmp/drserverd" -addr "$addr" -nodes 40 -seed 7 \
+        -data-dir "$tmp/data" -fsync 1 >"$tmp/server.log" 2>&1 &
+    srv_pid=$!
+    for _ in $(seq 1 100); do
+        curl -fsS "http://$addr/readyz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    curl -fsS "http://$addr/readyz" >/dev/null 2>&1 || {
+        echo "bench.sh: drserverd did not come up; log:" >&2
+        cat "$tmp/server.log" >&2
+        exit 1
+    }
+    requests=20000
+    probe_out="$out"
+    if [[ $quick -eq 1 ]]; then
+        requests=3000
+        probe_out="$tmp/probe.json"
+    fi
+    "$tmp/drload" -addr "http://$addr" -workers 8 -requests "$requests" \
+        -seed 9 -bench-json "$probe_out"
+    kill -TERM "$srv_pid" 2>/dev/null || true
+    wait "$srv_pid" 2>/dev/null || true
+    srv_pid=""
+    if [[ $quick -eq 1 ]]; then
+        echo "quick probe record:"
+        cat "$probe_out"
+    fi
 fi
