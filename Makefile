@@ -1,4 +1,4 @@
-.PHONY: check build test race bench bench-json bench-smoke loadtest overload-smoke forecast-smoke
+.PHONY: check build test race bench bench-json bench-smoke loadtest overload-smoke forecast-smoke shard-smoke
 
 # Full tier-1 verification: build + vet + race-enabled tests.
 check:
@@ -37,6 +37,11 @@ overload-smoke:
 # mean bandwidth within 10% of the measurement.
 forecast-smoke:
 	./scripts/check.sh --forecast
+
+# Sharded admission plane: partition/2PC tests under -race, mid-2PC kill
+# episodes, then a live drserverd -shards 4 kill -9 recovery smoke.
+shard-smoke:
+	./scripts/check.sh --shard
 
 # End-to-end load test: drserverd + drload (10k requests, 8 workers).
 loadtest:

@@ -41,12 +41,20 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent clients (with -server)")
 		ops      = flag.Int("ops", 100, "operations per client (with -server)")
 		crash    = flag.Bool("crash", false, "run crash-restart durability episodes instead")
+		shardEp  = flag.Bool("shard", false, "run sharded mid-2PC kill episodes instead: one region shard dies between prepare and commit, survivors must abort cleanly and a full restart must replay every shard to the acknowledged prefix")
 		overload = flag.Bool("overload", false, "run overload-control episodes instead (deadline shedding, priority lanes, latch/recovery)")
 		quiet    = flag.Bool("q", false, "only report failures")
 	)
 	flag.Parse()
 
 	for i := 0; i < *episodes; i++ {
+		if *shardEp {
+			if err := shardEpisode(i, *seed+uint64(i), *quiet); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
 		if *crash {
 			if err := crashEpisode(i, *seed+uint64(i), *events, *nodes, *quiet); err != nil {
 				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
@@ -147,6 +155,28 @@ func crashEpisode(i int, seed uint64, events, nodes int, quiet bool) error {
 	if !quiet {
 		fmt.Printf("crash episode %d ok (seed %d, crash_after=%d, journaled=%d, snapshot_seq=%d, torn=%dB, group_commit=%v, unacked_lost=%d, fp=%.12s)\n",
 			i, seed, cfg.CrashAfter, res.Journaled, res.SnapshotSeq, res.TornBytes, cfg.GroupCommit, res.UnackedLost, res.Fingerprint)
+	}
+	return nil
+}
+
+// shardEpisode runs one sharded mid-2PC kill episode in a throwaway data
+// dir, varying the topology with the episode index so a default run covers
+// several partitions.
+func shardEpisode(i int, seed uint64, quiet bool) error {
+	dir, err := os.MkdirTemp("", "drqos-shard-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	res, err := chaos.RunShardCrash(chaos.ShardCrashConfig{
+		Seed: seed, TopoSeed: seed + 100, Dir: dir,
+	})
+	if err != nil {
+		return fmt.Errorf("shard episode %d (seed %d): %w", i, seed, err)
+	}
+	if !quiet {
+		fmt.Printf("shard episode %d ok (seed %d): %d shards, victim %d, %d pre-crash conns, %d cross alive, replay bit-identical\n",
+			i, seed, res.Shards, res.Victim, res.Established, res.CrossAlive)
 	}
 	return nil
 }

@@ -23,14 +23,21 @@ import (
 var benchJSON = flag.String("bench-json", "",
 	"merge this run's end-to-end RPS and latency percentiles into a benchparse JSON report at this path")
 
+var benchName = flag.String("bench-name", "",
+	"override the bench record's benchmark name (default BenchmarkDrloadEndToEnd); scripts/bench.sh uses it to keep 1-shard and 4-shard baselines as separate records")
+
 // benchRecord shapes one drload run as a benchmark result: NsPerOp is wall
 // time per issued request (the closed-loop end-to-end cost), and the custom
 // metrics carry throughput, the latency percentiles in milliseconds, and the
 // worker count so runs at different concurrency are not confused.
 func benchRecord(requests int64, elapsed time.Duration, workers int, d *stats.Digest) benchparse.Result {
+	name := "BenchmarkDrloadEndToEnd"
+	if *benchName != "" {
+		name = *benchName
+	}
 	rec := benchparse.Result{
 		Pkg:        "drqos/cmd/drload",
-		Name:       "BenchmarkDrloadEndToEnd",
+		Name:       name,
 		Iterations: requests,
 		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(requests),
 		Metrics: map[string]float64{

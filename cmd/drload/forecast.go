@@ -76,12 +76,12 @@ func startForecastProbe(client *http.Client, addr string, every time.Duration) *
 // (and, after halt, the reporter) touches the fields.
 func (p *forecastProbe) poll() {
 	var st server.Stats
-	if code, _, err := doJSON(p.client, "GET", p.addr+"/v1/stats", nil, &st); err == nil && code == http.StatusOK && st.Alive > 0 {
+	if code, _, _, err := doJSON(p.client, "GET", p.addr+"/v1/stats", nil, &st); err == nil && code == http.StatusOK && st.Alive > 0 {
 		p.bwWeighted += st.AvgBandwidthKbps * float64(st.Alive)
 		p.bwWeight += float64(st.Alive)
 	}
 	var env server.ForecastEnvelope
-	code, _, err := doJSON(p.client, "GET", p.addr+"/v1/forecast", nil, &env)
+	code, _, _, err := doJSON(p.client, "GET", p.addr+"/v1/forecast", nil, &env)
 	p.polls++
 	if err != nil || code != http.StatusOK || !env.Available {
 		p.unavailable++

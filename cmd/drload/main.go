@@ -32,7 +32,6 @@ import (
 	"math"
 	"net/http"
 	"os"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,12 +103,29 @@ func run() error {
 	}
 
 	// Discover the topology once so workers can draw endpoints and links.
-	var st server.Stats
-	if _, _, err := doJSON(client, "GET", *addr+"/v1/stats", nil, &st); err != nil {
-		return fmt.Errorf("initial stats (is drserverd running at %s?): %w", *addr, err)
+	// A sharded daemon answers GET /v1/shards and wraps its stats in an
+	// aggregate; an unsharded one 404s the probe and serves Stats bare.
+	sv, err := fetchShardView(client, *addr)
+	if err != nil {
+		return fmt.Errorf("shard probe (is drserverd running at %s?): %w", *addr, err)
 	}
-	fmt.Printf("target: %s — %d nodes, %d links, capacity %d Kbps\n",
-		*addr, st.Nodes, st.Links, st.CapacityKbps)
+	var st server.Stats
+	if err := fetchStats(client, *addr, sv, &st); err != nil {
+		return fmt.Errorf("initial stats: %w", err)
+	}
+	if sv != nil {
+		fmt.Printf("target: %s — %d nodes, %d links, capacity %d Kbps, %d shards\n",
+			*addr, st.Nodes, st.Links, st.CapacityKbps, sv.shards)
+		if *crossFrac >= 0 {
+			fmt.Printf("workload: shard-aware pairs, cross-frac=%.3g\n", *crossFrac)
+		}
+	} else {
+		fmt.Printf("target: %s — %d nodes, %d links, capacity %d Kbps\n",
+			*addr, st.Nodes, st.Links, st.CapacityKbps)
+		if *crossFrac >= 0 {
+			fmt.Printf("note: -cross-frac ignored, daemon is not sharded\n")
+		}
+	}
 
 	if *overloadMode {
 		return runOverload(client, *addr, st, *seed)
@@ -144,6 +160,7 @@ func run() error {
 				retries: *retries, retryBase: *retryBase, retryMax: *retryMax,
 				cnt: &cnt, lat: lat,
 				failedLink: -1,
+				view:       sv, crossFrac: *crossFrac,
 			}
 			for issued.Add(1) <= *requests {
 				if err := wk.step(); err != nil {
@@ -195,7 +212,7 @@ func run() error {
 		fmt.Printf("first errors: %s\n", m)
 	}
 
-	if _, _, err := doJSON(client, "GET", *addr+"/v1/stats", nil, &st); err != nil {
+	if err := fetchStats(client, *addr, sv, &st); err != nil {
 		return fmt.Errorf("final stats: %w", err)
 	}
 	fmt.Printf("server: alive=%d unprotected=%d avg_bw=%.1fKbps reject_rate=%.3f failed_links=%v\n",
@@ -212,7 +229,7 @@ func run() error {
 		OK    bool   `json:"ok"`
 		Error string `json:"error"`
 	}
-	if _, _, err := doJSON(client, "GET", *addr+"/v1/invariants", nil, &inv); err != nil {
+	if _, _, _, err := doJSON(client, "GET", *addr+"/v1/invariants", nil, &inv); err != nil {
 		return fmt.Errorf("invariant check: %w", err)
 	}
 	if !inv.OK {
@@ -242,6 +259,8 @@ type worker struct {
 	lat                 *latencies
 	owned               []int64
 	failedLink          int
+	view                *shardView
+	crossFrac           float64
 }
 
 // step issues exactly one HTTP request.
@@ -258,11 +277,7 @@ func (w *worker) step() error {
 }
 
 func (w *worker) establish() error {
-	a := w.src.Intn(w.nodes)
-	b := w.src.Intn(w.nodes)
-	if a == b {
-		b = (b + 1) % w.nodes
-	}
+	a, b := w.pickPair()
 	req := server.EstablishRequest{
 		Src: a, Dst: b,
 		MinKbps: w.minBW, MaxKbps: w.maxBW, IncrementKbps: w.inc,
@@ -353,7 +368,7 @@ func (w *worker) timed(method, url string, body, out any) (int, error) {
 	backoff := w.retryBase
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
-		code, retryAfter, err := doJSON(w.client, method, url, body, out)
+		code, retryAfter, hinted, err := doJSON(w.client, method, url, body, out)
 		w.lat.observe(time.Since(t0).Seconds())
 		if err == nil && code != http.StatusServiceUnavailable && code != http.StatusTooManyRequests {
 			return code, nil
@@ -366,7 +381,7 @@ func (w *worker) timed(method, url string, body, out any) (int, error) {
 			return code, fmt.Errorf("giving up after %d attempts: status %d", attempt+1, code)
 		}
 		w.cnt.retries.Add(1)
-		if retryAfter > 0 {
+		if hinted {
 			// Honor the server's hint, with a little jitter on top so
 			// hinted workers don't all come back in the same instant.
 			w.cnt.hints.Add(1)
@@ -382,42 +397,41 @@ func (w *worker) timed(method, url string, body, out any) (int, error) {
 	}
 }
 
-// doJSON performs one JSON round trip, returning the status code and the
-// parsed Retry-After hint (0 when absent). Transport failures return an
-// error; non-2xx statuses do not (callers classify them).
-func doJSON(client *http.Client, method, url string, body, out any) (int, time.Duration, error) {
+// doJSON performs one JSON round trip, returning the status code, the
+// parsed Retry-After hint and whether the server sent a well-formed hint
+// at all (delay-seconds or HTTP-date form — a past date is a valid hint of
+// zero wait). Transport failures return an error; non-2xx statuses do not
+// (callers classify them).
+func doJSON(client *http.Client, method, url string, body, out any) (int, time.Duration, bool, error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
 		if err != nil {
-			return 0, 0, err
+			return 0, 0, false, err
 		}
 		rd = bytes.NewReader(b)
 	}
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, false, err
 	}
 	defer resp.Body.Close()
-	var retryAfter time.Duration
-	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
-		retryAfter = time.Duration(secs) * time.Second
-	}
+	retryAfter, hinted := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, retryAfter, err
+		return resp.StatusCode, retryAfter, hinted, err
 	}
 	if out != nil && resp.StatusCode < 300 {
 		if err := json.Unmarshal(raw, out); err != nil {
-			return resp.StatusCode, retryAfter, fmt.Errorf("decode %s %s: %w", method, url, err)
+			return resp.StatusCode, retryAfter, hinted, fmt.Errorf("decode %s %s: %w", method, url, err)
 		}
 	}
-	return resp.StatusCode, retryAfter, nil
+	return resp.StatusCode, retryAfter, hinted, nil
 }

@@ -70,14 +70,14 @@ func runOverload(client *http.Client, addr string, st server.Stats, seed uint64)
 		for time.Since(t0) < *ovlCalibrate {
 			a, b := pair()
 			var est server.EstablishResponse
-			code, _, err := doJSON(client, "POST", addr+"/v1/connections",
+			code, _, _, err := doJSON(client, "POST", addr+"/v1/connections",
 				server.EstablishRequest{Src: a, Dst: b, Utility: 1}, &est)
 			if err != nil {
 				return fmt.Errorf("calibration establish: %w", err)
 			}
 			n++
 			if code == http.StatusCreated {
-				if _, _, err := doJSON(client, "DELETE", fmt.Sprintf("%s/v1/connections/%d", addr, est.ID), nil, nil); err != nil {
+				if _, _, _, err := doJSON(client, "DELETE", fmt.Sprintf("%s/v1/connections/%d", addr, est.ID), nil, nil); err != nil {
 					return fmt.Errorf("calibration terminate: %w", err)
 				}
 				n++
@@ -117,7 +117,7 @@ func runOverload(client *http.Client, addr string, st server.Stats, seed uint64)
 	go func() {
 		defer close(reapDone)
 		for id := range ids {
-			code, _, err := doJSON(burstClient, "DELETE", fmt.Sprintf("%s/v1/connections/%d", addr, id), nil, nil)
+			code, _, _, err := doJSON(burstClient, "DELETE", fmt.Sprintf("%s/v1/connections/%d", addr, id), nil, nil)
 			if err == nil && code == http.StatusOK {
 				terminated.Add(1)
 			}
@@ -139,7 +139,7 @@ func runOverload(client *http.Client, addr string, st server.Stats, seed uint64)
 			default:
 			}
 			t0 := time.Now()
-			if _, _, err := doJSON(burstClient, "GET", addr+"/v1/stats", nil, nil); err != nil {
+			if _, _, _, err := doJSON(burstClient, "GET", addr+"/v1/stats", nil, nil); err != nil {
 				readErrs.Add(1)
 			} else {
 				readLat.Observe(time.Since(t0).Seconds())
@@ -169,7 +169,7 @@ func runOverload(client *http.Client, addr string, st server.Stats, seed uint64)
 		go func() {
 			defer func() { <-sem; wg.Done() }()
 			var est server.EstablishResponse
-			code, retryAfter, err := doJSON(burstClient, "POST", addr+"/v1/connections",
+			code, retryAfter, _, err := doJSON(burstClient, "POST", addr+"/v1/connections",
 				server.EstablishRequest{Src: a, Dst: b, Utility: 1}, &est)
 			switch {
 			case err != nil:
@@ -214,7 +214,7 @@ func runOverload(client *http.Client, addr string, st server.Stats, seed uint64)
 	var recoveryTook time.Duration
 	recT0 := time.Now()
 	for time.Since(recT0) < *ovlRecover {
-		code, _, err := doJSON(client, "GET", addr+"/readyz", nil, nil)
+		code, _, _, err := doJSON(client, "GET", addr+"/readyz", nil, nil)
 		if err == nil && code == http.StatusOK {
 			recovered = true
 			recoveryTook = time.Since(recT0)
@@ -224,7 +224,7 @@ func runOverload(client *http.Client, addr string, st server.Stats, seed uint64)
 	}
 
 	var after server.Stats
-	if _, _, err := doJSON(client, "GET", addr+"/v1/stats", nil, &after); err != nil {
+	if _, _, _, err := doJSON(client, "GET", addr+"/v1/stats", nil, &after); err != nil {
 		return fmt.Errorf("post-burst stats: %w", err)
 	}
 

@@ -1,0 +1,38 @@
+// Retry-After parsing. RFC 9110 §10.2.3 allows two forms — delay-seconds
+// ("120") and an HTTP-date ("Fri, 07 Aug 2026 11:23:05 GMT"). drload used to
+// parse only the integer form, so date-form hints silently fell through to
+// generic backoff and were never counted in honored_hints.
+package main
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// parseRetryAfter interprets a Retry-After header value as either
+// delay-seconds or an HTTP-date (any of the three formats http.ParseTime
+// accepts). It reports the wait duration — clamped at zero for dates
+// already past — and whether the value was a well-formed hint at all.
+// Negative delay-seconds and garbage are not hints.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := t.Sub(now)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}

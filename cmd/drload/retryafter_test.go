@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter covers both RFC 9110 forms — delay-seconds and
+// HTTP-date (all three formats http.ParseTime accepts) — plus the
+// non-hints: garbage, empty, negative seconds. Before the fix only the
+// integer form parsed; date-form hints fell through to generic backoff and
+// were never counted in honored_hints.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, time.August, 7, 11, 23, 5, 0, time.UTC)
+	cases := []struct {
+		name   string
+		value  string
+		want   time.Duration
+		hinted bool
+	}{
+		{"seconds", "120", 120 * time.Second, true},
+		{"seconds-zero", "0", 0, true},
+		{"seconds-padded", "  5 ", 5 * time.Second, true},
+		{"seconds-negative", "-3", 0, false},
+		{"http-date-future", "Fri, 07 Aug 2026 11:24:05 GMT", time.Minute, true},
+		{"http-date-past", "Fri, 07 Aug 2026 11:22:05 GMT", 0, true},
+		{"http-date-rfc850", "Friday, 07-Aug-26 11:23:35 GMT", 30 * time.Second, true},
+		{"http-date-asctime", "Fri Aug  7 11:23:35 2026", 30 * time.Second, true},
+		{"garbage", "soon", 0, false},
+		{"empty", "", 0, false},
+		{"fractional", "1.5", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, hinted := parseRetryAfter(tc.value, now)
+			if got != tc.want || hinted != tc.hinted {
+				t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)",
+					tc.value, got, hinted, tc.want, tc.hinted)
+			}
+		})
+	}
+}

@@ -1,0 +1,121 @@
+// -cross-frac: shard-aware endpoint picking against a sharded drserverd
+// (-shards > 1). The generator fetches the partition once from GET
+// /v1/shards and then steers each establish deterministically: with
+// probability -cross-frac the pair spans two shards (exercising the
+// two-phase establish), otherwise both endpoints live on one shard (the
+// cheap single-shard fast path). Off by default (-cross-frac -1): the
+// classic uniform pair draw is untouched, byte-for-byte, so existing
+// baselines stay comparable. Against an unsharded daemon the flag logs a
+// note and falls back to the classic draw.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+
+	"drqos/internal/rng"
+	"drqos/internal/server"
+)
+
+var crossFrac = flag.Float64("cross-frac", -1,
+	"fraction of establishes that must span two shards (sharded daemon only; negative = classic uniform pairs)")
+
+// shardView is the partition as GET /v1/shards describes it, indexed for
+// fast pair picking.
+type shardView struct {
+	shards    int
+	nodeShard []int
+	byShard   [][]int // node IDs grouped by owning shard
+}
+
+// fetchShardView asks the daemon for its partition. A 404 means the daemon
+// is unsharded (the single-plane API has no /v1/shards); that returns
+// (nil, nil) and the caller keeps the classic draw.
+func fetchShardView(client *http.Client, addr string) (*shardView, error) {
+	var resp struct {
+		Shards    int   `json:"shards"`
+		NodeShard []int `json:"node_shard"`
+	}
+	code, _, _, err := doJSON(client, "GET", addr+"/v1/shards", nil, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if code == http.StatusNotFound {
+		return nil, nil
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/shards: unexpected status %d", code)
+	}
+	v := &shardView{shards: resp.Shards, nodeShard: resp.NodeShard, byShard: make([][]int, resp.Shards)}
+	for n, s := range resp.NodeShard {
+		v.byShard[s] = append(v.byShard[s], n)
+	}
+	return v, nil
+}
+
+// pickPair draws one establish endpoint pair. With a shard view and a
+// non-negative cross fraction the draw is steered intra- or cross-shard;
+// otherwise it is the classic uniform draw (same rng consumption as ever,
+// so -cross-frac -1 reproduces historical workloads exactly).
+func (w *worker) pickPair() (int, int) {
+	if w.view == nil || w.view.shards < 2 || w.crossFrac < 0 {
+		a := w.src.Intn(w.nodes)
+		b := w.src.Intn(w.nodes)
+		if a == b {
+			b = (b + 1) % w.nodes
+		}
+		return a, b
+	}
+	if w.src.Float64() < w.crossFrac {
+		a := w.src.Intn(w.nodes)
+		// Redraw until the peer lands on another shard; bounded so a
+		// pathological partition can't spin, falling back to any distinct
+		// pair.
+		for tries := 0; tries < 64; tries++ {
+			b := w.src.Intn(w.nodes)
+			if w.view.nodeShard[b] != w.view.nodeShard[a] {
+				return a, b
+			}
+		}
+		return distinctPair(w.src, w.nodes, a)
+	}
+	a := w.src.Intn(w.nodes)
+	bucket := w.view.byShard[w.view.nodeShard[a]]
+	if len(bucket) < 2 {
+		return distinctPair(w.src, w.nodes, a)
+	}
+	b := bucket[w.src.Intn(len(bucket))]
+	for tries := 0; b == a && tries < 64; tries++ {
+		b = bucket[w.src.Intn(len(bucket))]
+	}
+	if b == a {
+		return distinctPair(w.src, w.nodes, a)
+	}
+	return a, b
+}
+
+func distinctPair(src *rng.Source, nodes, a int) (int, int) {
+	b := src.Intn(nodes)
+	if a == b {
+		b = (b + 1) % nodes
+	}
+	return a, b
+}
+
+// fetchStats reads the service stats in whichever shape the daemon serves:
+// bare server.Stats (unsharded) or the sharded aggregate wrapper.
+func fetchStats(client *http.Client, addr string, sv *shardView, st *server.Stats) error {
+	if sv == nil {
+		_, _, _, err := doJSON(client, "GET", addr+"/v1/stats", nil, st)
+		return err
+	}
+	var wrap struct {
+		Aggregate server.Stats `json:"aggregate"`
+	}
+	if _, _, _, err := doJSON(client, "GET", addr+"/v1/stats", nil, &wrap); err != nil {
+		return err
+	}
+	*st = wrap.Aggregate
+	return nil
+}

@@ -29,6 +29,13 @@
 // POST /v1/faults/link, POST /v1/admin/recover, GET /v1/stats,
 // GET /v1/invariants, GET /v1/forecast, POST /v1/forecast/whatif,
 // GET /metrics, GET /healthz, GET /readyz.
+//
+// With -shards N (N > 1) the daemon partitions the topology into N region
+// shards, each with its own manager, actor loop and journal directory
+// (shard-000, shard-001, ... under -data-dir); cross-shard establishes go
+// through a two-phase prepare/commit across the owning shards, and the
+// sharded front end adds GET /v1/shards. -shards 1 (the default) is
+// byte-identical to the unsharded daemon.
 package main
 
 import (
@@ -52,6 +59,8 @@ import (
 	"drqos/internal/overload"
 	"drqos/internal/qos"
 	"drqos/internal/server"
+	"drqos/internal/shard"
+	"drqos/internal/topology"
 )
 
 func main() {
@@ -123,6 +132,7 @@ func run() error {
 		noMux    = flag.Bool("no-multiplex", false, "disable backup multiplexing")
 		queue    = flag.Int("queue", 256, "actor command-queue depth")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget")
+		shards   = flag.Int("shards", 1, "region shards; >1 partitions the topology into per-region manager+journal shards with two-phase cross-shard establishes (1 = the classic single-plane daemon)")
 
 		// Durability.
 		dataDir   = flag.String("data-dir", "", "journal directory; empty runs in-memory (no durability)")
@@ -186,6 +196,40 @@ func run() error {
 		Policy:                    pol,
 		RequireBackup:             !*noBackup,
 		DisableBackupMultiplexing: *noMux,
+	}
+
+	if *shards > 1 {
+		return runSharded(shardedConfig{
+			addr: *addr, drain: *drain,
+			graph: sys.Graph(), shards: *shards, dataDir: *dataDir,
+			meta: dataMeta{
+				Kind: *kind, Nodes: *nodes, Seed: *seed, CapacityKbps: *capacity,
+				Policy: *policy, RequireBackup: !*noBackup, Multiplex: !*noMux,
+			},
+			manager: mcfg,
+			journal: journal.Options{
+				FsyncEvery:         *fsync,
+				GroupCommit:        *gcWait > 0 && *fsync == 1,
+				GroupCommitMaxWait: *gcWait,
+			},
+			server: server.Options{
+				QueueDepth:    *queue,
+				SnapshotEvery: *snapEvery,
+				EpochInterval: *epochEvery,
+				Recover: server.RecoverPolicy{
+					Auto:           *autoRecover,
+					InitialBackoff: *recoverBackoff,
+					MaxBackoff:     *recoverMaxWait,
+					MaxAttempts:    *recoverTries,
+				},
+				Overload:  overload.DetectorConfig{Target: *overloadTarget, Interval: *overloadInterval},
+				ExecDelay: *execDelay,
+			},
+			rateLimit: *rateLimit, rateBurst: *rateBurst, maxBodyBytes: *maxBodyBytes,
+			readTimeout: *readTimeout, readHdrTO: *readHdrTO,
+			idleTimeout: *idleTimeout, maxHeaderByte: *maxHeaderByte,
+			forecastOn: *forecastInterval > 0, pprofOn: *pprofOn,
+		})
 	}
 
 	var jnl *journal.Journal
@@ -342,4 +386,167 @@ func run() error {
 	// the final segment.
 	log.Printf("drained %d commands, bye", srv.Processed())
 	return nil
+}
+
+// shardMeta pins a sharded data directory to the topology, admission config
+// AND shard count that produced its journals. The partition is derived
+// deterministically from (topology, shards), so changing any of these makes
+// every shard journal meaningless.
+type shardMeta struct {
+	dataMeta
+	Shards int `json:"shards"`
+}
+
+// checkShardMeta writes coordinator.json on first use and verifies it on
+// every restart. The single-plane meta.json is untouched: a directory is
+// either a single-plane or a sharded deployment, never both.
+func checkShardMeta(dir string, want shardMeta) error {
+	path := filepath.Join(dir, "coordinator.json")
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		if _, merr := os.Stat(filepath.Join(dir, "meta.json")); merr == nil {
+			return fmt.Errorf("data dir %s holds a single-plane journal (meta.json); "+
+				"a sharded daemon needs a fresh directory", dir)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		b, err := json.MarshalIndent(want, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	var have shardMeta
+	if err := json.Unmarshal(raw, &have); err != nil {
+		return fmt.Errorf("data dir %s: unreadable coordinator.json: %w", dir, err)
+	}
+	if have != want {
+		return fmt.Errorf("data dir %s was written under config %+v, but this process started with %+v — "+
+			"shard journals are only valid against the identical topology, admission config and shard count; "+
+			"fix the flags or point -data-dir at a fresh directory", dir, have, want)
+	}
+	return nil
+}
+
+// shardedConfig carries the parsed flags into the sharded boot path.
+type shardedConfig struct {
+	addr    string
+	drain   time.Duration
+	graph   *topology.Graph
+	shards  int
+	dataDir string
+	meta    dataMeta
+	manager manager.Config
+	journal journal.Options
+	server  server.Options
+
+	rateLimit, rateBurst float64
+	maxBodyBytes         int64
+	readTimeout          time.Duration
+	readHdrTO            time.Duration
+	idleTimeout          time.Duration
+	maxHeaderByte        int
+
+	forecastOn bool
+	pprofOn    bool
+}
+
+// runSharded boots the partitioned admission plane: one manager + actor
+// loop + journal per region shard behind the coordinator's global API.
+func runSharded(cfg shardedConfig) error {
+	if cfg.forecastOn {
+		log.Printf("forecast: -forecast-interval is ignored with -shards > 1 (the live model is per-plane)")
+	}
+	if cfg.pprofOn {
+		log.Printf("pprof: -pprof is ignored with -shards > 1")
+	}
+	if cfg.dataDir != "" {
+		if err := checkShardMeta(cfg.dataDir, shardMeta{dataMeta: cfg.meta, Shards: cfg.shards}); err != nil {
+			return err
+		}
+	}
+	cfg.server.OnDegrade = func(reason string) {
+		log.Printf("DEGRADED shard: %s — that shard refuses mutations (cross-shard transactions touching it abort), reads stay live", reason)
+	}
+	cfg.server.OnRecover = func(seq uint64) {
+		log.Printf("RECOVERED shard: rebuilt from its journal to seq %d", seq)
+	}
+	cfg.server.OnOverload = func(on bool) {
+		if on {
+			log.Printf("OVERLOADED shard: shedding new establishes and prepares on that shard with 503")
+		} else {
+			log.Printf("shard overload cleared, admitting establishes again")
+		}
+	}
+	c, err := shard.New(cfg.graph, shard.Options{
+		Shards:  cfg.shards,
+		Dir:     cfg.dataDir,
+		Manager: cfg.manager,
+		Server:  cfg.server,
+		Journal: cfg.journal,
+	})
+	if err != nil {
+		return fmt.Errorf("sharded boot: %w", err)
+	}
+	plan := c.Plan()
+	log.Printf("sharded: %d shards over %d regions (%d nodes, %d links), journals under %s",
+		plan.Shards, plan.Regions, cfg.graph.NumNodes(), cfg.graph.NumLinks(), dirLabel(cfg.dataDir))
+
+	handlerOpts := []shard.HandlerOption{shard.WithMaxBodyBytes(cfg.maxBodyBytes)}
+	if cfg.rateLimit > 0 {
+		handlerOpts = append(handlerOpts, shard.WithRateLimit(cfg.rateLimit, cfg.rateBurst))
+		log.Printf("rate limit: %.3g req/s per client (burst %.3g)", cfg.rateLimit, cfg.rateBurst)
+	}
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           shard.NewHandler(c, handlerOpts...),
+		ReadTimeout:       cfg.readTimeout,
+		ReadHeaderTimeout: cfg.readHdrTO,
+		IdleTimeout:       cfg.idleTimeout,
+		MaxHeaderBytes:    cfg.maxHeaderByte,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", cfg.addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down %d shards (budget %s)", cfg.shards, cfg.drain)
+
+	shCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	if err := c.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shard drain: %w", err)
+	}
+	log.Printf("all shards drained, bye")
+	return nil
+}
+
+// dirLabel names the durability root for log lines.
+func dirLabel(dir string) string {
+	if dir == "" {
+		return "(in-memory)"
+	}
+	return dir
 }

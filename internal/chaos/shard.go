@@ -1,0 +1,245 @@
+// Sharded-plane chaos: kill one region shard in the middle of a
+// cross-shard two-phase establish, prove the survivors abort cleanly (no
+// leaked reservations), then restart the whole deployment from disk and
+// prove boot reconciliation replays every shard — victim included — to a
+// state consistent with the acknowledged prefix: survivors bit-identical
+// to the state they served live, the orphaned prepare aborted, committed
+// cross-shard connections intact, and the plane accepting new work.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+
+	"drqos/internal/journal"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/server"
+	"drqos/internal/shard"
+	"drqos/internal/topology"
+)
+
+// ShardCrashConfig seeds one mid-2PC shard-kill episode. Dir must name an
+// empty or absent directory; the episode owns it.
+type ShardCrashConfig struct {
+	Seed     uint64
+	TopoSeed uint64
+	Shards   int // default 4 (the tier topology's region count)
+	// Establishes is the acknowledged mixed load driven before the doomed
+	// transaction (default 24).
+	Establishes int
+	Manager     manager.Config
+	Dir         string
+}
+
+// ShardCrashResult summarizes a clean episode.
+type ShardCrashResult struct {
+	Shards      int
+	Victim      int
+	Established int   // acknowledged pre-crash connections (intra + cross)
+	CrossAlive  int64 // committed cross-shard transactions before the kill
+	// Fingerprint digests every shard's replayed state, in shard order.
+	Fingerprints []string
+}
+
+type shardPopulation struct {
+	Alive       int
+	Unprotected int
+	Hist        []int
+}
+
+func shardPopulations(ctx context.Context, c *shard.Coordinator) ([]shardPopulation, error) {
+	out := make([]shardPopulation, c.NumShards())
+	for i := range out {
+		st, err := c.Shard(i).Snapshot(ctx)
+		if err != nil {
+			return nil, err
+		}
+		hist := st.LevelHistogram
+		for len(hist) > 0 && hist[len(hist)-1] == 0 {
+			hist = hist[:len(hist)-1]
+		}
+		if len(hist) == 0 {
+			hist = nil
+		}
+		out[i] = shardPopulation{Alive: st.Alive, Unprotected: st.Unprotected, Hist: hist}
+	}
+	return out, nil
+}
+
+func shardFingerprints(ctx context.Context, c *shard.Coordinator) ([]string, error) {
+	out := make([]string, c.NumShards())
+	for i := range out {
+		fp, err := c.Shard(i).StateFingerprint(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = fp
+	}
+	return out, nil
+}
+
+// RunShardCrash runs one episode and returns an error describing the first
+// dependability violation it finds, or the result of a clean run.
+func RunShardCrash(cfg ShardCrashConfig) (*ShardCrashResult, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("chaos: ShardCrashConfig.Dir is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Establishes <= 0 {
+		cfg.Establishes = 24
+	}
+	if cfg.Manager.Capacity == 0 {
+		cfg.Manager.Capacity = 10000
+	}
+	g, err := topology.TransitStub(topology.DefaultTransitStub(), rng.New(cfg.TopoSeed))
+	if err != nil {
+		return nil, err
+	}
+	opt := shard.Options{
+		Shards:  cfg.Shards,
+		Dir:     cfg.Dir,
+		Manager: cfg.Manager,
+		Journal: journal.Options{FsyncEvery: -1},
+	}
+	c, err := shard.New(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	res := &ShardCrashResult{Shards: cfg.Shards}
+
+	// Acknowledged mixed load: random pairs, some intra- and some
+	// cross-shard, with a sprinkling of terminations.
+	src := rng.New(cfg.Seed)
+	var ids []int64
+	for len(ids) < cfg.Establishes {
+		a := topology.NodeID(src.Intn(g.NumNodes()))
+		b := topology.NodeID(src.Intn(g.NumNodes()))
+		if a == b {
+			continue
+		}
+		er, err := c.Establish(ctx, a, b, qos.DefaultSpec())
+		if err != nil {
+			if errors.Is(err, manager.ErrRejected) || errors.Is(err, shard.ErrNoRoute) {
+				continue
+			}
+			c.Shutdown(ctx)
+			return nil, fmt.Errorf("chaos: seed establish %d→%d: %w", a, b, err)
+		}
+		ids = append(ids, er.ID)
+		if len(ids)%5 == 0 {
+			victimID := ids[src.Intn(len(ids))]
+			if err := c.Terminate(ctx, victimID); err != nil && !errors.Is(err, server.ErrNotFound) {
+				c.Shutdown(ctx)
+				return nil, fmt.Errorf("chaos: seed terminate %d: %w", victimID, err)
+			}
+		}
+	}
+	res.Established = len(ids)
+	_, res.CrossAlive, _ = c.CrossStats()
+
+	beforePop, err := shardPopulations(ctx, c)
+	if err != nil {
+		c.Shutdown(ctx)
+		return nil, err
+	}
+
+	// Find a guaranteed cross-shard pair (stub nodes in different shards)
+	// and kill the first participant right after its prepare is durable.
+	var cs, cd topology.NodeID = -1, -1
+	for n := 0; n < g.NumNodes() && cd == -1; n++ {
+		if g.Tag(topology.NodeID(n)) != "stub" {
+			continue
+		}
+		if cs == -1 {
+			cs = topology.NodeID(n)
+		} else if c.Plan().NodeShard[n] != c.Plan().NodeShard[cs] {
+			cd = topology.NodeID(n)
+		}
+	}
+	victim := -1
+	c.SetTestHookAfterPrepare(func(s int, txn uint64) error {
+		if victim != -1 {
+			return nil
+		}
+		victim = s
+		if err := c.Shard(s).Shutdown(context.Background()); err != nil {
+			return fmt.Errorf("victim shutdown: %w", err)
+		}
+		return fmt.Errorf("chaos: shard %d killed mid-2PC", s)
+	})
+	if _, err := c.Establish(ctx, cs, cd, qos.DefaultSpec()); err == nil {
+		c.Shutdown(ctx)
+		return nil, errors.New("chaos: doomed cross establish succeeded despite shard kill")
+	}
+	if victim == -1 {
+		c.Shutdown(ctx)
+		return nil, errors.New("chaos: kill hook never fired")
+	}
+	res.Victim = victim
+
+	// Survivors must have aborted cleanly: same populations as before the
+	// doomed transaction. Their live fingerprints are the replay baseline.
+	liveFPs := make([]string, c.NumShards())
+	for i := 0; i < c.NumShards(); i++ {
+		if i == victim {
+			continue
+		}
+		fp, err := c.Shard(i).StateFingerprint(ctx)
+		if err != nil {
+			c.Shutdown(ctx)
+			return nil, err
+		}
+		liveFPs[i] = fp
+		st, err := c.Shard(i).Snapshot(ctx)
+		if err != nil {
+			c.Shutdown(ctx)
+			return nil, err
+		}
+		if st.Alive != beforePop[i].Alive {
+			c.Shutdown(ctx)
+			return nil, fmt.Errorf("chaos: surviving shard %d holds %d connections after abort, want %d",
+				i, st.Alive, beforePop[i].Alive)
+		}
+	}
+
+	// Crash the rest of the deployment and restart from disk.
+	if err := c.Shutdown(ctx); err != nil {
+		return nil, fmt.Errorf("chaos: shutdown: %w", err)
+	}
+	c, err = shard.New(g, opt)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: restart: %w", err)
+	}
+	defer c.Shutdown(ctx)
+
+	afterFPs, err := shardFingerprints(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < c.NumShards(); i++ {
+		if i != victim && afterFPs[i] != liveFPs[i] {
+			return nil, fmt.Errorf("chaos: surviving shard %d replayed to a different state than it served live", i)
+		}
+	}
+	afterPop, err := shardPopulations(ctx, c)
+	if err != nil {
+		return nil, err
+	}
+	if !reflect.DeepEqual(beforePop, afterPop) {
+		return nil, fmt.Errorf("chaos: replayed populations diverged from acknowledged prefix: before %+v after %+v",
+			beforePop, afterPop)
+	}
+	// The restored plane must still admit work, intra and cross.
+	if _, err := c.Establish(ctx, cs, cd, qos.DefaultSpec()); err != nil {
+		return nil, fmt.Errorf("chaos: post-recovery cross establish: %w", err)
+	}
+	res.Fingerprints = afterFPs
+	return res, nil
+}

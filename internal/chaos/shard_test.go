@@ -1,0 +1,34 @@
+package chaos
+
+import "testing"
+
+func TestShardCrashEpisode(t *testing.T) {
+	res, err := RunShardCrash(ShardCrashConfig{
+		Seed: 1, TopoSeed: 7, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Victim < 0 || res.Victim >= res.Shards {
+		t.Fatalf("victim %d out of range", res.Victim)
+	}
+	if res.Established == 0 {
+		t.Fatal("episode established nothing before the kill")
+	}
+	if len(res.Fingerprints) != res.Shards {
+		t.Fatalf("got %d fingerprints for %d shards", len(res.Fingerprints), res.Shards)
+	}
+}
+
+func TestShardCrashEpisodeSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep in -short mode")
+	}
+	for seed := uint64(2); seed < 5; seed++ {
+		if _, err := RunShardCrash(ShardCrashConfig{
+			Seed: seed, TopoSeed: seed + 10, Dir: t.TempDir(),
+		}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -459,6 +459,23 @@ type SnapshotHeader struct {
 	Rejects        int64  `json:"rejects"`
 	FailedLinks    []int  `json:"failed_links,omitempty"`
 	WrittenAt      string `json:"written_at,omitempty"`
+
+	// Txns carries committed cross-shard transactions whose pinned
+	// connections are inside the snapshot body, so replay can rebuild the
+	// shard's transaction table without the (now truncated) prepare and
+	// commit records. Snapshots are never taken while a transaction is
+	// still pending, so only committed entries appear here; absent on
+	// single-shard journals (bit-identical to the pre-shard format).
+	Txns []TxnSnapshot `json:"txns,omitempty"`
+}
+
+// TxnSnapshot is one committed cross-shard transaction in a snapshot
+// header: its ID, the participating-shard bitmask from the prepare record,
+// and the shard-local connection IDs it pinned.
+type TxnSnapshot struct {
+	Txn   uint64  `json:"txn"`
+	Peers uint32  `json:"peers"`
+	Conns []int64 `json:"conns"`
 }
 
 const (

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -83,7 +84,7 @@ func TestRoundtripAcrossReopen(t *testing.T) {
 	for i, got := range rec.Events {
 		want := evs[i]
 		want.Seq = uint64(i + 1)
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("event %d: got %+v want %+v", i, got, want)
 		}
 	}
@@ -93,6 +94,45 @@ func TestRoundtripAcrossReopen(t *testing.T) {
 	// Appends continue the sequence after reopen.
 	if seq, err := j2.Append(Event{Kind: KindTerminate, Conn: 9}); err != nil || seq != uint64(len(evs)+1) {
 		t.Fatalf("append after reopen: seq %d, err %v", seq, err)
+	}
+}
+
+// Test2PCRecordRoundTrip: prepare and commit records — the sharded plane's
+// transaction phases — survive append/reopen with their variable-length
+// path payloads intact, and a malformed prepare payload is rejected.
+func Test2PCRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	evs := []Event{
+		{Kind: KindPrepare, Txn: 7, Peers: 0b101, Src: 3, Dst: 9,
+			MinKbps: 200, MaxKbps: 200, IncKbps: 200, Utility: 1,
+			PathNodes: []int32{3, 5, 9}, PathLinks: []int32{2, 8}},
+		{Kind: KindCommit, Txn: 7},
+		{Kind: KindPrepare, Txn: 8, Peers: 0b11, Src: 0, Dst: 1,
+			MinKbps: 100, MaxKbps: 100, IncKbps: 100, Utility: 0.5,
+			PathNodes: []int32{0, 1}, PathLinks: []int32{0}},
+		{Kind: KindTerminate, Conn: 1},
+	}
+	j, _ := mustOpen(t, dir)
+	mustAppend(t, j, evs...)
+	j.Close()
+
+	j2, rec := mustOpen(t, dir)
+	defer j2.Close()
+	if len(rec.Events) != len(evs) {
+		t.Fatalf("recovered %d events, want %d", len(rec.Events), len(evs))
+	}
+	for i, got := range rec.Events {
+		want := evs[i]
+		want.Seq = uint64(i + 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+
+	// A prepare with a degenerate path must not encode/decode silently.
+	if _, err := decodeEvent(appendEvent(nil, Event{Kind: KindPrepare, Txn: 1,
+		PathNodes: []int32{4}, PathLinks: nil})); err == nil {
+		t.Fatal("single-node prepare path decoded without error")
 	}
 }
 

@@ -7,8 +7,11 @@ import (
 	"math"
 )
 
-// Kind enumerates the mutation events a journal can record — exactly the
-// four commands the admission server's command loop applies to the manager.
+// Kind enumerates the mutation events a journal can record — the four
+// commands the admission server's command loop applies to the manager,
+// plus the two-phase-commit phases a shard journals for cross-shard
+// reservations (prepare pins a rigid local sub-path; commit finalizes it;
+// abort is an ordinary terminate of the pinned connection).
 type Kind uint8
 
 // Journaled event kinds. Values are part of the on-disk format; never
@@ -18,6 +21,8 @@ const (
 	KindTerminate  Kind = 2
 	KindFailLink   Kind = 3
 	KindRepairLink Kind = 4
+	KindPrepare    Kind = 5
+	KindCommit     Kind = 6
 )
 
 func (k Kind) String() string {
@@ -30,6 +35,10 @@ func (k Kind) String() string {
 		return "fail_link"
 	case KindRepairLink:
 		return "repair_link"
+	case KindPrepare:
+		return "prepare"
+	case KindCommit:
+		return "commit"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -53,6 +62,17 @@ type Event struct {
 
 	// FailLink / RepairLink target.
 	Link int32
+
+	// Two-phase-commit fields (KindPrepare, KindCommit). Txn is the
+	// coordinator-assigned transaction ID; Peers is a bitmask of the
+	// participating shard indices (which is why a deployment is capped at
+	// 32 shards); the path slices are the shard-local sub-path the prepare
+	// pins, in shard-local node/link IDs. A prepare reuses the Establish
+	// spec fields for the rigid reservation.
+	Txn       uint64
+	Peers     uint32
+	PathNodes []int32
+	PathLinks []int32
 }
 
 // castagnoli is the CRC-32C table used for every checksum in the journal
@@ -83,6 +103,24 @@ func appendEvent(buf []byte, ev Event) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.Conn))
 	case KindFailLink, KindRepairLink:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Link))
+	case KindPrepare:
+		buf = binary.LittleEndian.AppendUint64(buf, ev.Txn)
+		buf = binary.LittleEndian.AppendUint32(buf, ev.Peers)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Src))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(ev.Dst))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.MinKbps))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.MaxKbps))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ev.IncKbps))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(ev.Utility))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ev.PathNodes)))
+		for _, n := range ev.PathNodes {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+		}
+		for _, l := range ev.PathLinks {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(l))
+		}
+	case KindCommit:
+		buf = binary.LittleEndian.AppendUint64(buf, ev.Txn)
 	}
 	return buf
 }
@@ -125,6 +163,42 @@ func decodeEvent(payload []byte) (Event, error) {
 			return ev, err
 		}
 		ev.Link = int32(binary.LittleEndian.Uint32(rest))
+	case KindPrepare:
+		// Fixed part (54 bytes incl. the u16 node count) + nodes + n-1 links.
+		if len(rest) < 54 {
+			return ev, fmt.Errorf("journal: prepare payload is %d bytes, want >= 54", len(rest))
+		}
+		ev.Txn = binary.LittleEndian.Uint64(rest)
+		ev.Peers = binary.LittleEndian.Uint32(rest[8:])
+		ev.Src = int32(binary.LittleEndian.Uint32(rest[12:]))
+		ev.Dst = int32(binary.LittleEndian.Uint32(rest[16:]))
+		ev.MinKbps = int64(binary.LittleEndian.Uint64(rest[20:]))
+		ev.MaxKbps = int64(binary.LittleEndian.Uint64(rest[28:]))
+		ev.IncKbps = int64(binary.LittleEndian.Uint64(rest[36:]))
+		ev.Utility = math.Float64frombits(binary.LittleEndian.Uint64(rest[44:]))
+		n := int(binary.LittleEndian.Uint16(rest[52:]))
+		if n < 2 {
+			return ev, fmt.Errorf("journal: prepare path has %d nodes, want >= 2", n)
+		}
+		if err := need(54 + 4*n + 4*(n-1)); err != nil {
+			return ev, err
+		}
+		ev.PathNodes = make([]int32, n)
+		ev.PathLinks = make([]int32, n-1)
+		off := 54
+		for i := range ev.PathNodes {
+			ev.PathNodes[i] = int32(binary.LittleEndian.Uint32(rest[off:]))
+			off += 4
+		}
+		for i := range ev.PathLinks {
+			ev.PathLinks[i] = int32(binary.LittleEndian.Uint32(rest[off:]))
+			off += 4
+		}
+	case KindCommit:
+		if err := need(8); err != nil {
+			return ev, err
+		}
+		ev.Txn = binary.LittleEndian.Uint64(rest)
 	default:
 		return ev, fmt.Errorf("journal: unknown event kind %d", uint8(ev.Kind))
 	}

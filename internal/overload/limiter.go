@@ -12,6 +12,7 @@
 package overload
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -36,7 +37,10 @@ type bucket struct {
 
 // maxIdleBuckets bounds the client map: once it grows past this, Allow
 // sweeps out buckets that have refilled to capacity (idle long enough that
-// forgetting them is indistinguishable from keeping them).
+// forgetting them is indistinguishable from keeping them). If every bucket
+// is still mid-refill — an attacker rotating X-Client-ID faster than the
+// refill window — the sweep falls back to evicting the least-recently-used
+// buckets down to half capacity, so the map is a hard bound, not a hint.
 const maxIdleBuckets = 4096
 
 // NewLimiter returns a limiter granting rate requests/second with bursts of
@@ -91,8 +95,13 @@ func (l *Limiter) Clients() int {
 	return len(l.buckets)
 }
 
-// maybeSweep drops fully-refilled (idle) buckets once the map is large.
-// Called with l.mu held, before inserting a new bucket.
+// maybeSweep drops fully-refilled (idle) buckets once the map is large,
+// then — if that freed nothing because every key is fresh (rotating
+// client IDs) — evicts the least-recently-seen buckets down to half
+// capacity. Evicting a live bucket only forgets how many tokens that
+// client already spent; a rotating client gains nothing because each new
+// ID starts a fresh bucket anyway. Called with l.mu held, before
+// inserting a new bucket.
 func (l *Limiter) maybeSweep(now time.Time) {
 	if len(l.buckets) < maxIdleBuckets {
 		return
@@ -102,5 +111,22 @@ func (l *Limiter) maybeSweep(now time.Time) {
 		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
 			delete(l.buckets, k)
 		}
+	}
+	if len(l.buckets) < maxIdleBuckets {
+		return
+	}
+	// Hard bound: order by last-seen and keep only the newest half.
+	type entry struct {
+		key  string
+		last time.Time
+	}
+	all := make([]entry, 0, len(l.buckets))
+	for k, b := range l.buckets {
+		all = append(all, entry{k, b.last})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].last.Before(all[j].last) })
+	evict := len(all) - maxIdleBuckets/2
+	for _, e := range all[:evict] {
+		delete(l.buckets, e.key)
 	}
 }

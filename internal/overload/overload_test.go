@@ -95,6 +95,39 @@ func TestLimiterSweep(t *testing.T) {
 	}
 }
 
+// TestLimiterChurnBounded: an attacker rotating X-Client-ID faster than the
+// refill window used to grow the bucket map without bound, because the sweep
+// only dropped fully-refilled buckets and a fresh bucket is never refilled.
+// The map must now be a hard bound regardless of key churn.
+func TestLimiterChurnBounded(t *testing.T) {
+	c := newFakeClock()
+	l := NewLimiter(1, 100) // slow refill: no bucket ever refills mid-test
+	const churn = 10 * maxIdleBuckets
+	for i := 0; i < churn; i++ {
+		l.Allow(fmt.Sprintf("spoof-%d", i), c.now())
+		c.advance(time.Millisecond) // fast rotation, far below refill time
+	}
+	if n := l.Clients(); n > maxIdleBuckets {
+		t.Fatalf("%d buckets retained under %d-key churn, want <= %d",
+			n, churn, maxIdleBuckets)
+	}
+	// Eviction must keep the newest buckets: a client throttled moments ago
+	// stays throttled (its spent tokens are not forgotten by the sweep).
+	hot := "hot-client"
+	for i := 0; i < 100; i++ {
+		l.Allow(hot, c.now())
+	}
+	if ok, _ := l.Allow(hot, c.now()); ok {
+		t.Fatal("hot client allowed past its burst")
+	}
+	for i := 0; i < maxIdleBuckets/4; i++ {
+		l.Allow(fmt.Sprintf("late-spoof-%d", i), c.now())
+	}
+	if ok, _ := l.Allow(hot, c.now()); ok {
+		t.Fatal("hot client's bucket was evicted by churn below the sweep threshold")
+	}
+}
+
 // TestDetectorLatchesAndClears walks the full state machine: below-target
 // samples keep it healthy, sustained above-target delay latches overloaded
 // after one interval, and a single good sample clears it.

@@ -300,3 +300,47 @@ func TestDegradedHTTP(t *testing.T) {
 		}
 	}
 }
+
+// TestFrozenSnapshotMetric: degraded mode suspends epoch publishing, so the
+// snapshot age climbs by design; the drqos_snapshot_frozen gauge must flip
+// to 1 (and Stats.Epoch.Frozen to true) so dashboards can tell a frozen
+// read path from a wedged loop — and staleness alarms can exclude it.
+func TestFrozenSnapshotMetric(t *testing.T) {
+	s := newDegradedTestServer(t, nil)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(server.NewHandler(s))
+	defer ts.Close()
+	c := ts.Client()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := c.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		mb, _ := io.ReadAll(resp.Body)
+		return string(mb)
+	}
+
+	// Healthy: not frozen, in both /metrics and /v1/stats.
+	if mb := scrape(); !strings.Contains(mb, "drqos_snapshot_frozen 0") {
+		t.Fatalf("healthy server: want drqos_snapshot_frozen 0 in:\n%s", mb)
+	}
+	st := s.StatsView()
+	if st.Epoch == nil || st.Epoch.Frozen {
+		t.Fatalf("healthy server: Epoch.Frozen = %+v, want false", st.Epoch)
+	}
+
+	corrupt(t, s)
+	if err := s.CheckInvariants(context.Background()); !manager.IsInvariantViolation(err) {
+		t.Fatalf("audit after corruption: %v, want InvariantViolation", err)
+	}
+	if mb := scrape(); !strings.Contains(mb, "drqos_snapshot_frozen 1") {
+		t.Fatalf("degraded server: want drqos_snapshot_frozen 1 in:\n%s", mb)
+	}
+	st = s.StatsView()
+	if st.Epoch == nil || !st.Epoch.Frozen {
+		t.Fatalf("degraded server: Epoch.Frozen = %+v, want true", st.Epoch)
+	}
+}

@@ -57,11 +57,15 @@ type EpochView struct {
 	Lanes map[string]LaneStats
 }
 
-// EpochStats is the staleness contract surfaced in Stats.
+// EpochStats is the staleness contract surfaced in Stats. Frozen reports
+// that publishing is deliberately suspended (degraded mode): the age keeps
+// climbing by design, and staleness alarms must key off Frozen before
+// treating a high age as a wedged loop.
 type EpochStats struct {
 	Seq        uint64  `json:"seq"`
 	AgeSeconds float64 `json:"age_seconds"`
 	Publishes  int64   `json:"publishes"`
+	Frozen     bool    `json:"frozen,omitempty"`
 }
 
 // View returns the current published epoch. Never nil after construction
@@ -145,6 +149,7 @@ func (s *Server) StatsView() Stats {
 			Seq:        v.Seq,
 			AgeSeconds: time.Since(v.PublishedAt).Seconds(),
 			Publishes:  s.epochPublishes.Load(),
+			Frozen:     s.degraded.Load(),
 		},
 	}
 	if st.Requests > 0 {

@@ -5,6 +5,11 @@ import (
 	"io"
 )
 
+// WriteMetrics renders a Stats snapshot in the Prometheus text exposition
+// format. Exported for the sharded front end (internal/shard), which
+// aggregates per-shard Stats and serves them under the same metric names.
+func WriteMetrics(w io.Writer, st Stats) { writeMetrics(w, st) }
+
 // writeMetrics renders a Stats snapshot in the Prometheus text exposition
 // format (hand-rolled; the repo deliberately has no external dependencies).
 func writeMetrics(w io.Writer, st Stats) {
@@ -47,6 +52,11 @@ func writeMetrics(w io.Writer, st Stats) {
 		gauge("drqos_snapshot_seq", "Sequence number of the published epoch state snapshot serving the read path.", st.Epoch.Seq)
 		gauge("drqos_snapshot_age_seconds", "Age of the published epoch snapshot — the read path's staleness bound.", st.Epoch.AgeSeconds)
 		counter("drqos_snapshot_publishes_total", "Epoch snapshots published by the actor loop.", st.Epoch.Publishes)
+		frozen := 0
+		if st.Epoch.Frozen {
+			frozen = 1
+		}
+		gauge("drqos_snapshot_frozen", "1 while epoch publishing is deliberately suspended (degraded mode); exclude snapshot age from staleness alarms while set.", frozen)
 	}
 	if st.GroupCommit {
 		gauge("drqos_journal_synced_seq", "Highest journal sequence known durable (acknowledged mutations are always <= this).", st.JournalSynced)

@@ -32,6 +32,7 @@ import (
 	"drqos/internal/journal"
 	"drqos/internal/manager"
 	"drqos/internal/qos"
+	"drqos/internal/routing"
 	"drqos/internal/topology"
 )
 
@@ -132,7 +133,7 @@ func (s *Server) recoverOnce(ctx context.Context) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("%w: reload: %v", ErrJournal, err)
 	}
-	fresh, err := Rebuild(s.graph, s.cfg, rec)
+	fresh, txns, err := RebuildWithTxns(s.graph, s.cfg, rec)
 	if err != nil {
 		return 0, err
 	}
@@ -146,6 +147,10 @@ func (s *Server) recoverOnce(ctx context.Context) (uint64, error) {
 	done := make(chan struct{})
 	if err := s.submit(ctx, laneFreeing, true, func(*manager.Manager) {
 		s.mgr = fresh
+		// The transaction table is rebuilt alongside the manager it
+		// indexes into. In-flight (uncommitted) transactions stay pending:
+		// resolving them is the coordinator's call, not this shard's.
+		s.txns = txns
 		s.eventsSinceSnap = 0
 		s.degradedMu.Lock()
 		s.degradedReason = ""
@@ -198,37 +203,74 @@ func (s *Server) superviseRecovery() {
 // snapshot (if any), cross-check it against the snapshot header's
 // aggregates, strictly replay the event tail, and run the full invariant
 // audit. Any disagreement is an error — callers must refuse to serve a
-// state that replay cannot vouch for.
+// state that replay cannot vouch for. Single-shard convenience wrapper
+// around RebuildWithTxns (a standalone journal never has transactions).
 func Rebuild(g *topology.Graph, cfg manager.Config, rec *journal.Recovered) (*manager.Manager, error) {
+	m, _, err := RebuildWithTxns(g, cfg, rec)
+	return m, err
+}
+
+// RebuildWithTxns is Rebuild plus the cross-shard transaction table: the
+// snapshot header seeds the committed transactions, prepare/commit records
+// in the tail mutate the table exactly as the live path did, and pending
+// transactions whose pinned connections were all terminated (an abort's
+// trace) are dropped. The returned table seeds Options.Txns.
+func RebuildWithTxns(g *topology.Graph, cfg manager.Config, rec *journal.Recovered) (*manager.Manager, TxnTable, error) {
 	var m *manager.Manager
 	var err error
+	txns := TxnTable{}
 	if rec.SnapshotHeader != nil {
 		st, uerr := manager.UnmarshalState(rec.SnapshotBody)
 		if uerr != nil {
-			return nil, fmt.Errorf("%w: snapshot seq %d: %v", ErrJournal, rec.SnapshotSeq, uerr)
+			return nil, nil, fmt.Errorf("%w: snapshot seq %d: %v", ErrJournal, rec.SnapshotSeq, uerr)
 		}
 		m, err = manager.Restore(g, cfg, st)
 		if err != nil {
-			return nil, fmt.Errorf("%w: snapshot seq %d: %v", ErrJournal, rec.SnapshotSeq, err)
+			return nil, nil, fmt.Errorf("%w: snapshot seq %d: %v", ErrJournal, rec.SnapshotSeq, err)
 		}
 		if err := crossCheckSnapshot(m, rec.SnapshotHeader); err != nil {
-			return nil, fmt.Errorf("%w: snapshot seq %d: %v", ErrJournal, rec.SnapshotSeq, err)
+			return nil, nil, fmt.Errorf("%w: snapshot seq %d: %v", ErrJournal, rec.SnapshotSeq, err)
+		}
+		for _, ts := range rec.SnapshotHeader.Txns {
+			tx := &TxnState{Peers: ts.Peers, Committed: true}
+			for _, c := range ts.Conns {
+				tx.Conns = append(tx.Conns, channel.ConnID(c))
+			}
+			txns[ts.Txn] = tx
 		}
 	} else {
 		m, err = manager.New(g, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for _, ev := range rec.Events {
-		if err := applyJournaled(m, ev); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		if err := applyJournaled(m, ev, txns); err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+	// A pending transaction with no alive connection is an abort that
+	// finished (every pinned connection was journal-terminated) — the live
+	// path deleted the entry, replay reproduces that.
+	for id, tx := range txns {
+		if tx.Committed {
+			continue
+		}
+		alive := false
+		for _, cid := range tx.Conns {
+			if c := m.Conn(cid); c != nil && c.Alive() {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			delete(txns, id)
 		}
 	}
 	if err := m.CheckInvariants(); err != nil {
-		return nil, fmt.Errorf("%w: replayed state fails audit: %v", ErrJournal, err)
+		return nil, nil, fmt.Errorf("%w: replayed state fails audit: %v", ErrJournal, err)
 	}
-	return m, nil
+	return m, txns, nil
 }
 
 // crossCheckSnapshot compares the restored manager against the aggregates
@@ -272,12 +314,13 @@ func crossCheckSnapshot(m *manager.Manager, hdr *journal.SnapshotHeader) error {
 }
 
 // applyJournaled replays one event. Deterministic rejections (admission
-// refusal, invalid spec) are tolerated for establishes — they happened
-// identically in the original run and bumped the same counters. Everything
-// else must succeed: the server pre-validated terminate/fail/repair events
-// before journaling them, so a replay error means the journal and the state
-// machine disagree.
-func applyJournaled(m *manager.Manager, ev journal.Event) error {
+// refusal, invalid spec) are tolerated for establishes and prepares — they
+// happened identically in the original run and bumped the same counters.
+// Everything else must succeed: the server pre-validated
+// terminate/fail/repair events before journaling them, so a replay error
+// means the journal and the state machine disagree. txns receives the
+// prepare/commit trail exactly as the live path recorded it.
+func applyJournaled(m *manager.Manager, ev journal.Event, txns TxnTable) error {
 	switch ev.Kind {
 	case journal.KindEstablish:
 		if !validNode(m.Graph(), topology.NodeID(ev.Src)) || !validNode(m.Graph(), topology.NodeID(ev.Dst)) {
@@ -309,6 +352,47 @@ func applyJournaled(m *manager.Manager, ev journal.Event) error {
 		if _, err := m.RepairLink(topology.LinkID(ev.Link)); err != nil {
 			return fmt.Errorf("replay seq %d (repair link %d): %w", ev.Seq, ev.Link, err)
 		}
+		return nil
+	case journal.KindPrepare:
+		spec := qos.ElasticSpec{
+			Min:       qos.Kbps(ev.MinKbps),
+			Max:       qos.Kbps(ev.MaxKbps),
+			Increment: qos.Kbps(ev.IncKbps),
+			Utility:   ev.Utility,
+		}
+		path := routing.Path{
+			Nodes: make([]topology.NodeID, len(ev.PathNodes)),
+			Links: make([]topology.LinkID, len(ev.PathLinks)),
+		}
+		for i, n := range ev.PathNodes {
+			path.Nodes[i] = topology.NodeID(n)
+		}
+		for i, l := range ev.PathLinks {
+			path.Links[i] = topology.LinkID(l)
+		}
+		rep, err := m.EstablishFixed(topology.NodeID(ev.Src), topology.NodeID(ev.Dst), spec, path)
+		if err != nil {
+			if errors.Is(err, manager.ErrRejected) || errors.Is(err, qos.ErrInvalidSpec) {
+				return nil // rejected identically in the original run
+			}
+			return fmt.Errorf("replay seq %d (prepare txn %d): %w", ev.Seq, ev.Txn, err)
+		}
+		tx := txns[ev.Txn]
+		if tx == nil {
+			tx = &TxnState{Peers: ev.Peers}
+			txns[ev.Txn] = tx
+		}
+		tx.Conns = append(tx.Conns, rep.Conn.ID)
+		return nil
+	case journal.KindCommit:
+		tx := txns[ev.Txn]
+		if tx == nil {
+			// Snapshots are refused while a transaction is pending, so a
+			// commit's prepare is always on this side of the boundary; a
+			// missing transaction means the journal is inconsistent.
+			return fmt.Errorf("replay seq %d: commit for unknown txn %d", ev.Seq, ev.Txn)
+		}
+		tx.Committed = true
 		return nil
 	default:
 		return fmt.Errorf("replay seq %d: unknown event kind %d", ev.Seq, uint8(ev.Kind))

@@ -51,6 +51,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -159,6 +160,11 @@ type Options struct {
 	// are idle a new epoch is published immediately after each mutation, so
 	// the cap only bites while a backlog keeps the loop busy.
 	EpochInterval time.Duration
+	// Txns seeds the cross-shard transaction table — typically the one a
+	// journal rebuild recovered (RebuildWithTxns). Nil starts empty. Only
+	// the sharded deployment uses it; a standalone server's table stays
+	// empty forever.
+	Txns TxnTable
 	// Forecast, when non-nil, runs the live analytic control plane
 	// (internal/forecast): every applied establish / terminate / fail-link
 	// event feeds the online parameter estimator, the Markov chain is
@@ -188,6 +194,10 @@ type Server struct {
 	// (before the loop starts) and by the recovery swap command (which runs
 	// in the loop), and read only by the loop.
 	mgr *manager.Manager
+
+	// txns is the cross-shard transaction table (txn.go). Loop-owned, like
+	// mgr: written at construction and by loop commands only.
+	txns TxnTable
 
 	// Overload control plane. detector is internally synchronized; the
 	// delay digests are loop-owned and only read from inside loop commands
@@ -281,6 +291,7 @@ func NewFromManager(g *topology.Graph, mgr *manager.Manager, opt Options) (*Serv
 		loopDone:       make(chan struct{}),
 		stop:           make(chan struct{}),
 		mgr:            mgr,
+		txns:           opt.Txns,
 		detector:       overload.NewDetector(opt.Overload, nil),
 		onOverload:     opt.OnOverload,
 		execDelay:      opt.ExecDelay,
@@ -296,6 +307,9 @@ func NewFromManager(g *topology.Graph, mgr *manager.Manager, opt Options) (*Serv
 	}
 	if s.epochInterval <= 0 {
 		s.epochInterval = 25 * time.Millisecond
+	}
+	if s.txns == nil {
+		s.txns = TxnTable{}
 	}
 	// Epoch 1 is published before the loop starts, so View never returns
 	// nil and a freshly booted (or journal-recovered) server serves its
@@ -543,6 +557,15 @@ func (s *Server) maybeSnapshot(m *manager.Manager) {
 	if s.degraded.Load() {
 		return
 	}
+	// Never snapshot while a cross-shard transaction is pending: a prepare
+	// and its commit must land on the same side of the snapshot boundary,
+	// so replay of a KindCommit always finds its transaction (either live
+	// in the journal suffix or committed in the snapshot header).
+	for _, tx := range s.txns {
+		if !tx.Committed {
+			return
+		}
+	}
 	if err := s.writeSnapshot(m); err != nil {
 		// The WAL is still intact and replay still works — a failed
 		// snapshot costs replay time, not correctness. Counted, retried on
@@ -566,6 +589,22 @@ func (s *Server) writeSnapshot(m *manager.Manager) error {
 	}
 	for _, l := range st.FailedLinks {
 		hdr.FailedLinks = append(hdr.FailedLinks, int(l))
+	}
+	// Committed transactions ride the header so replay from this snapshot
+	// rebuilds the table (the prepare/commit records are behind the
+	// boundary). Built only when non-empty: single-shard snapshots stay
+	// byte-identical to the pre-shard format.
+	if len(s.txns) > 0 {
+		txns := make([]journal.TxnSnapshot, 0, len(s.txns))
+		for id, tx := range s.txns {
+			ts := journal.TxnSnapshot{Txn: id, Peers: tx.Peers}
+			for _, c := range tx.Conns {
+				ts.Conns = append(ts.Conns, int64(c))
+			}
+			txns = append(txns, ts)
+		}
+		sort.Slice(txns, func(i, j int) bool { return txns[i].Txn < txns[j].Txn })
+		hdr.Txns = txns
 	}
 	return s.jnl.WriteSnapshot(hdr, st.MarshalBinary())
 }

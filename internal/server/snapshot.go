@@ -180,6 +180,7 @@ func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
 				Seq:        v.Seq,
 				AgeSeconds: time.Since(v.PublishedAt).Seconds(),
 				Publishes:  s.epochPublishes.Load(),
+				Frozen:     s.degraded.Load(),
 			}
 		}
 		st.Recovering, st.Recoveries, st.RecoveryFailures, st.LastRecoveryError = s.RecoveryStatus()

@@ -1,0 +1,312 @@
+// Cross-shard two-phase commit, shard side. A cross-shard establish is
+// coordinated by internal/shard: the coordinator splits the global path
+// into per-shard runs and drives each participating shard through
+// PrepareTxn (pin the local sub-path as a rigid fixed connection) and then
+// CommitTxn (finalize) or AbortTxn (terminate the pinned connections).
+// Each phase is journaled on the shard's own journal before it applies —
+// the same write-ahead discipline as every other mutation — so replay
+// reproduces the shard's exact acknowledged state, and the coordinator's
+// boot-time reconciliation resolves transactions a crash left in flight
+// (commit anywhere → re-commit; committed nowhere → abort).
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"drqos/internal/channel"
+	"drqos/internal/journal"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/routing"
+	"drqos/internal/topology"
+)
+
+// TxnTable maps transaction IDs to their shard-local state. Loop-owned
+// (like the manager): mutated only by loop commands and journal replay.
+type TxnTable map[uint64]*TxnState
+
+// TxnState is one cross-shard transaction as this shard sees it: which
+// shards participate (bitmask of shard indices, from the prepare record),
+// the local fixed connections the prepares pinned, and whether the commit
+// arrived. A transaction disappears from the table on abort.
+type TxnState struct {
+	Peers     uint32
+	Conns     []channel.ConnID
+	Committed bool
+}
+
+// TxnInfo is a read-only view of one transaction, with enough per-
+// connection detail (local primary links) for the coordinator to rebuild
+// its global cross-connection index at boot.
+type TxnInfo struct {
+	Txn       uint64
+	Peers     uint32
+	Committed bool
+	Conns     []TxnConnInfo
+}
+
+// TxnConnInfo describes one pinned local connection of a transaction.
+type TxnConnInfo struct {
+	ID    channel.ConnID
+	Alive bool
+	Links []topology.LinkID
+}
+
+// PrepareTxn is phase one: journal the prepare and pin the shard-local
+// sub-path as a rigid (Min==Max, no-backup) connection at spec.Min. The
+// spec must be rigid. A transaction may receive several prepares on the
+// same shard (one per contiguous run of locally-owned links); each appends
+// another pinned connection. Prepares ride the consuming lane — they
+// reserve capacity — and obey the same degraded/journal guards as
+// Establish. On a domain rejection (no capacity, failed link) nothing is
+// pinned and the coordinator aborts the transaction.
+func (s *Server) PrepareTxn(ctx context.Context, txn uint64, peers uint32, src, dst topology.NodeID, spec qos.ElasticSpec, path routing.Path) (*manager.ArrivalReport, error) {
+	type out struct {
+		rep *manager.ArrivalReport
+		err error
+		seq uint64
+	}
+	ch := make(chan out, 1)
+	if err := s.submit(ctx, laneConsuming, false, func(m *manager.Manager) {
+		s.establishes.Add(1)
+		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{nil, err, 0}
+			return
+		}
+		if err := s.refuseIfOverloadedLoop(); err != nil {
+			ch <- out{nil, err, 0}
+			return
+		}
+		if !validNode(m.Graph(), src) || !validNode(m.Graph(), dst) {
+			ch <- out{nil, fmt.Errorf("%w: node out of range", ErrNotFound), 0}
+			return
+		}
+		if tx := s.txns[txn]; tx != nil && tx.Committed {
+			ch <- out{nil, fmt.Errorf("%w: txn %d already committed", ErrConflict, txn), 0}
+			return
+		}
+		ev := journal.Event{
+			Kind: journal.KindPrepare,
+			Txn:  txn, Peers: peers,
+			Src: int32(src), Dst: int32(dst),
+			MinKbps: int64(spec.Min), MaxKbps: int64(spec.Max),
+			IncKbps: int64(spec.Increment), Utility: spec.Utility,
+		}
+		for _, n := range path.Nodes {
+			ev.PathNodes = append(ev.PathNodes, int32(n))
+		}
+		for _, l := range path.Links {
+			ev.PathLinks = append(ev.PathLinks, int32(l))
+		}
+		seq, err := s.journalAppend(ev)
+		if err != nil {
+			ch <- out{nil, err, 0}
+			return
+		}
+		rep, err := m.EstablishFixed(src, dst, spec, path)
+		s.noteViolation(err)
+		if err == nil && rep != nil && rep.Conn != nil {
+			tx := s.txns[txn]
+			if tx == nil {
+				tx = &TxnState{Peers: peers}
+				s.txns[txn] = tx
+			}
+			tx.Conns = append(tx.Conns, rep.Conn.ID)
+		}
+		s.maybeSnapshot(m)
+		s.markEpochDirty()
+		s.publishEpochIfDue(m)
+		ch <- out{rep, err, seq}
+	}); err != nil {
+		return nil, err
+	}
+	o, err := await(ctx, ch)
+	if err != nil {
+		return nil, err
+	}
+	if derr := s.waitDurable(ctx, o.seq); derr != nil {
+		return nil, derr
+	}
+	return o.rep, o.err
+}
+
+// CommitTxn is phase two: journal the commit and mark the transaction
+// final. No manager state changes — the prepares already reserved
+// everything — so commit rides the freeing lane and is never refused for
+// overload (an overloaded shard must still be able to finish transactions
+// it already accepted resources for). Committing an unknown transaction is
+// ErrNotFound (the coordinator's bug, or an abort raced it).
+func (s *Server) CommitTxn(ctx context.Context, txn uint64) error {
+	type out struct {
+		err error
+		seq uint64
+	}
+	ch := make(chan out, 1)
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
+		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{err, 0}
+			return
+		}
+		tx := s.txns[txn]
+		if tx == nil {
+			ch <- out{fmt.Errorf("%w: txn %d", ErrNotFound, txn), 0}
+			return
+		}
+		if tx.Committed {
+			ch <- out{fmt.Errorf("%w: txn %d already committed", ErrConflict, txn), 0}
+			return
+		}
+		seq, err := s.journalAppend(journal.Event{Kind: journal.KindCommit, Txn: txn})
+		if err != nil {
+			ch <- out{err, 0}
+			return
+		}
+		tx.Committed = true
+		s.maybeSnapshot(m)
+		s.markEpochDirty()
+		s.publishEpochIfDue(m)
+		ch <- out{nil, seq}
+	}); err != nil {
+		return err
+	}
+	o, err := await(ctx, ch)
+	if err != nil {
+		return err
+	}
+	if derr := s.waitDurable(ctx, o.seq); derr != nil {
+		return derr
+	}
+	return o.err
+}
+
+// AbortTxn releases a transaction's pinned connections: one journaled
+// terminate per still-alive connection (replay-identical to any other
+// terminate), then the table entry is dropped. Aborting an unknown
+// transaction is a no-op — aborts must be idempotent, because the
+// coordinator retries them against shards that may have already lost the
+// prepare (crash before the append). Rides the freeing lane.
+func (s *Server) AbortTxn(ctx context.Context, txn uint64) error {
+	type out struct {
+		err error
+		seq uint64
+	}
+	ch := make(chan out, 1)
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
+		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{err, 0}
+			return
+		}
+		tx := s.txns[txn]
+		if tx == nil {
+			ch <- out{nil, 0}
+			return
+		}
+		if tx.Committed {
+			ch <- out{fmt.Errorf("%w: txn %d already committed", ErrConflict, txn), 0}
+			return
+		}
+		var lastSeq uint64
+		for _, id := range tx.Conns {
+			if c := m.Conn(id); c == nil || !c.Alive() {
+				continue // already dropped by a link failure
+			}
+			seq, err := s.journalAppend(journal.Event{Kind: journal.KindTerminate, Conn: int64(id)})
+			if err != nil {
+				ch <- out{err, lastSeq}
+				return
+			}
+			lastSeq = seq
+			_, err = m.Terminate(id)
+			s.noteViolation(err)
+			if err != nil {
+				ch <- out{err, lastSeq}
+				return
+			}
+		}
+		delete(s.txns, txn)
+		s.maybeSnapshot(m)
+		s.markEpochDirty()
+		s.publishEpochIfDue(m)
+		ch <- out{nil, lastSeq}
+	}); err != nil {
+		return err
+	}
+	o, err := await(ctx, ch)
+	if err != nil {
+		return err
+	}
+	if derr := s.waitDurable(ctx, o.seq); derr != nil {
+		return derr
+	}
+	return o.err
+}
+
+// Txns reads the transaction table — a loop read, consistent with the
+// manager state at the instant it runs. The coordinator uses it at boot to
+// reconcile in-flight transactions across shards and rebuild its global
+// cross-connection index.
+func (s *Server) Txns(ctx context.Context) ([]TxnInfo, error) {
+	ch := make(chan []TxnInfo, 1)
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
+		infos := make([]TxnInfo, 0, len(s.txns))
+		for id, tx := range s.txns {
+			info := TxnInfo{Txn: id, Peers: tx.Peers, Committed: tx.Committed}
+			for _, cid := range tx.Conns {
+				ci := TxnConnInfo{ID: cid}
+				if c := m.Conn(cid); c != nil && c.Alive() {
+					ci.Alive = true
+					ci.Links = append([]topology.LinkID(nil), c.Primary.Links...)
+				}
+				info.Conns = append(info.Conns, ci)
+			}
+			infos = append(infos, info)
+		}
+		ch <- infos
+	}); err != nil {
+		return nil, err
+	}
+	return await(ctx, ch)
+}
+
+// StateFingerprint exports the manager state in the loop and returns its
+// canonical hex digest — the bit-identity probe the sharded chaos harness
+// compares across crash/replay.
+func (s *Server) StateFingerprint(ctx context.Context) (string, error) {
+	ch := make(chan string, 1)
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
+		ch <- m.ExportState().Fingerprint()
+	}); err != nil {
+		return "", err
+	}
+	return await(ctx, ch)
+}
+
+// CorruptForTesting plants an aggregate-ledger corruption in the loop and
+// runs the audit so the server latches degraded deterministically. It
+// exists for fault drills — the sharded 2PC abort tests latch one
+// participant degraded mid-transaction with it — and has no production
+// caller.
+func (s *Server) CorruptForTesting(ctx context.Context) error {
+	ch := make(chan error, 1)
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
+		m.CorruptAggregatesForTesting()
+		err := m.CheckInvariants()
+		s.noteViolation(err)
+		ch <- err
+	}); err != nil {
+		return err
+	}
+	return unwrapAwait(await(ctx, ch))
+}
+
+// refuseIfOverloadedLoop mirrors the HTTP layer's establish shedding for
+// loop-internal callers (the 2PC coordinator bypasses HTTP): an overloaded
+// shard refuses new prepares with a retry hint, exactly as it refuses new
+// establishes.
+func (s *Server) refuseIfOverloadedLoop() error {
+	if s.Overloaded() {
+		return ErrOverloaded
+	}
+	return nil
+}

@@ -1,0 +1,624 @@
+// The Coordinator owns one server.Server + journal per shard and fronts
+// them with the global API the daemon exposes: establishes are routed to
+// the shard owning the source node, and source/destination pairs living on
+// different shards go through a two-phase establish — one PrepareTxn per
+// contiguous same-owner run of the global path, then CommitTxn everywhere
+// (or AbortTxn everywhere on any refusal). Each shard journals its own
+// phases, so a crash mid-transaction leaves a prepare trail the next boot
+// reconciles: a transaction committed on ANY shard is re-committed on the
+// rest (the coordinator only starts committing after every prepare is
+// durable), and a transaction committed NOWHERE is aborted (presumed
+// abort — the coordinator never acknowledged it).
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drqos/internal/channel"
+	"drqos/internal/journal"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/routing"
+	"drqos/internal/server"
+	"drqos/internal/topology"
+)
+
+// ErrNoRoute reports that no cross-shard path exists between the endpoints
+// on the non-failed global topology.
+var ErrNoRoute = errors.New("shard: no cross-shard route")
+
+// crossMarker is the low-byte tag of an external connection ID that names
+// a cross-shard transaction instead of a (shard, local conn) pair. Shard
+// indices stop at MaxShards-1 = 31, far below it.
+const crossMarker = 255
+
+// Options configures a sharded deployment.
+type Options struct {
+	// Shards is the number of region shards (1..MaxShards, and at most the
+	// topology's region count).
+	Shards int
+	// Dir is the durability root; each shard journals under
+	// Dir/shard-NNN. Empty runs every shard in-memory (tests).
+	Dir string
+	// Manager is the per-shard admission config (applied to each sub
+	// graph).
+	Manager manager.Config
+	// Server is the per-shard server template. Journal and Txns are
+	// overwritten per shard; everything else is copied as-is.
+	Server server.Options
+	// Journal tunes each shard's journal. Ignored when Dir is empty.
+	Journal journal.Options
+	// PrepareTimeout bounds each 2PC phase call against a shard
+	// (default 2s). A prepare that cannot answer in time is treated as a
+	// refusal and the transaction aborts.
+	PrepareTimeout time.Duration
+	// TestHookAfterPrepare, when non-nil, runs after each successful
+	// prepare with the participant's shard index and the transaction ID.
+	// A non-nil error is treated as a prepare failure (the transaction
+	// aborts). The chaos harness uses it to kill a shard mid-transaction.
+	TestHookAfterPrepare func(shard int, txn uint64) error
+}
+
+// part is one pinned local connection of a cross-shard transaction.
+type part struct {
+	shard int
+	conn  channel.ConnID
+}
+
+// crossConn is the coordinator's index entry for one committed cross-shard
+// connection: the global links it crosses (for fail-link teardown) and the
+// per-shard pinned connections (for terminate).
+type crossConn struct {
+	links []topology.LinkID
+	parts []part
+}
+
+// Coordinator fronts the per-shard servers with the global admission API.
+type Coordinator struct {
+	g    *topology.Graph
+	plan *Plan
+	opt  Options
+
+	shards []*server.Server
+	jnls   []*journal.Journal // nil entries when Dir is empty
+
+	// mu guards the cross-connection index, the failed-link view and the
+	// transaction counter. Shard calls are made outside it whenever
+	// possible; 2PC holds it only to mutate the index.
+	mu      sync.Mutex
+	nextTxn uint64
+	cross   map[uint64]*crossConn
+	failed  map[topology.LinkID]bool
+
+	crossAttempts  atomic.Int64
+	crossCommitted atomic.Int64
+	crossAborted   atomic.Int64
+}
+
+// EstablishResult is the coordinator-level answer to an establish: the
+// external connection ID plus either the owning shard's arrival report
+// (intra-shard) or the rigid allocation a committed 2PC pinned (cross).
+type EstablishResult struct {
+	ID    int64
+	Cross bool
+	// Shard is the owning shard for an intra-shard connection, -1 for
+	// cross-shard.
+	Shard int
+	// Report is the owning shard's arrival report (local IDs) for an
+	// intra-shard connection; nil for cross-shard.
+	Report *manager.ArrivalReport
+	// AllocatedKbps is the admitted bandwidth: the report's allocation
+	// intra-shard, the rigid Min for cross-shard.
+	AllocatedKbps qos.Kbps
+	// Hops is the global path length (cross-shard only; 0 intra).
+	Hops int
+}
+
+// New builds the plan, opens each shard's journal, rebuilds each shard's
+// state, reconciles transactions a crash left in flight, and starts the
+// per-shard servers.
+func New(g *topology.Graph, opt Options) (*Coordinator, error) {
+	plan, err := BuildPlan(g, opt.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if opt.PrepareTimeout <= 0 {
+		opt.PrepareTimeout = 2 * time.Second
+	}
+	c := &Coordinator{
+		g:       g,
+		plan:    plan,
+		opt:     opt,
+		jnls:    make([]*journal.Journal, opt.Shards),
+		nextTxn: 1,
+		cross:   make(map[uint64]*crossConn),
+		failed:  make(map[topology.LinkID]bool),
+	}
+
+	mgrs := make([]*manager.Manager, opt.Shards)
+	tables := make([]server.TxnTable, opt.Shards)
+	for i := 0; i < opt.Shards; i++ {
+		sub := plan.Subs[i]
+		var rec *journal.Recovered
+		if opt.Dir != "" {
+			jnl, r, err := journal.Open(filepath.Join(opt.Dir, fmt.Sprintf("shard-%03d", i)), opt.Journal)
+			if err != nil {
+				c.closeJournals()
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			c.jnls[i] = jnl
+			rec = r
+		} else {
+			rec = &journal.Recovered{}
+		}
+		m, txns, err := server.RebuildWithTxns(sub.Graph, opt.Manager, rec)
+		if err != nil {
+			c.closeJournals()
+			return nil, fmt.Errorf("shard %d: rebuild: %w", i, err)
+		}
+		mgrs[i] = m
+		tables[i] = txns
+	}
+
+	if err := c.reconcile(mgrs, tables); err != nil {
+		c.closeJournals()
+		return nil, err
+	}
+	c.rebuildIndex(mgrs, tables)
+
+	c.shards = make([]*server.Server, opt.Shards)
+	for i := 0; i < opt.Shards; i++ {
+		so := opt.Server
+		so.Journal = c.jnls[i]
+		so.Txns = tables[i]
+		srv, err := server.NewFromManager(plan.Subs[i].Graph, mgrs[i], so)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				_ = c.shards[j].Shutdown(context.Background())
+			}
+			c.closeJournals()
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		c.shards[i] = srv
+	}
+	return c, nil
+}
+
+func (c *Coordinator) closeJournals() {
+	for _, j := range c.jnls {
+		if j != nil {
+			_ = j.Close()
+		}
+	}
+}
+
+// reconcile resolves transactions a crash left in flight, before the
+// servers start (raw managers and journals, no concurrency). The rule is
+// the classic presumed-abort coordinator recovery: the coordinator only
+// starts committing once every participant's prepare is durable, so a
+// commit record on ANY shard proves the whole transaction was fully
+// prepared — re-commit it on the shards that lost theirs. A transaction
+// committed nowhere was never acknowledged — abort it everywhere, with the
+// same journaled-terminate trail a live abort writes.
+func (c *Coordinator) reconcile(mgrs []*manager.Manager, tables []server.TxnTable) error {
+	committed := make(map[uint64]bool)
+	for _, t := range tables {
+		for txn, tx := range t {
+			if tx.Committed {
+				committed[txn] = true
+			}
+			if txn >= c.nextTxn {
+				c.nextTxn = txn + 1
+			}
+		}
+	}
+	for i, t := range tables {
+		// Deterministic order keeps the reconciliation journal trail
+		// reproducible across boots of the same directory.
+		ids := make([]uint64, 0, len(t))
+		for txn := range t {
+			ids = append(ids, txn)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		for _, txn := range ids {
+			tx := t[txn]
+			if tx.Committed {
+				continue
+			}
+			if committed[txn] {
+				if c.jnls[i] != nil {
+					if _, err := c.jnls[i].Append(journal.Event{Kind: journal.KindCommit, Txn: txn}); err != nil {
+						return fmt.Errorf("shard %d: reconcile commit txn %d: %w", i, txn, err)
+					}
+				}
+				tx.Committed = true
+				continue
+			}
+			for _, id := range tx.Conns {
+				if cn := mgrs[i].Conn(id); cn == nil || !cn.Alive() {
+					continue
+				}
+				if c.jnls[i] != nil {
+					if _, err := c.jnls[i].Append(journal.Event{Kind: journal.KindTerminate, Conn: int64(id)}); err != nil {
+						return fmt.Errorf("shard %d: reconcile abort txn %d: %w", i, txn, err)
+					}
+				}
+				if _, err := mgrs[i].Terminate(id); err != nil {
+					return fmt.Errorf("shard %d: reconcile abort txn %d conn %d: %w", i, txn, id, err)
+				}
+			}
+			delete(t, txn)
+		}
+	}
+	return nil
+}
+
+// rebuildIndex reconstructs the coordinator's in-memory views from the
+// reconciled shard states: the cross-connection index from committed
+// transactions (local link IDs mapped back to global) and the failed-link
+// set from each shard's owned links.
+func (c *Coordinator) rebuildIndex(mgrs []*manager.Manager, tables []server.TxnTable) {
+	for i, t := range tables {
+		sub := c.plan.Subs[i]
+		for txn, tx := range t {
+			for _, id := range tx.Conns {
+				cn := mgrs[i].Conn(id)
+				if cn == nil || !cn.Alive() {
+					continue
+				}
+				cc := c.cross[txn]
+				if cc == nil {
+					cc = &crossConn{}
+					c.cross[txn] = cc
+				}
+				cc.parts = append(cc.parts, part{shard: i, conn: id})
+				for _, ll := range cn.Primary.Links {
+					cc.links = append(cc.links, sub.GlobalLink[ll])
+				}
+			}
+		}
+		for li, owner := range c.plan.LinkShard {
+			gl := topology.LinkID(li)
+			if owner == i && mgrs[i].Network().Failed(sub.LocalLink[gl]) {
+				c.failed[gl] = true
+			}
+		}
+	}
+}
+
+// SetTestHookAfterPrepare installs the post-prepare hook after
+// construction, for tests whose hook needs the coordinator in hand. Call
+// only from the goroutine that will drive the next establish.
+func (c *Coordinator) SetTestHookAfterPrepare(fn func(shard int, txn uint64) error) {
+	c.opt.TestHookAfterPrepare = fn
+}
+
+// NumShards returns the shard count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Shard returns shard i's server (tests and the HTTP aggregator).
+func (c *Coordinator) Shard(i int) *server.Server { return c.shards[i] }
+
+// Plan returns the partition.
+func (c *Coordinator) Plan() *Plan { return c.plan }
+
+// Graph returns the global topology.
+func (c *Coordinator) Graph() *topology.Graph { return c.g }
+
+// CrossStats returns the 2PC counters (attempted, committed, aborted).
+func (c *Coordinator) CrossStats() (attempts, committed, aborted int64) {
+	return c.crossAttempts.Load(), c.crossCommitted.Load(), c.crossAborted.Load()
+}
+
+// extIntra encodes a shard-local connection as an external ID.
+func extIntra(shard int, id channel.ConnID) int64 { return int64(id)*256 + int64(shard) }
+
+// extCross encodes a cross-shard transaction as an external ID.
+func extCross(txn uint64) int64 { return int64(txn)*256 + crossMarker }
+
+// Establish admits a connection between global nodes. Same-shard pairs
+// delegate to the owning shard's full elastic admission (routes, backups,
+// squeezing — unchanged semantics); cross-shard pairs reserve a rigid
+// Min-bandwidth path via two-phase prepare/commit.
+func (c *Coordinator) Establish(ctx context.Context, src, dst topology.NodeID, spec qos.ElasticSpec) (*EstablishResult, error) {
+	if int(src) < 0 || int(src) >= c.g.NumNodes() || int(dst) < 0 || int(dst) >= c.g.NumNodes() {
+		return nil, fmt.Errorf("%w: node out of range", server.ErrNotFound)
+	}
+	ss, ds := c.plan.NodeShard[src], c.plan.NodeShard[dst]
+	if ss == ds {
+		sub := c.plan.Subs[ss]
+		rep, err := c.shards[ss].Establish(ctx, sub.LocalNode[src], sub.LocalNode[dst], spec)
+		if err != nil {
+			return nil, err
+		}
+		res := &EstablishResult{Shard: ss, Report: rep}
+		if rep != nil && rep.Conn != nil {
+			res.ID = extIntra(ss, rep.Conn.ID)
+			res.AllocatedKbps = rep.Conn.Spec.Bandwidth(rep.Conn.Level)
+		}
+		return res, nil
+	}
+	return c.establishCross(ctx, src, dst, spec)
+}
+
+// establishCross runs the two-phase establish: route on the global graph,
+// split into per-owner runs, prepare each run as a rigid local connection,
+// then commit everywhere. Any refusal — domain rejection, overload,
+// degraded shard, timeout, or the test hook — aborts every prepared
+// participant.
+func (c *Coordinator) establishCross(ctx context.Context, src, dst topology.NodeID, spec qos.ElasticSpec) (*EstablishResult, error) {
+	c.crossAttempts.Add(1)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	path, err := c.routeGlobal(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	// Cross-shard connections are rigid: the whole path is pinned at Min,
+	// with no elastic range to renegotiate across shard boundaries and no
+	// backup (dependability for cross connections is the coordinator's
+	// re-establish, not a shard-local spare).
+	rigid := qos.ElasticSpec{Min: spec.Min, Max: spec.Min, Increment: spec.Min, Utility: spec.Utility}
+	runs := splitRuns(c.plan, path)
+
+	var peers uint32
+	for _, r := range runs {
+		peers |= 1 << uint(r.shard)
+	}
+	c.mu.Lock()
+	txn := c.nextTxn
+	c.nextTxn++
+	c.mu.Unlock()
+
+	prepared := make(map[int]bool)
+	abort := func() {
+		c.crossAborted.Add(1)
+		for s := range prepared {
+			actx, cancel := context.WithTimeout(context.Background(), c.opt.PrepareTimeout)
+			// Tolerate abort errors: a dead or degraded shard resolves the
+			// transaction at next boot (committed nowhere → abort).
+			_ = c.shards[s].AbortTxn(actx, txn)
+			cancel()
+		}
+	}
+	for _, r := range runs {
+		pctx, cancel := context.WithTimeout(ctx, c.opt.PrepareTimeout)
+		rep, perr := c.shards[r.shard].PrepareTxn(pctx, txn, peers, r.src, r.dst, rigid, r.path)
+		cancel()
+		if perr != nil {
+			abort()
+			return nil, perr
+		}
+		r.connID = rep.Conn.ID
+		prepared[r.shard] = true
+		if c.opt.TestHookAfterPrepare != nil {
+			if herr := c.opt.TestHookAfterPrepare(r.shard, txn); herr != nil {
+				abort()
+				return nil, herr
+			}
+		}
+	}
+	// Every prepare is durable: the transaction commits. Per-shard commit
+	// errors are tolerated — the first commit that lands makes the outcome
+	// durable, and boot reconciliation re-commits the stragglers.
+	parts := make([]part, 0, len(runs))
+	for _, r := range runs {
+		cctx, cancel := context.WithTimeout(context.Background(), c.opt.PrepareTimeout)
+		_ = c.shards[r.shard].CommitTxn(cctx, txn)
+		cancel()
+		parts = append(parts, part{shard: r.shard, conn: r.connID})
+	}
+	c.crossCommitted.Add(1)
+	cc := &crossConn{links: append([]topology.LinkID(nil), path.Links...), parts: parts}
+	c.mu.Lock()
+	c.cross[txn] = cc
+	c.mu.Unlock()
+	return &EstablishResult{
+		ID: extCross(txn), Cross: true, Shard: -1,
+		AllocatedKbps: rigid.Min, Hops: path.Hops(),
+	}, nil
+}
+
+// run is one maximal same-owner stretch of a global path, with the owning
+// shard's local coordinates. connID is filled in by the prepare.
+type run struct {
+	shard    int
+	src, dst topology.NodeID // local node IDs
+	path     routing.Path    // local node/link IDs
+	connID   channel.ConnID
+}
+
+// splitRuns cuts a global path into maximal consecutive stretches of links
+// with the same owning shard and translates each into that shard's local
+// coordinates. Border replicas guarantee every endpoint of an owned link
+// exists in the owner's sub graph.
+func splitRuns(p *Plan, path routing.Path) []*run {
+	var runs []*run
+	i := 0
+	for i < len(path.Links) {
+		owner := p.LinkShard[path.Links[i]]
+		j := i
+		for j < len(path.Links) && p.LinkShard[path.Links[j]] == owner {
+			j++
+		}
+		sub := p.Subs[owner]
+		r := &run{shard: owner}
+		for k := i; k <= j; k++ {
+			r.path.Nodes = append(r.path.Nodes, sub.LocalNode[path.Nodes[k]])
+		}
+		for k := i; k < j; k++ {
+			r.path.Links = append(r.path.Links, sub.LocalLink[path.Links[k]])
+		}
+		r.src, r.dst = r.path.Nodes[0], r.path.Nodes[len(r.path.Nodes)-1]
+		runs = append(runs, r)
+		i = j
+	}
+	return runs
+}
+
+// routeGlobal finds a shortest path on the global topology avoiding links
+// the coordinator knows are failed. BFS with deterministic neighbor order
+// (link insertion order), so the same topology and failure set always
+// yield the same path.
+func (c *Coordinator) routeGlobal(src, dst topology.NodeID) (routing.Path, error) {
+	c.mu.Lock()
+	failed := make(map[topology.LinkID]bool, len(c.failed))
+	for l := range c.failed {
+		failed[l] = true
+	}
+	c.mu.Unlock()
+
+	n := c.g.NumNodes()
+	prevNode := make([]topology.NodeID, n)
+	prevLink := make([]topology.LinkID, n)
+	seen := make([]bool, n)
+	for i := range prevNode {
+		prevNode[i] = -1
+	}
+	seen[src] = true
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 && !seen[dst] {
+		u := queue[0]
+		queue = queue[1:]
+		c.g.ForEachNeighbor(u, func(v topology.NodeID, l topology.LinkID) {
+			if seen[v] || failed[l] {
+				return
+			}
+			seen[v] = true
+			prevNode[v] = u
+			prevLink[v] = l
+			queue = append(queue, v)
+		})
+	}
+	if !seen[dst] {
+		return routing.Path{}, fmt.Errorf("%w: %d -> %d", ErrNoRoute, src, dst)
+	}
+	var path routing.Path
+	for v := dst; v != src; v = prevNode[v] {
+		path.Nodes = append(path.Nodes, v)
+		path.Links = append(path.Links, prevLink[v])
+	}
+	path.Nodes = append(path.Nodes, src)
+	for i, j := 0, len(path.Nodes)-1; i < j; i, j = i+1, j-1 {
+		path.Nodes[i], path.Nodes[j] = path.Nodes[j], path.Nodes[i]
+	}
+	for i, j := 0, len(path.Links)-1; i < j; i, j = i+1, j-1 {
+		path.Links[i], path.Links[j] = path.Links[j], path.Links[i]
+	}
+	return path, nil
+}
+
+// Terminate releases an external connection ID: a (shard, local) pair for
+// intra-shard connections, a transaction's every pinned part for
+// cross-shard ones.
+func (c *Coordinator) Terminate(ctx context.Context, ext int64) error {
+	if ext < 0 {
+		return fmt.Errorf("%w: connection %d", server.ErrNotFound, ext)
+	}
+	marker := int(ext % 256)
+	if marker == crossMarker {
+		txn := uint64(ext / 256)
+		c.mu.Lock()
+		cc := c.cross[txn]
+		delete(c.cross, txn)
+		c.mu.Unlock()
+		if cc == nil {
+			return fmt.Errorf("%w: connection %d", server.ErrNotFound, ext)
+		}
+		for _, p := range cc.parts {
+			// A part may already be gone (dropped by a link failure that
+			// raced the terminate); that is not the caller's problem.
+			if _, err := c.shards[p.shard].Terminate(ctx, p.conn); err != nil && !errors.Is(err, server.ErrNotFound) {
+				return err
+			}
+		}
+		return nil
+	}
+	if marker >= len(c.shards) {
+		return fmt.Errorf("%w: connection %d", server.ErrNotFound, ext)
+	}
+	_, err := c.shards[marker].Terminate(ctx, channel.ConnID(ext/256))
+	return err
+}
+
+// FailLink injects a global link failure: the owning shard fails it
+// locally (its elastic connections fail over or drop exactly as in the
+// single-shard plane), and committed cross-shard connections crossing the
+// link are torn down on their other shards — a rigid pinned path has no
+// backup, so the failure drops it end-to-end.
+func (c *Coordinator) FailLink(ctx context.Context, l topology.LinkID) (*manager.FailureReport, error) {
+	if int(l) < 0 || int(l) >= c.g.NumLinks() {
+		return nil, fmt.Errorf("%w: link %d", server.ErrNotFound, l)
+	}
+	owner := c.plan.LinkShard[l]
+	rep, err := c.shards[owner].FailLink(ctx, c.plan.Subs[owner].LocalLink[l])
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.failed[l] = true
+	var torn []*crossConn
+	for txn, cc := range c.cross {
+		for _, cl := range cc.links {
+			if cl == l {
+				torn = append(torn, cc)
+				delete(c.cross, txn)
+				break
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, cc := range torn {
+		for _, p := range cc.parts {
+			// The owner shard's part died with the link; the others are
+			// torn down explicitly. ErrNotFound just means it was already
+			// gone.
+			if _, terr := c.shards[p.shard].Terminate(ctx, p.conn); terr != nil && !errors.Is(terr, server.ErrNotFound) && err == nil {
+				err = terr
+			}
+		}
+	}
+	return rep, err
+}
+
+// RepairLink marks a global link repaired on its owning shard.
+func (c *Coordinator) RepairLink(ctx context.Context, l topology.LinkID) (int, error) {
+	if int(l) < 0 || int(l) >= c.g.NumLinks() {
+		return 0, fmt.Errorf("%w: link %d", server.ErrNotFound, l)
+	}
+	owner := c.plan.LinkShard[l]
+	restored, err := c.shards[owner].RepairLink(ctx, c.plan.Subs[owner].LocalLink[l])
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	delete(c.failed, l)
+	c.mu.Unlock()
+	return restored, nil
+}
+
+// Shutdown stops every shard server and closes every journal.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	var first error
+	for _, s := range c.shards {
+		if err := s.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, j := range c.jnls {
+		if j != nil {
+			if err := j.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

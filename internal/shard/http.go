@@ -1,0 +1,396 @@
+// HTTP/JSON front end for the sharded deployment. Same endpoints and
+// status mapping as the single-shard API (internal/server/http.go), with
+// connection IDs in the external encoding (low byte = shard index, 255 =
+// cross-shard transaction), an extra GET /v1/shards describing the
+// partition, and /v1/stats and /metrics aggregated across shards.
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"drqos/internal/manager"
+	"drqos/internal/overload"
+	"drqos/internal/qos"
+	"drqos/internal/server"
+	"drqos/internal/topology"
+)
+
+// HandlerOption customizes NewHandler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	limiter      *overload.Limiter
+	maxBodyBytes int64
+}
+
+// WithRateLimit adds per-client token-bucket rate limiting to the mutation
+// endpoints, exactly as in the single-shard API. rate <= 0 disables it.
+func WithRateLimit(rate, burst float64) HandlerOption {
+	return func(c *handlerConfig) {
+		if rate > 0 {
+			c.limiter = overload.NewLimiter(rate, burst)
+		}
+	}
+}
+
+// WithMaxBodyBytes caps request-body size on the mutation endpoints.
+func WithMaxBodyBytes(n int64) HandlerOption {
+	return func(c *handlerConfig) {
+		if n > 0 {
+			c.maxBodyBytes = n
+		}
+	}
+}
+
+// EstablishResponse summarizes an admitted connection at the coordinator
+// level. Intra-shard connections carry the full report fields; cross-shard
+// ones report the rigid allocation and the global hop count.
+type EstablishResponse struct {
+	ID            int64 `json:"id"`
+	Cross         bool  `json:"cross"`
+	Shard         int   `json:"shard"`
+	BandwidthKbps int64 `json:"bandwidth_kbps"`
+	Level         int   `json:"level"`
+	HasBackup     bool  `json:"has_backup"`
+	PrimaryHops   int   `json:"primary_hops"`
+}
+
+// ShardsResponse describes the partition for shard-aware clients (drload
+// uses it to steer intra- vs cross-shard traffic).
+type ShardsResponse struct {
+	Shards    int   `json:"shards"`
+	Regions   int   `json:"regions"`
+	NodeShard []int `json:"node_shard"`
+}
+
+// StatsResponse is the aggregated service view plus each shard's own Stats.
+type StatsResponse struct {
+	Shards         int            `json:"shards"`
+	Aggregate      server.Stats   `json:"aggregate"`
+	CrossAttempts  int64          `json:"cross_attempts"`
+	CrossCommitted int64          `json:"cross_committed"`
+	CrossAborted   int64          `json:"cross_aborted"`
+	CrossActive    int            `json:"cross_active"`
+	PerShard       []server.Stats `json:"per_shard"`
+}
+
+type errorBody struct {
+	Error             string `json:"error"`
+	Rejected          bool   `json:"rejected,omitempty"`
+	RetryAfterSeconds int64  `json:"retry_after_seconds,omitempty"`
+}
+
+// NewHandler returns the sharded HTTP/JSON API over c. Endpoints mirror
+// server.NewHandler; see the package comment for the differences.
+func NewHandler(c *Coordinator, opts ...HandlerOption) http.Handler {
+	cfg := &handlerConfig{maxBodyBytes: 1 << 20}
+	for _, o := range opts {
+		o(cfg)
+	}
+	mux := http.NewServeMux()
+
+	decodeBody := func(w http.ResponseWriter, r *http.Request, v any) bool {
+		r.Body = http.MaxBytesReader(w, r.Body, cfg.maxBodyBytes)
+		if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(w, http.StatusRequestEntityTooLarge,
+					errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+				return false
+			}
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+			return false
+		}
+		return true
+	}
+
+	admitClient := func(w http.ResponseWriter, r *http.Request) bool {
+		if cfg.limiter == nil {
+			return true
+		}
+		key := r.Header.Get("X-Client-ID")
+		if key == "" {
+			if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+				key = host
+			} else {
+				key = r.RemoteAddr
+			}
+		}
+		ok, retry := cfg.limiter.Allow(key, time.Now())
+		if ok {
+			return true
+		}
+		writeShed(w, http.StatusTooManyRequests, retry,
+			fmt.Sprintf("client %q over rate limit", key))
+		return false
+	}
+
+	mux.HandleFunc("POST /v1/connections", func(w http.ResponseWriter, r *http.Request) {
+		if !admitClient(w, r) {
+			return
+		}
+		var req server.EstablishRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		res, err := c.Establish(r.Context(), topology.NodeID(req.Src), topology.NodeID(req.Dst), req.Spec())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp := EstablishResponse{
+			ID: res.ID, Cross: res.Cross, Shard: res.Shard,
+			BandwidthKbps: int64(res.AllocatedKbps),
+		}
+		if res.Report != nil && res.Report.Conn != nil {
+			resp.Level = res.Report.Conn.Level
+			resp.HasBackup = res.Report.Conn.HasBackup
+			resp.PrimaryHops = res.Report.Conn.Primary.Hops()
+		} else {
+			resp.PrimaryHops = res.Hops
+		}
+		writeJSON(w, http.StatusCreated, resp)
+	})
+	mux.HandleFunc("DELETE /v1/connections/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !admitClient(w, r) {
+			return
+		}
+		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad connection id: " + err.Error()})
+			return
+		}
+		if err := c.Terminate(r.Context(), id); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": id})
+	})
+	mux.HandleFunc("POST /v1/faults/link", func(w http.ResponseWriter, r *http.Request) {
+		if !admitClient(w, r) {
+			return
+		}
+		var req server.FaultRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		switch req.Action {
+		case "", "fail":
+			rep, err := c.FailLink(r.Context(), topology.LinkID(req.Link))
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, server.FaultResponse{
+				Link: req.Link, Action: "fail",
+				Squeezed: len(rep.Squeezed),
+			})
+		case "repair":
+			restored, err := c.RepairLink(r.Context(), topology.LinkID(req.Link))
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, server.FaultResponse{
+				Link: req.Link, Action: "repair", Reprotected: restored,
+			})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown action %q", req.Action)})
+		}
+	})
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ShardsResponse{
+			Shards:    c.plan.Shards,
+			Regions:   c.plan.Regions,
+			NodeShard: c.plan.NodeShard,
+		})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.statsResponse())
+	})
+	mux.HandleFunc("GET /v1/invariants", func(w http.ResponseWriter, r *http.Request) {
+		perShard := make([]map[string]any, len(c.shards))
+		allOK := true
+		for i, s := range c.shards {
+			err := s.CheckInvariants(r.Context())
+			degraded, reason := s.Degraded()
+			entry := map[string]any{"ok": err == nil, "degraded": degraded}
+			if err != nil {
+				entry["error"] = err.Error()
+				allOK = false
+			}
+			if reason != "" {
+				entry["degraded_reason"] = reason
+			}
+			perShard[i] = entry
+		}
+		code := http.StatusOK
+		if !allOK {
+			code = http.StatusInternalServerError
+		}
+		writeJSON(w, code, map[string]any{"ok": allOK, "shards": perShard})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		resp := c.statsResponse()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		server.WriteMetrics(w, resp.Aggregate)
+		gauge := func(name, help string, v any) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+		}
+		counter := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("drqos_shards", "Region shards in this deployment.", resp.Shards)
+		gauge("drqos_cross_connections_active", "Committed cross-shard connections currently alive.", resp.CrossActive)
+		counter("drqos_cross_establish_total", "Cross-shard two-phase establishes attempted.", resp.CrossAttempts)
+		counter("drqos_cross_commit_total", "Cross-shard transactions committed.", resp.CrossCommitted)
+		counter("drqos_cross_abort_total", "Cross-shard transactions aborted.", resp.CrossAborted)
+		fmt.Fprintf(w, "# HELP drqos_shard_connections_alive Alive connections per shard.\n# TYPE drqos_shard_connections_alive gauge\n")
+		for i, st := range resp.PerShard {
+			fmt.Fprintf(w, "drqos_shard_connections_alive{shard=\"%d\"} %d\n", i, st.Alive)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		degraded, overloaded, recovering := false, false, false
+		for _, s := range c.shards {
+			if d, _ := s.Degraded(); d {
+				degraded = true
+			}
+			if s.Overloaded() {
+				overloaded = true
+			}
+			if rec, _, _, _ := s.RecoveryStatus(); rec {
+				recovering = true
+			}
+		}
+		body := map[string]any{
+			"ready":      !degraded && !recovering && !overloaded,
+			"degraded":   degraded,
+			"recovering": recovering,
+			"overloaded": overloaded,
+		}
+		if degraded || recovering || overloaded {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
+	return mux
+}
+
+// statsResponse aggregates every shard's epoch-view Stats. Counters and
+// populations sum; boolean health flags OR; the level histogram merges
+// element-wise. Lane delay digests are per-shard detail and stay in
+// PerShard only.
+func (c *Coordinator) statsResponse() StatsResponse {
+	resp := StatsResponse{Shards: len(c.shards)}
+	agg := server.Stats{
+		Nodes: c.g.NumNodes(),
+		Links: c.g.NumLinks(),
+	}
+	var bwWeighted float64
+	for _, s := range c.shards {
+		st := s.StatsView()
+		resp.PerShard = append(resp.PerShard, st)
+		agg.CapacityKbps = st.CapacityKbps
+		agg.Alive += st.Alive
+		agg.Unprotected += st.Unprotected
+		bwWeighted += st.AvgBandwidthKbps * float64(st.Alive)
+		for len(agg.LevelHistogram) < len(st.LevelHistogram) {
+			agg.LevelHistogram = append(agg.LevelHistogram, 0)
+		}
+		for i, n := range st.LevelHistogram {
+			agg.LevelHistogram[i] += n
+		}
+		agg.Requests += st.Requests
+		agg.Rejects += st.Rejects
+		if st.Degraded {
+			agg.Degraded = true
+		}
+		if st.Overloaded {
+			agg.Overloaded = true
+		}
+		if st.Recovering {
+			agg.Recovering = true
+		}
+		agg.InvariantViolations += st.InvariantViolations
+		agg.OverloadEpisodes += st.OverloadEpisodes
+		agg.ShedExpired += st.ShedExpired
+		agg.ShedCanceled += st.ShedCanceled
+		agg.Journaled = agg.Journaled || st.Journaled
+		agg.JournalErrors += st.JournalErrors
+		agg.Recoveries += st.Recoveries
+		agg.RecoveryFailures += st.RecoveryFailures
+		agg.QueueDepth += st.QueueDepth
+		agg.Commands.Processed += st.Commands.Processed
+		agg.Commands.Establishes += st.Commands.Establishes
+		agg.Commands.Terminates += st.Commands.Terminates
+		agg.Commands.Failures += st.Commands.Failures
+		agg.Commands.Repairs += st.Commands.Repairs
+		agg.Commands.Snapshots += st.Commands.Snapshots
+	}
+	if agg.Alive > 0 {
+		agg.AvgBandwidthKbps = bwWeighted / float64(agg.Alive)
+	}
+	if agg.Requests > 0 {
+		agg.RejectRate = float64(agg.Rejects) / float64(agg.Requests)
+	}
+	c.mu.Lock()
+	for l := range c.failed {
+		agg.FailedLinks = append(agg.FailedLinks, int(l))
+	}
+	resp.CrossActive = len(c.cross)
+	c.mu.Unlock()
+	resp.CrossAttempts, resp.CrossCommitted, resp.CrossAborted = c.CrossStats()
+	resp.Aggregate = agg
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeShed(w http.ResponseWriter, code int, retryAfter time.Duration, msg string) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, code, errorBody{Error: msg, RetryAfterSeconds: secs})
+}
+
+// writeError mirrors the single-shard status mapping. ErrNoRoute — a
+// cross-shard path does not exist — maps like a rejection: the request was
+// well-formed, the network cannot carry it.
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, manager.ErrRejected), errors.Is(err, ErrNoRoute):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Rejected: true})
+	case errors.Is(err, qos.ErrInvalidSpec):
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+	case errors.Is(err, server.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+	case errors.Is(err, server.ErrConflict):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, server.ErrOverloaded):
+		writeShed(w, http.StatusServiceUnavailable, time.Second, err.Error())
+	case errors.Is(err, server.ErrDegraded), errors.Is(err, server.ErrServerClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	}
+}

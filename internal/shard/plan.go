@@ -1,0 +1,194 @@
+// Package shard partitions the admission plane by region: one
+// manager.Manager + journal + overload detector + epoch snapshot per
+// shard, each behind its own two-lane actor loop, with establishes routed
+// to the shard owning the source node. Cross-shard connections reserve via
+// a two-phase prepare/commit over the affected shards' command lanes
+// (coordinator.go). The partition itself — which shard owns which nodes
+// and links, and each shard's local subgraph — is the Plan built here.
+//
+// Regions come from the transit-stub generator's natural domains: every
+// transit-tagged node seeds a region and the stub domains hanging off it
+// join that region (multi-source BFS, deterministic tie-break by node ID).
+// Topologies without transit tags fall back to contiguous node-ID ranges.
+// Regions are grouped contiguously onto shards, a link is owned by the
+// lower of its endpoints' shards, and each shard's subgraph contains its
+// own nodes plus "border replicas" — foreign endpoints of the links it
+// owns — so a shard can reserve its run of a cross-shard path entirely
+// locally. Every global link lives in exactly one shard subgraph, so
+// capacity is counted once.
+package shard
+
+import (
+	"fmt"
+
+	"drqos/internal/topology"
+)
+
+// MaxShards bounds a deployment: the journal's prepare records carry the
+// participant set as a 32-bit shard bitmask.
+const MaxShards = 32
+
+// Plan is the deterministic node/link → shard assignment plus each shard's
+// local subgraph with its global↔local ID maps. Same topology + same shard
+// count → same plan, always (the chaos and recovery gates depend on it).
+type Plan struct {
+	Shards    int
+	Regions   int
+	NodeShard []int // global node ID → owning shard
+	LinkShard []int // global link ID → owning shard
+	Subs      []*Sub
+}
+
+// Sub is one shard's view of the topology: a standalone graph over the
+// shard's own nodes plus the border replicas its owned cross-shard links
+// reach, with maps between global and local IDs.
+type Sub struct {
+	Graph *topology.Graph
+	// LocalNode maps global → local node IDs for nodes present in Graph.
+	LocalNode map[topology.NodeID]topology.NodeID
+	// GlobalNode maps local → global node IDs.
+	GlobalNode []topology.NodeID
+	// LocalLink / GlobalLink map link IDs the same way (owned links only).
+	LocalLink  map[topology.LinkID]topology.LinkID
+	GlobalLink []topology.LinkID
+}
+
+// BuildPlan partitions g into shards. shards must be in [1, MaxShards] and
+// not exceed the region count (a region is never split).
+func BuildPlan(g *topology.Graph, shards int) (*Plan, error) {
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d out of range [1, %d]", shards, MaxShards)
+	}
+	region, regions := regionize(g, shards)
+	if shards > regions {
+		return nil, fmt.Errorf("shard: %d shards but only %d regions — a region is never split", shards, regions)
+	}
+
+	p := &Plan{
+		Shards:    shards,
+		Regions:   regions,
+		NodeShard: make([]int, g.NumNodes()),
+		LinkShard: make([]int, g.NumLinks()),
+	}
+	for n, r := range region {
+		// Contiguous grouping: region r lands on shard r*shards/regions.
+		p.NodeShard[n] = r * shards / regions
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		lk := g.Link(topology.LinkID(l))
+		sa, sb := p.NodeShard[lk.A], p.NodeShard[lk.B]
+		if sb < sa {
+			sa = sb
+		}
+		p.LinkShard[l] = sa
+	}
+
+	p.Subs = make([]*Sub, shards)
+	for s := 0; s < shards; s++ {
+		p.Subs[s] = buildSub(g, p, s)
+	}
+	return p, nil
+}
+
+// regionize assigns every node a region. With transit tags, each transit
+// node seeds one region and a multi-source BFS floods the stub domains;
+// without tags, fall back to `shards` contiguous node-ID ranges.
+func regionize(g *topology.Graph, shards int) (region []int, regions int) {
+	n := g.NumNodes()
+	region = make([]int, n)
+	var transit []topology.NodeID
+	for i := 0; i < n; i++ {
+		if g.Tag(topology.NodeID(i)) == "transit" {
+			transit = append(transit, topology.NodeID(i))
+		}
+	}
+	if len(transit) == 0 {
+		for i := 0; i < n; i++ {
+			region[i] = i * shards / n
+		}
+		return region, shards
+	}
+	for i := range region {
+		region[i] = -1
+	}
+	queue := make([]topology.NodeID, 0, n)
+	for r, t := range transit {
+		region[t] = r
+		queue = append(queue, t)
+	}
+	// BFS in deterministic order: the queue is seeded in transit-ID order
+	// and ForEachNeighbor iterates links in insertion order, so equidistant
+	// ties always break the same way.
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.ForEachNeighbor(u, func(v topology.NodeID, _ topology.LinkID) {
+			if region[v] == -1 {
+				region[v] = region[u]
+				queue = append(queue, v)
+			}
+		})
+	}
+	// A disconnected stray (should not happen on generator output) joins
+	// region 0 rather than crashing the plan.
+	for i := range region {
+		if region[i] == -1 {
+			region[i] = 0
+		}
+	}
+	return region, len(transit)
+}
+
+// buildSub assembles shard s's local graph: own nodes plus border
+// replicas, then the owned links — both in global-ID order, so the local
+// numbering is deterministic.
+func buildSub(g *topology.Graph, p *Plan, s int) *Sub {
+	include := make([]bool, g.NumNodes())
+	for n, sh := range p.NodeShard {
+		if sh == s {
+			include[n] = true
+		}
+	}
+	for l, sh := range p.LinkShard {
+		if sh == s {
+			lk := g.Link(topology.LinkID(l))
+			include[lk.A] = true
+			include[lk.B] = true
+		}
+	}
+	sub := &Sub{
+		LocalNode: make(map[topology.NodeID]topology.NodeID),
+		LocalLink: make(map[topology.LinkID]topology.LinkID),
+	}
+	count := 0
+	for n := range include {
+		if include[n] {
+			count++
+		}
+	}
+	sub.Graph = topology.NewGraph(count)
+	for n := 0; n < g.NumNodes(); n++ {
+		if !include[n] {
+			continue
+		}
+		gn := topology.NodeID(n)
+		ln := sub.Graph.AddTaggedNode(g.Pos(gn), g.Tag(gn))
+		sub.LocalNode[gn] = ln
+		sub.GlobalNode = append(sub.GlobalNode, gn)
+	}
+	for l := 0; l < g.NumLinks(); l++ {
+		if p.LinkShard[l] != s {
+			continue
+		}
+		lk := g.Link(topology.LinkID(l))
+		ll, err := sub.Graph.AddLink(sub.LocalNode[lk.A], sub.LocalNode[lk.B])
+		if err != nil {
+			// Both endpoints were just added and the global graph has no
+			// duplicate links, so this cannot happen on a valid graph.
+			panic(fmt.Sprintf("shard: sub graph link %d: %v", l, err))
+		}
+		sub.LocalLink[topology.LinkID(l)] = ll
+		sub.GlobalLink = append(sub.GlobalLink, topology.LinkID(l))
+	}
+	return sub
+}

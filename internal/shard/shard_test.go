@@ -1,0 +1,585 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"drqos/internal/channel"
+	"drqos/internal/journal"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/rng"
+	"drqos/internal/server"
+	"drqos/internal/shard"
+	"drqos/internal/topology"
+)
+
+func tierGraph(t *testing.T, seed uint64) *topology.Graph {
+	t.Helper()
+	g, err := topology.TransitStub(topology.DefaultTransitStub(), rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func waxmanGraph(t *testing.T, nodes int, seed uint64) *topology.Graph {
+	t.Helper()
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: nodes, Alpha: 0.33, Beta: 0.25, EnsureConnected: true,
+	}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func newCoordinator(t *testing.T, g *topology.Graph, opt shard.Options) *shard.Coordinator {
+	t.Helper()
+	if opt.Manager.Capacity == 0 {
+		opt.Manager.Capacity = 10000
+	}
+	c, err := shard.New(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Shutdown(context.Background()) })
+	return c
+}
+
+// crossPair finds two stub nodes owned by different shards: their path
+// crosses at least one stub run per side plus the transit core, so the 2PC
+// always has >= 2 participants.
+func crossPair(g *topology.Graph, p *shard.Plan) (src, dst topology.NodeID) {
+	src, dst = -1, -1
+	for n, s := range p.NodeShard {
+		if g.Tag(topology.NodeID(n)) != "stub" {
+			continue
+		}
+		if src == -1 {
+			src = topology.NodeID(n)
+			continue
+		}
+		if s != p.NodeShard[src] {
+			return src, topology.NodeID(n)
+		}
+	}
+	panic("no cross pair")
+}
+
+// intraPair finds a distinct node pair owned by the same shard.
+func intraPair(p *shard.Plan) (src, dst topology.NodeID) {
+	for n, s := range p.NodeShard {
+		if n != 0 && s == p.NodeShard[0] {
+			return 0, topology.NodeID(n)
+		}
+	}
+	panic("no intra pair")
+}
+
+func fingerprints(t *testing.T, c *shard.Coordinator) []string {
+	t.Helper()
+	out := make([]string, c.NumShards())
+	for i := range out {
+		fp, err := c.Shard(i).StateFingerprint(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = fp
+	}
+	return out
+}
+
+// population is the reservation-visible state of one shard: what a leaked
+// or lingering pinned connection would change. Unlike the full fingerprint
+// it excludes the monotonic request counters, which an aborted prepare
+// legitimately bumps.
+type population struct {
+	Alive       int
+	Unprotected int
+	Hist        []int
+	AvgKbps     float64
+}
+
+func populations(t *testing.T, c *shard.Coordinator) []population {
+	t.Helper()
+	out := make([]population, c.NumShards())
+	for i := range out {
+		st, err := c.Shard(i).Snapshot(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		hist := st.LevelHistogram
+		// Trim trailing zero levels: the histogram slice keeps its high-water
+		// length after connections leave, which is not a population change.
+		for len(hist) > 0 && hist[len(hist)-1] == 0 {
+			hist = hist[:len(hist)-1]
+		}
+		if len(hist) == 0 {
+			hist = nil
+		}
+		out[i] = population{
+			Alive: st.Alive, Unprotected: st.Unprotected,
+			Hist: hist, AvgKbps: st.AvgBandwidthKbps,
+		}
+	}
+	return out
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	g := tierGraph(t, 7)
+	p1, err := shard.BuildPlan(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := shard.BuildPlan(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1.NodeShard, p2.NodeShard) || !reflect.DeepEqual(p1.LinkShard, p2.LinkShard) {
+		t.Fatal("same topology and shard count produced different plans")
+	}
+	if p1.Regions != 4 {
+		t.Fatalf("tier topology with 4 transit nodes split into %d regions, want 4", p1.Regions)
+	}
+
+	// Every node owned by exactly one shard, every link in exactly one sub.
+	ownedNodes, ownedLinks := 0, 0
+	for s := 0; s < 4; s++ {
+		sub := p1.Subs[s]
+		for n, sh := range p1.NodeShard {
+			if sh == s {
+				ownedNodes++
+				if _, ok := sub.LocalNode[topology.NodeID(n)]; !ok {
+					t.Fatalf("shard %d missing its own node %d", s, n)
+				}
+			}
+		}
+		ownedLinks += len(sub.GlobalLink)
+		for gl, ll := range sub.LocalLink {
+			if p1.LinkShard[gl] != s {
+				t.Fatalf("shard %d holds link %d owned by shard %d", s, gl, p1.LinkShard[gl])
+			}
+			lk := sub.Graph.Link(ll)
+			glk := g.Link(gl)
+			if sub.GlobalNode[lk.A] != glk.A || sub.GlobalNode[lk.B] != glk.B {
+				t.Fatalf("shard %d link %d endpoint mapping wrong", s, gl)
+			}
+		}
+	}
+	if ownedNodes != g.NumNodes() {
+		t.Fatalf("shards own %d nodes, graph has %d", ownedNodes, g.NumNodes())
+	}
+	if ownedLinks != g.NumLinks() {
+		t.Fatalf("shard subs hold %d links, graph has %d — capacity must be counted exactly once", ownedLinks, g.NumLinks())
+	}
+
+	// Untagged topologies fall back to contiguous node-ID ranges.
+	w := waxmanGraph(t, 30, 3)
+	pw, err := shard.BuildPlan(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n < len(pw.NodeShard); n++ {
+		if pw.NodeShard[n] < pw.NodeShard[n-1] {
+			t.Fatalf("fallback plan not contiguous at node %d", n)
+		}
+	}
+
+	// Error cases: out-of-range counts and more shards than regions.
+	if _, err := shard.BuildPlan(g, 0); err == nil {
+		t.Fatal("BuildPlan accepted 0 shards")
+	}
+	if _, err := shard.BuildPlan(g, shard.MaxShards+1); err == nil {
+		t.Fatal("BuildPlan accepted > MaxShards")
+	}
+	if _, err := shard.BuildPlan(g, 5); err == nil {
+		t.Fatal("BuildPlan split a region: 5 shards over 4 regions")
+	}
+}
+
+func TestIntraShardEstablish(t *testing.T) {
+	g := tierGraph(t, 7)
+	c := newCoordinator(t, g, shard.Options{Shards: 4})
+	src, dst := intraPair(c.Plan())
+	ctx := context.Background()
+
+	res, err := c.Establish(ctx, src, dst, qos.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cross || res.Shard != c.Plan().NodeShard[src] || res.Report == nil {
+		t.Fatalf("intra-shard establish misrouted: %+v", res)
+	}
+	if res.ID%256 != int64(res.Shard) {
+		t.Fatalf("external ID %d does not encode shard %d", res.ID, res.Shard)
+	}
+	if err := c.Terminate(ctx, res.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Terminate(ctx, res.ID); !errors.Is(err, server.ErrNotFound) {
+		t.Fatalf("double terminate: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestCrossShardEstablishCommit(t *testing.T) {
+	g := tierGraph(t, 7)
+	c := newCoordinator(t, g, shard.Options{Shards: 4})
+	src, dst := crossPair(g, c.Plan())
+	ctx := context.Background()
+
+	before := populations(t, c)
+	res, err := c.Establish(ctx, src, dst, qos.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cross || res.ID%256 != 255 {
+		t.Fatalf("cross establish got %+v", res)
+	}
+	if res.AllocatedKbps != qos.DefaultSpec().Min {
+		t.Fatalf("cross connection allocated %v, want rigid Min %v", res.AllocatedKbps, qos.DefaultSpec().Min)
+	}
+	if _, committed, aborted := c.CrossStats(); committed != 1 || aborted != 0 {
+		t.Fatalf("cross stats committed=%d aborted=%d", committed, aborted)
+	}
+	pinned := 0
+	for i := 0; i < c.NumShards(); i++ {
+		st := c.Shard(i).StatsView()
+		pinned += st.Alive
+	}
+	if pinned == 0 {
+		t.Fatal("commit pinned no local connections")
+	}
+
+	if err := c.Terminate(ctx, res.ID); err != nil {
+		t.Fatal(err)
+	}
+	after := populations(t, c)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("terminate did not release every shard's pinned state")
+	}
+	if err := c.Terminate(ctx, res.ID); !errors.Is(err, server.ErrNotFound) {
+		t.Fatalf("double terminate of cross conn: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestCrossAbortOnPrepareTimeout(t *testing.T) {
+	g := tierGraph(t, 7)
+	c := newCoordinator(t, g, shard.Options{Shards: 4, PrepareTimeout: time.Nanosecond})
+	src, dst := crossPair(g, c.Plan())
+
+	before := fingerprints(t, c)
+	_, err := c.Establish(context.Background(), src, dst, qos.DefaultSpec())
+	if err == nil {
+		t.Fatal("establish succeeded despite unmeetable prepare timeout")
+	}
+	if _, committed, aborted := c.CrossStats(); committed != 0 || aborted != 1 {
+		t.Fatalf("cross stats committed=%d aborted=%d, want 0/1", committed, aborted)
+	}
+	if after := fingerprints(t, c); !reflect.DeepEqual(before, after) {
+		t.Fatal("timed-out prepare leaked pinned state")
+	}
+}
+
+func TestCrossAbortOnDegradedShard(t *testing.T) {
+	g := tierGraph(t, 7)
+	c := newCoordinator(t, g, shard.Options{Shards: 4})
+	src, dst := crossPair(g, c.Plan())
+	ctx := context.Background()
+
+	// Dry run to learn the deterministic participant set, then release it.
+	res, err := c.Establish(ctx, src, dst, qos.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	participants := make([]int, 0, 4)
+	for i := 0; i < c.NumShards(); i++ {
+		if c.Shard(i).StatsView().Alive > 0 {
+			participants = append(participants, i)
+		}
+	}
+	if err := c.Terminate(ctx, res.ID); err != nil {
+		t.Fatal(err)
+	}
+	if len(participants) < 2 {
+		t.Fatalf("cross path touched %d shards, want >= 2", len(participants))
+	}
+
+	// Latch the LAST participant degraded: earlier prepares succeed, its
+	// prepare refuses, the coordinator must abort the earlier ones.
+	victim := participants[len(participants)-1]
+	if err := c.Shard(victim).CorruptForTesting(ctx); err == nil {
+		t.Fatal("CorruptForTesting reported clean state")
+	}
+	if deg, _ := c.Shard(victim).Degraded(); !deg {
+		t.Fatal("victim shard not degraded")
+	}
+
+	before := populations(t, c)
+	if _, err := c.Establish(ctx, src, dst, qos.DefaultSpec()); !errors.Is(err, server.ErrDegraded) {
+		t.Fatalf("establish through degraded shard: got %v, want ErrDegraded", err)
+	}
+	if after := populations(t, c); !reflect.DeepEqual(before, after) {
+		t.Fatal("aborted 2PC leaked pinned state on surviving shards")
+	}
+	if _, _, aborted := c.CrossStats(); aborted != 1 {
+		t.Fatalf("aborted=%d, want 1", aborted)
+	}
+}
+
+// TestCrashBetweenPrepareAndCommit kills the first participant right after
+// its prepare is durable, shuts the whole deployment down (no commit was
+// journaled anywhere), and restarts it: boot reconciliation must abort the
+// in-flight transaction, leaving every shard bit-identical to its
+// acknowledged pre-transaction state.
+func TestCrashBetweenPrepareAndCommit(t *testing.T) {
+	g := tierGraph(t, 7)
+	dir := t.TempDir()
+	jopt := journal.Options{FsyncEvery: -1}
+	var victim int
+	opt := shard.Options{
+		Shards: 4, Dir: dir, Journal: jopt,
+		Manager: manager.Config{Capacity: 10000},
+	}
+	c, err := shard.New(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Acknowledged pre-transaction load: a few intra-shard connections.
+	src, dst := intraPair(c.Plan())
+	if _, err := c.Establish(ctx, src, dst, qos.DefaultSpec()); err != nil {
+		t.Fatal(err)
+	}
+	cs, cd := crossPair(g, c.Plan())
+	res, err := c.Establish(ctx, cs, cd, qos.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	committedCross := res.ID
+	beforePop := populations(t, c)
+
+	// Kill the first participant inside the 2PC, after its prepare landed.
+	killed := false
+	c2 := c // closure target; the hook fires on the same coordinator
+	opt.TestHookAfterPrepare = func(s int, txn uint64) error {
+		if killed {
+			return nil
+		}
+		killed = true
+		victim = s
+		if err := c2.Shard(s).Shutdown(context.Background()); err != nil {
+			t.Errorf("victim shutdown: %v", err)
+		}
+		return fmt.Errorf("chaos: shard %d killed mid-2PC", s)
+	}
+	// Options are copied at New; reach the hook through the test seam.
+	c.SetTestHookAfterPrepare(opt.TestHookAfterPrepare)
+
+	if _, err := c.Establish(ctx, cs, cd, qos.DefaultSpec()); err == nil {
+		t.Fatal("doomed cross establish succeeded")
+	}
+	if !killed {
+		t.Fatal("test hook never fired")
+	}
+
+	// Survivors must carry no trace of the doomed transaction. Capture
+	// their live fingerprints — the replay ≡ live baseline for the restart.
+	liveFPs := make([]string, c.NumShards())
+	for i := 0; i < c.NumShards(); i++ {
+		if i == victim {
+			continue
+		}
+		fp, err := c.Shard(i).StateFingerprint(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveFPs[i] = fp
+		st, err := c.Shard(i).Snapshot(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Alive != beforePop[i].Alive {
+			t.Fatalf("surviving shard %d holds %d connections after aborted 2PC, want %d",
+				i, st.Alive, beforePop[i].Alive)
+		}
+	}
+
+	// Full crash: down everything, restart on the same directories.
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	opt.TestHookAfterPrepare = nil
+	c, err = shard.New(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivors replay bit-identically to their live state; the victim's
+	// orphaned prepare is reconciled away, so every shard's reservation
+	// population matches the acknowledged prefix.
+	afterFPs := fingerprints(t, c)
+	for i := 0; i < c.NumShards(); i++ {
+		if i != victim && afterFPs[i] != liveFPs[i] {
+			t.Fatalf("surviving shard %d replayed to a different state than it served live", i)
+		}
+	}
+	if afterPop := populations(t, c); !reflect.DeepEqual(beforePop, afterPop) {
+		t.Fatalf("replayed populations diverged from acknowledged prefix:\n before %+v\n after  %+v", beforePop, afterPop)
+	}
+
+	// A second restart is a fixed point: reconciliation already resolved
+	// everything, so replay is deterministic down to the last bit.
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c, err = shard.New(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown(ctx)
+	if again := fingerprints(t, c); !reflect.DeepEqual(afterFPs, again) {
+		t.Fatalf("second restart changed state:\n first  %v\n second %v", afterFPs, again)
+	}
+	// The committed cross connection survived the crash and terminates.
+	if err := c.Terminate(ctx, committedCross); err != nil {
+		t.Fatalf("committed cross connection lost in crash: %v", err)
+	}
+	// And the plane still admits new work, intra and cross.
+	if _, err := c.Establish(ctx, cs, cd, qos.DefaultSpec()); err != nil {
+		t.Fatalf("post-recovery cross establish: %v", err)
+	}
+}
+
+// TestSingleShardBitIdentical drives the same operation sequence through a
+// 1-shard coordinator and a standalone server and requires bit-identical
+// journals and state fingerprints: -shards 1 IS the old plane.
+func TestSingleShardBitIdentical(t *testing.T) {
+	g := tierGraph(t, 7)
+	jopt := journal.Options{FsyncEvery: -1}
+	mcfg := manager.Config{Capacity: 10000}
+
+	cdir := t.TempDir()
+	c := newCoordinator(t, g, shard.Options{Shards: 1, Dir: cdir, Journal: jopt, Manager: mcfg})
+
+	sdir := t.TempDir()
+	jnl, _, err := journal.Open(sdir, jopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl.Close()
+	s, err := server.New(g, mcfg, server.Options{Journal: jnl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	ctx := context.Background()
+	r := rng.New(42)
+	var ids []int64
+	for i := 0; i < 40; i++ {
+		src := topology.NodeID(r.Intn(g.NumNodes()))
+		dst := topology.NodeID(r.Intn(g.NumNodes()))
+		if src == dst {
+			continue
+		}
+		cres, cerr := c.Establish(ctx, src, dst, qos.DefaultSpec())
+		srep, serr := s.Establish(ctx, src, dst, qos.DefaultSpec())
+		if (cerr == nil) != (serr == nil) {
+			t.Fatalf("establish %d→%d: coordinator err %v, server err %v", src, dst, cerr, serr)
+		}
+		if cerr == nil {
+			// With one shard the external ID is localID*256+0.
+			if cres.ID != int64(srep.Conn.ID)*256 {
+				t.Fatalf("ID drift: coordinator %d, server conn %d", cres.ID, srep.Conn.ID)
+			}
+			ids = append(ids, cres.ID)
+		}
+	}
+	if len(ids) < 5 {
+		t.Fatalf("only %d establishes landed", len(ids))
+	}
+	// Terminate before the fault injection: link 0's failure may legally
+	// drop the connection, and a dropped ID answers ErrNotFound.
+	if err := c.Terminate(ctx, ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Terminate(ctx, channel.ConnID(ids[0]/256)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FailLink(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.FailLink(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RepairLink(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RepairLink(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	cfp, err := c.Shard(0).StateFingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfp, err := s.StateFingerprint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfp != sfp {
+		t.Fatalf("state fingerprints diverged:\n shard      %s\n standalone %s", cfp, sfp)
+	}
+
+	// Journal bytes must match record-for-record.
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := jnl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	compareDirs(t, filepath.Join(cdir, "shard-000"), sdir)
+}
+
+func compareDirs(t *testing.T, a, b string) {
+	t.Helper()
+	ae, err := os.ReadDir(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := os.ReadDir(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ae) != len(be) {
+		t.Fatalf("journal dirs differ: %d vs %d files", len(ae), len(be))
+	}
+	for i := range ae {
+		if ae[i].Name() != be[i].Name() {
+			t.Fatalf("journal file name drift: %s vs %s", ae[i].Name(), be[i].Name())
+		}
+		ab, err := os.ReadFile(filepath.Join(a, ae[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := os.ReadFile(filepath.Join(b, be[i].Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ab, bb) {
+			t.Fatalf("journal file %s not bit-identical (%d vs %d bytes)", ae[i].Name(), len(ab), len(bb))
+		}
+	}
+}

@@ -140,6 +140,48 @@ if [[ $probe -eq 1 ]]; then
     kill -TERM "$srv_pid" 2>/dev/null || true
     wait "$srv_pid" 2>/dev/null || true
     srv_pid=""
+
+    # Shard scaling probe: the same intra-heavy closed-loop workload against
+    # the classic single-plane daemon and a 4-shard deployment of the same
+    # tier topology, recorded as BenchmarkDrloadShard1 / BenchmarkDrloadShard4.
+    # -exec-delay models per-command admission work so the serialized actor
+    # loop — the thing sharding parallelizes — is the bottleneck, not HTTP.
+    echo "== shard scaling probe (-shards 1 vs -shards 4, intra-heavy workload)"
+    shard_requests=4000
+    if [[ $quick -eq 1 ]]; then
+        shard_requests=1200
+    fi
+    shard_rps() {
+        local nshards=$1 port=$2 name=$3
+        "$tmp/drserverd" -addr "127.0.0.1:$port" -kind tier -seed 7 \
+            -shards "$nshards" -exec-delay 1ms \
+            >"$tmp/shard$nshards.log" 2>&1 &
+        srv_pid=$!
+        for _ in $(seq 1 100); do
+            curl -fsS "http://127.0.0.1:$port/readyz" >/dev/null 2>&1 && break
+            sleep 0.1
+        done
+        curl -fsS "http://127.0.0.1:$port/readyz" >/dev/null 2>&1 || {
+            echo "bench.sh: drserverd -shards $nshards did not come up; log:" >&2
+            cat "$tmp/shard$nshards.log" >&2
+            exit 1
+        }
+        # -cross-frac 0.02 keeps the 4-shard run intra-heavy (the 1-shard
+        # daemon has no /v1/shards, so drload falls back to uniform pairs).
+        "$tmp/drload" -addr "http://127.0.0.1:$port" -workers 8 \
+            -requests "$shard_requests" -seed 9 -cross-frac 0.02 \
+            -bench-json "$probe_out" -bench-name "$name" \
+            >"$tmp/load-shard$nshards.log" 2>&1
+        kill -TERM "$srv_pid" 2>/dev/null || true
+        wait "$srv_pid" 2>/dev/null || true
+        srv_pid=""
+        grep -oE '[0-9]+ req/s' "$tmp/load-shard$nshards.log" | head -1 | cut -d' ' -f1
+    }
+    rps1=$(shard_rps 1 18098 BenchmarkDrloadShard1)
+    rps4=$(shard_rps 4 18099 BenchmarkDrloadShard4)
+    awk -v a="$rps1" -v b="$rps4" \
+        'BEGIN { printf "shard scaling: 1 shard %d req/s, 4 shards %d req/s (%.2fx)\n", a, b, b/a }'
+
     if [[ $quick -eq 1 ]]; then
         echo "quick probe record:"
         cat "$probe_out"

@@ -23,6 +23,13 @@
 #                                land within 10% of the measured mean
 #                                bandwidth, and /v1/forecast + what-if must
 #                                answer throughout
+#   scripts/check.sh --shard     build + panic gate + sharded-plane tests
+#                                under -race and mid-2PC kill episodes, then
+#                                a live drserverd -shards 4 driven with
+#                                cross-shard traffic, kill -9'd and
+#                                restarted: the replayed per-shard state
+#                                must match the pre-kill metrics exactly and
+#                                the plane must admit again (intra + cross)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -275,6 +282,99 @@ if [ "${1:-}" = "--forecast" ]; then
     kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
     SRV_PID=""
     echo "== OK (forecast)"
+    exit 0
+fi
+
+if [ "${1:-}" = "--shard" ]; then
+    # In-process first: the partition/2PC/recovery unit tests and the
+    # seeded mid-2PC shard-kill episodes, all race-enabled.
+    echo "== shard unit tests under -race"
+    go test -race -count 1 ./internal/shard/
+    go test -race -count 1 -run 'TestShardCrash' ./internal/chaos/
+    echo "== chaos: 3 sharded mid-2PC kill episodes"
+    go run ./cmd/chaos -shard -episodes 3 -q
+
+    # End-to-end: a real drserverd -shards 4, cross-shard load, kill -9,
+    # restart from the same per-shard journals.
+    TMP="$(mktemp -d)"
+    SRV_PID=""
+    cleanup() {
+        [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+        rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    ADDR=127.0.0.1:18083
+    echo "== building drserverd + drload"
+    go build -o "$TMP/drserverd" ./cmd/drserverd
+    go build -o "$TMP/drload" ./cmd/drload
+
+    start_server() {
+        "$TMP/drserverd" -addr "$ADDR" -kind tier -seed 7 -shards 4 \
+            -data-dir "$TMP/data" -fsync -1 -snapshot-every 50 \
+            >>"$TMP/server.log" 2>&1 &
+        SRV_PID=$!
+        i=0
+        while ! curl -fsS "http://$ADDR/readyz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            if [ "$i" -ge 100 ]; then
+                echo "FAIL: sharded drserverd did not come up; log:" >&2
+                cat "$TMP/server.log" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+    }
+
+    # The deterministic slice of the sharded /metrics: aggregate and
+    # per-shard populations, admission counters, the cross-connection
+    # index. (The cross attempt/commit/abort counters are process-local
+    # telemetry, not journaled state, so they are excluded.)
+    state_metrics() {
+        curl -fsS "http://$ADDR/metrics" | grep -E \
+            '^drqos_(connections_alive|connections_level|connections_unprotected|establish_requests_total|establish_rejects_total|links_failed|shard_connections_alive|cross_connections_active)'
+    }
+
+    echo "== shard smoke 1: cross-shard load against 4 shards"
+    start_server
+    if ! curl -fsS "http://$ADDR/v1/shards" | grep -q '"shards": *4'; then
+        echo "FAIL: GET /v1/shards does not report 4 shards" >&2
+        curl -fsS "http://$ADDR/v1/shards" >&2 || true
+        exit 1
+    fi
+    "$TMP/drload" -addr "http://$ADDR" -workers 4 -requests 600 -seed 11 \
+        -terminate-frac 0.1 -cross-frac 0.3 >"$TMP/load1.log" 2>&1
+    if ! curl -fsS "http://$ADDR/metrics" | grep -Eq '^drqos_cross_commit_total [1-9]'; then
+        echo "FAIL: the cross-shard load committed no two-phase establishes" >&2
+        curl -fsS "http://$ADDR/metrics" | grep '^drqos_cross' >&2 || true
+        exit 1
+    fi
+    state_metrics >"$TMP/pre.metrics"
+    if ! grep -Eq '^drqos_cross_connections_active [1-9]' "$TMP/pre.metrics"; then
+        echo "FAIL: no cross-shard connections alive before the kill" >&2
+        cat "$TMP/pre.metrics" >&2
+        exit 1
+    fi
+
+    echo "== shard smoke 2: kill -9, restart, exact per-shard state match"
+    kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+    start_server
+    state_metrics >"$TMP/post.metrics"
+    if ! diff -u "$TMP/pre.metrics" "$TMP/post.metrics"; then
+        echo "FAIL: sharded state after kill -9 + restart differs from the journaled state" >&2
+        exit 1
+    fi
+    if ! curl -fsS "http://$ADDR/v1/invariants" | grep -q '"ok": *true'; then
+        echo "FAIL: invariants dirty after sharded crash recovery" >&2
+        curl -fsS "http://$ADDR/v1/invariants" >&2 || true
+        exit 1
+    fi
+
+    echo "== shard smoke 3: recovered plane still admits intra + cross"
+    "$TMP/drload" -addr "http://$ADDR" -workers 4 -requests 300 -seed 13 \
+        -terminate-frac 0.1 -cross-frac 0.5 >"$TMP/load2.log" 2>&1
+    kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
+    SRV_PID=""
+    echo "== OK (shard)"
     exit 0
 fi
 
