@@ -1,4 +1,4 @@
-.PHONY: check build test race bench bench-json bench-smoke loadtest overload-smoke forecast-smoke shard-smoke
+.PHONY: check build test race bench bench-json bench-smoke loadtest overload-smoke forecast-smoke shard-smoke failover-smoke
 
 # Full tier-1 verification: build + vet + race-enabled tests.
 check:
@@ -42,6 +42,12 @@ forecast-smoke:
 # episodes, then a live drserverd -shards 4 kill -9 recovery smoke.
 shard-smoke:
 	./scripts/check.sh --shard
+
+# Primary/backup replication: replica tests under -race, seeded
+# primary-kill episodes, then a live two-node pair with a kill -9
+# mid-burst, sub-second promotion and a fenced bit-identical rejoin.
+failover-smoke:
+	./scripts/check.sh --failover
 
 # End-to-end load test: drserverd + drload (10k requests, 8 workers).
 loadtest:

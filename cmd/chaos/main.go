@@ -41,6 +41,7 @@ func main() {
 		workers  = flag.Int("workers", 8, "concurrent clients (with -server)")
 		ops      = flag.Int("ops", 100, "operations per client (with -server)")
 		crash    = flag.Bool("crash", false, "run crash-restart durability episodes instead")
+		failover = flag.Bool("failover", false, "run primary-kill failover episodes instead: a two-node replicated pair takes a mutation burst, the primary dies mid-burst, and the standby must promote sub-second with a bit-identical acked prefix, zero acked establishes lost, and a fenced rejoin")
 		shardEp  = flag.Bool("shard", false, "run sharded mid-2PC kill episodes instead: one region shard dies between prepare and commit, survivors must abort cleanly and a full restart must replay every shard to the acknowledged prefix")
 		overload = flag.Bool("overload", false, "run overload-control episodes instead (deadline shedding, priority lanes, latch/recovery)")
 		quiet    = flag.Bool("q", false, "only report failures")
@@ -57,6 +58,13 @@ func main() {
 		}
 		if *crash {
 			if err := crashEpisode(i, *seed+uint64(i), *events, *nodes, *quiet); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if *failover {
+			if err := failoverEpisode(i, *seed+uint64(i), *nodes, *quiet); err != nil {
 				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 				os.Exit(1)
 			}
@@ -155,6 +163,28 @@ func crashEpisode(i int, seed uint64, events, nodes int, quiet bool) error {
 	if !quiet {
 		fmt.Printf("crash episode %d ok (seed %d, crash_after=%d, journaled=%d, snapshot_seq=%d, torn=%dB, group_commit=%v, unacked_lost=%d, fp=%.12s)\n",
 			i, seed, cfg.CrashAfter, res.Journaled, res.SnapshotSeq, res.TornBytes, cfg.GroupCommit, res.UnackedLost, res.Fingerprint)
+	}
+	return nil
+}
+
+// failoverEpisode runs one primary-kill replication episode in a throwaway
+// data dir, varying the kill point with the episode index.
+func failoverEpisode(i int, seed uint64, nodes int, quiet bool) error {
+	dir, err := os.MkdirTemp("", "drqos-failover-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	res, err := chaos.RunFailover(chaos.FailoverConfig{
+		Seed: seed, Nodes: nodes, Dir: dir,
+		KillAfter: 10 + (i*13)%40,
+	})
+	if err != nil {
+		return fmt.Errorf("failover episode %d (seed %d): %w", i, seed, err)
+	}
+	if !quiet {
+		fmt.Printf("failover episode %d ok (seed %d): acked=%d prefix=%d promotion=%s term=%d diverged_rejoin=%v fp=%.12s\n",
+			i, seed, res.AckedPreKill, res.ReplicatedPrefix, res.PromotionLatency, res.NewTerm, res.RejoinDiverged, res.Fingerprint)
 	}
 	return nil
 }

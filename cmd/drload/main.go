@@ -32,6 +32,7 @@ import (
 	"math"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,6 +60,7 @@ type counters struct {
 	retries     atomic.Int64 // re-issued after a transport error, 503 or 429
 	hints       atomic.Int64 // retries that honored a server Retry-After hint
 	giveups     atomic.Int64 // retry budget exhausted
+	failovers   atomic.Int64 // requests that succeeded after ≥1 transport-error retry
 	errors      atomic.Int64
 }
 
@@ -75,7 +77,7 @@ func (l *latencies) observe(seconds float64) {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", "http://127.0.0.1:8080", "drserverd base URL")
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "drserverd base URL, or a comma-separated list of replica endpoints; on a transport failure a worker rotates to the next endpoint (requests that then succeed count as failovers_survived)")
 		workers   = flag.Int("workers", 8, "concurrent closed-loop workers")
 		requests  = flag.Int64("requests", 10000, "total HTTP requests to issue")
 		seed      = flag.Uint64("seed", 1, "workload seed")
@@ -93,13 +95,34 @@ func run() error {
 	if *workers <= 0 || *requests <= 0 {
 		return fmt.Errorf("workers (%d) and requests (%d) must be positive", *workers, *requests)
 	}
-
+	var endpoints []string
+	for _, e := range strings.Split(*addr, ",") {
+		if e = strings.TrimSuffix(strings.TrimSpace(e), "/"); e != "" {
+			endpoints = append(endpoints, e)
+		}
+	}
+	if len(endpoints) == 0 {
+		return fmt.Errorf("-addr %q holds no endpoint", *addr)
+	}
 	client := &http.Client{
 		Timeout: *timeout,
 		Transport: &http.Transport{
 			MaxIdleConns:        *workers * 2,
 			MaxIdleConnsPerHost: *workers * 2,
 		},
+	}
+
+	// Probes and reports target the first live endpoint — the list may
+	// deliberately lead with a dead primary in a failover drill. A follower
+	// there redirects mutations to the primary (doJSON bodies are
+	// replayable, so the default client follows the 307), and reads are
+	// served anywhere.
+	*addr = endpoints[0]
+	for _, e := range endpoints {
+		if _, _, _, err := doJSON(client, "GET", e+"/healthz", nil, nil); err == nil {
+			*addr = e
+			break
+		}
 	}
 
 	// Discover the topology once so workers can draw endpoints and links.
@@ -149,7 +172,7 @@ func run() error {
 		go func(w int) {
 			defer wg.Done()
 			wk := &worker{
-				client: client, addr: *addr,
+				client: client, endpoints: endpoints,
 				src: rng.New(*seed + uint64(w)*0x9e3779b97f4a7c15),
 				// Jitter draws come from a separate stream so retries do
 				// not perturb the deterministic operation mix.
@@ -188,8 +211,8 @@ func run() error {
 	fmt.Printf("outcomes: established=%d rejected=%d terminated=%d gone=%d failed=%d repaired=%d conflicts=%d errors=%d\n",
 		cnt.established.Load(), cnt.rejected.Load(), cnt.terminated.Load(), cnt.gone.Load(),
 		cnt.failed.Load(), cnt.repaired.Load(), cnt.conflicts.Load(), cnt.errors.Load())
-	fmt.Printf("resilience: retries=%d honored_hints=%d giveups=%d\n",
-		cnt.retries.Load(), cnt.hints.Load(), cnt.giveups.Load())
+	fmt.Printf("resilience: retries=%d honored_hints=%d giveups=%d failovers_survived=%d\n",
+		cnt.retries.Load(), cnt.hints.Load(), cnt.giveups.Load(), cnt.failovers.Load())
 	d := lat.d
 	// An empty digest reports NaN quantiles; render "n/a" instead of a
 	// bogus 0.00ms (Mean/Max return 0 when empty, equally misleading).
@@ -212,7 +235,16 @@ func run() error {
 		fmt.Printf("first errors: %s\n", m)
 	}
 
-	if err := fetchStats(client, *addr, sv, &st); err != nil {
+	// After a failover drill the first endpoint may be dead; report from
+	// the first one that still answers.
+	reportAddr := *addr
+	for _, e := range endpoints {
+		if _, _, _, err := doJSON(client, "GET", e+"/healthz", nil, nil); err == nil {
+			reportAddr = e
+			break
+		}
+	}
+	if err := fetchStats(client, reportAddr, sv, &st); err != nil {
 		return fmt.Errorf("final stats: %w", err)
 	}
 	fmt.Printf("server: alive=%d unprotected=%d avg_bw=%.1fKbps reject_rate=%.3f failed_links=%v\n",
@@ -229,7 +261,7 @@ func run() error {
 		OK    bool   `json:"ok"`
 		Error string `json:"error"`
 	}
-	if _, _, _, err := doJSON(client, "GET", *addr+"/v1/invariants", nil, &inv); err != nil {
+	if _, _, _, err := doJSON(client, "GET", reportAddr+"/v1/invariants", nil, &inv); err != nil {
 		return fmt.Errorf("invariant check: %w", err)
 	}
 	if !inv.OK {
@@ -246,8 +278,12 @@ func run() error {
 // and at most one injected link fault at a time (so faults always pair with
 // repairs and never leave the topology degraded at exit).
 type worker struct {
-	client              *http.Client
-	addr                string
+	client *http.Client
+	// endpoints is the replica set; epi points at the one currently in
+	// use, rotated on transport failures so a dead primary's workers find
+	// the promoted standby.
+	endpoints           []string
+	epi                 int
 	src, jit            *rng.Source
 	nodes, links        int
 	termFrac            float64
@@ -284,7 +320,7 @@ func (w *worker) establish() error {
 		Utility: 1,
 	}
 	var resp server.EstablishResponse
-	code, err := w.timed("POST", w.addr+"/v1/connections", req, &resp)
+	code, err := w.timed("POST", "/v1/connections", req, &resp)
 	switch {
 	case err != nil:
 		return err
@@ -305,7 +341,7 @@ func (w *worker) terminate() error {
 	id := w.owned[i]
 	w.owned[i] = w.owned[len(w.owned)-1]
 	w.owned = w.owned[:len(w.owned)-1]
-	code, err := w.timed("DELETE", fmt.Sprintf("%s/v1/connections/%d", w.addr, id), nil, nil)
+	code, err := w.timed("DELETE", fmt.Sprintf("/v1/connections/%d", id), nil, nil)
 	switch {
 	case err != nil:
 		return err
@@ -323,7 +359,7 @@ func (w *worker) terminate() error {
 func (w *worker) fault() error {
 	if w.failedLink >= 0 {
 		link := w.failedLink
-		code, err := w.timed("POST", w.addr+"/v1/faults/link",
+		code, err := w.timed("POST", "/v1/faults/link",
 			server.FaultRequest{Link: link, Action: "repair"}, nil)
 		switch {
 		case err != nil:
@@ -341,7 +377,7 @@ func (w *worker) fault() error {
 		}
 	}
 	link := w.src.Intn(w.links)
-	code, err := w.timed("POST", w.addr+"/v1/faults/link", server.FaultRequest{Link: link}, nil)
+	code, err := w.timed("POST", "/v1/faults/link", server.FaultRequest{Link: link}, nil)
 	switch {
 	case err != nil:
 		return err
@@ -358,19 +394,27 @@ func (w *worker) fault() error {
 }
 
 // timed issues one request, recording each attempt's latency. Transport
-// errors, 503s (degraded or overloaded server) and 429s (rate limit) are
-// retried with capped exponential backoff and full jitter; once the budget
-// is spent the request is counted as a give-up and surfaces as an error.
+// errors (including the connection-refused/reset burst of a primary dying
+// mid-failover), 503s (degraded or overloaded server) and 429s (rate
+// limit) are retried with capped exponential backoff and full jitter; once
+// the budget is spent the request is counted as a give-up and surfaces as
+// an error. A transport failure also rotates the worker to the next
+// configured endpoint, so a killed primary's workers land on the promoted
+// standby; a request that then succeeds counts as a survived failover.
 // When the refusal carries a Retry-After hint, the worker sleeps for the
 // hinted time instead of its own backoff guess — the server knows how long
 // its own recovery takes.
-func (w *worker) timed(method, url string, body, out any) (int, error) {
+func (w *worker) timed(method, path string, body, out any) (int, error) {
 	backoff := w.retryBase
+	transportRetried := false
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
-		code, retryAfter, hinted, err := doJSON(w.client, method, url, body, out)
+		code, retryAfter, hinted, err := doJSON(w.client, method, w.endpoints[w.epi]+path, body, out)
 		w.lat.observe(time.Since(t0).Seconds())
 		if err == nil && code != http.StatusServiceUnavailable && code != http.StatusTooManyRequests {
+			if transportRetried {
+				w.cnt.failovers.Add(1)
+			}
 			return code, nil
 		}
 		if attempt >= w.retries {
@@ -381,6 +425,12 @@ func (w *worker) timed(method, url string, body, out any) (int, error) {
 			return code, fmt.Errorf("giving up after %d attempts: status %d", attempt+1, code)
 		}
 		w.cnt.retries.Add(1)
+		if err != nil {
+			transportRetried = true
+			if len(w.endpoints) > 1 {
+				w.epi = (w.epi + 1) % len(w.endpoints)
+			}
+		}
 		if hinted {
 			// Honor the server's hint, with a little jitter on top so
 			// hinted workers don't all come back in the same instant.

@@ -58,6 +58,7 @@ import (
 	"drqos/internal/manager"
 	"drqos/internal/overload"
 	"drqos/internal/qos"
+	"drqos/internal/replica"
 	"drqos/internal/server"
 	"drqos/internal/shard"
 	"drqos/internal/topology"
@@ -134,6 +135,11 @@ func run() error {
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown budget")
 		shards   = flag.Int("shards", 1, "region shards; >1 partitions the topology into per-region manager+journal shards with two-phase cross-shard establishes (1 = the classic single-plane daemon)")
 
+		// Replication / high availability.
+		replicaOf  = flag.String("replica-of", "", "boot as a warm standby of this primary base URL (e.g. http://10.0.0.1:8080), continuously replaying its journal stream; requires -data-dir")
+		advertise  = flag.String("advertise", "", "this node's externally reachable base URL, used by a follower to redirect mutations (defaults to the -replica-of protocol idiom; informational for a primary)")
+		failoverTO = flag.Duration("failover-timeout", 750*time.Millisecond, "a standby promotes itself after this long without a successful fetch from the primary (0 = manual promotion via POST /v1/admin/promote only)")
+
 		// Durability.
 		dataDir   = flag.String("data-dir", "", "journal directory; empty runs in-memory (no durability)")
 		fsync     = flag.Int("fsync", 1, "fsync the journal every N events (1 = every event, durable against power loss; negative = let the OS flush)")
@@ -176,6 +182,12 @@ func run() error {
 	pol, err := qos.PolicyByName(*policy)
 	if err != nil {
 		return err
+	}
+	if *replicaOf != "" && *dataDir == "" {
+		return errors.New("-replica-of needs -data-dir: a standby replays the primary's journal into its own")
+	}
+	if *replicaOf != "" && *shards > 1 {
+		return errors.New("-replica-of is incompatible with -shards > 1 (replication is per-plane)")
 	}
 	k := core.TopologyWaxman
 	if *kind == "tier" {
@@ -234,6 +246,7 @@ func run() error {
 
 	var jnl *journal.Journal
 	var mgr *manager.Manager
+	var rec *journal.Recovered
 	if *dataDir != "" {
 		if err := checkMeta(*dataDir, dataMeta{
 			Kind: *kind, Nodes: *nodes, Seed: *seed, CapacityKbps: *capacity,
@@ -248,7 +261,6 @@ func run() error {
 			// nothing to batch.
 			log.Printf("journal: -group-commit-max-wait ignored with -fsync %d (group commit requires -fsync 1)", *fsync)
 		}
-		var rec *journal.Recovered
 		jnl, rec, err = journal.Open(*dataDir, journal.Options{
 			FsyncEvery:         *fsync,
 			GroupCommit:        groupCommit,
@@ -298,7 +310,11 @@ func run() error {
 			*forecastInterval, statesLabel(*forecastStates), *forecastPredictive)
 	}
 
-	srv, err := server.NewFromManager(sys.Graph(), mgr, server.Options{
+	// Replication node: built after the server (it wraps it), but the
+	// server's semi-sync and stats hooks close over the variable — they
+	// only fire once requests flow, well after the node exists.
+	var node *replica.Node
+	srvOpts := server.Options{
 		QueueDepth:    *queue,
 		Journal:       jnl,
 		SnapshotEvery: *snapEvery,
@@ -329,7 +345,24 @@ func run() error {
 				log.Printf("overload cleared: queue delay back under %s, admitting establishes again", *overloadTarget)
 			}
 		},
-	})
+	}
+	if jnl != nil {
+		srvOpts.Follower = *replicaOf != ""
+		srvOpts.Term = rec.Term
+		srvOpts.WaitReplicated = func(ctx context.Context, seq uint64) error {
+			if node == nil {
+				return nil
+			}
+			return node.WaitReplicated(ctx, seq)
+		}
+		srvOpts.ReplicaStats = func() *server.ReplicaStats {
+			if node == nil {
+				return nil
+			}
+			return node.StatsBlock()
+		}
+	}
+	srv, err := server.NewFromManager(sys.Graph(), mgr, srvOpts)
 	if err != nil {
 		return err
 	}
@@ -344,9 +377,31 @@ func run() error {
 		log.Printf("pprof: serving /debug/pprof/")
 	}
 
+	handler := server.NewHandler(srv, handlerOpts...)
+	if jnl != nil {
+		// Every journaled daemon ships its journal: the replication
+		// endpoints are mounted whether or not a standby exists yet, so one
+		// can join without a primary restart.
+		node = replica.NewNode(srv, jnl, replica.Config{
+			Self:            *advertise,
+			PrimaryURL:      *replicaOf,
+			FailoverTimeout: *failoverTO,
+			Logf:            log.Printf,
+		})
+		handler = node.FrontHandler(handler)
+		if *replicaOf != "" {
+			log.Printf("replica: following %s (failover after %s without a primary, 0 = manual)", *replicaOf, *failoverTO)
+			go func() {
+				if err := node.Run(context.Background()); err != nil {
+					log.Printf("replica: follower loop exited: %v", err)
+				}
+			}()
+		}
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.NewHandler(srv, handlerOpts...),
+		Handler:           handler,
 		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: *readHdrTO,
 		IdleTimeout:       *idleTimeout,
@@ -371,6 +426,9 @@ func run() error {
 	}
 	log.Printf("shutting down (budget %s)", *drain)
 
+	if node != nil {
+		node.Stop() // halt the follower loop before the drain
+	}
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {

@@ -1,0 +1,450 @@
+// Failover chaos: the replication analogue of the crash-restart episodes
+// in crash.go. An episode boots a two-node primary/standby cluster fully
+// in-process (real journals on disk, real HTTP between the nodes), streams
+// a mutation burst through the primary with semi-synchronous replication
+// gating the acknowledgments, kills the primary mid-burst (listener torn
+// down, journal abandoned without Close — a kill -9), and asserts:
+//
+//   - the standby promotes itself within the sub-second failover budget;
+//   - the promoted state is bit-identical to a reference rebuilt by
+//     replaying the dead primary's surviving journal up to the standby's
+//     replicated prefix (same fingerprint — journal streaming is replay);
+//   - no acknowledged establish is lost: every connection acked before the
+//     kill and never terminated is alive on the new primary;
+//   - the new primary serves mutations under its bumped, journaled term;
+//   - the rejoining ex-primary comes back as a follower, refuses to
+//     originate mutations, re-syncs (bootstrapping away its divergent
+//     unreplicated suffix when it has one), and converges on the new
+//     primary's fingerprint.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"drqos/internal/journal"
+	"drqos/internal/manager"
+	"drqos/internal/qos"
+	"drqos/internal/replica"
+	"drqos/internal/rng"
+	"drqos/internal/server"
+	"drqos/internal/topology"
+)
+
+// FailoverConfig seeds one primary-kill failover episode.
+type FailoverConfig struct {
+	Seed     uint64
+	Nodes    int    // Waxman topology size (default 24)
+	TopoSeed uint64 // default: derived from Seed
+	Manager  manager.Config
+	Spec     qos.ElasticSpec
+
+	// Dir is the episode's data root (required; journals live in
+	// Dir/primary and Dir/standby).
+	Dir string
+	// Burst is the number of mutation attempts before and after the kill
+	// (default 120; the kill lands halfway).
+	Burst int
+	// KillAfter is how many acknowledged establishes precede the kill
+	// (default Burst/4).
+	KillAfter int
+	// FailoverTimeout is the standby's detection window (default 300ms,
+	// well inside the 1s promotion budget).
+	FailoverTimeout time.Duration
+	// PromotionBudget bounds kill→promoted (default 1s).
+	PromotionBudget time.Duration
+}
+
+func (c FailoverConfig) withDefaults() FailoverConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 24
+	}
+	if c.TopoSeed == 0 {
+		c.TopoSeed = c.Seed + 0x9e3779b97f4a7c15
+	}
+	if c.Manager.Capacity <= 0 {
+		c.Manager.Capacity = 10_000
+	}
+	if c.Spec == (qos.ElasticSpec{}) {
+		c.Spec = qos.DefaultSpec()
+	}
+	if c.Burst <= 0 {
+		c.Burst = 120
+	}
+	if c.KillAfter <= 0 || c.KillAfter >= c.Burst {
+		c.KillAfter = c.Burst / 4
+	}
+	if c.FailoverTimeout <= 0 {
+		c.FailoverTimeout = 300 * time.Millisecond
+	}
+	if c.PromotionBudget <= 0 {
+		c.PromotionBudget = time.Second
+	}
+	return c
+}
+
+// FailoverResult summarizes a clean episode.
+type FailoverResult struct {
+	// AckedPreKill counts establishes acknowledged before the kill; all of
+	// them survived onto the promoted standby.
+	AckedPreKill int
+	// ReplicatedPrefix is the standby's replicated journal prefix at
+	// promotion — the sequence the bit-identity assertion replayed to.
+	ReplicatedPrefix uint64
+	// PromotionLatency is kill→promoted.
+	PromotionLatency time.Duration
+	// NewTerm is the promoted node's term (old term + 1).
+	NewTerm uint64
+	// Fingerprint is the matched state digest (promoted standby vs the
+	// dead primary's replayed journal prefix).
+	Fingerprint string
+	// RejoinDiverged reports whether the ex-primary's journal held an
+	// unreplicated suffix, forcing a snapshot re-bootstrap on rejoin.
+	RejoinDiverged bool
+}
+
+// failoverNode is one in-process cluster member.
+type failoverNode struct {
+	srv  *server.Server
+	jnl  *journal.Journal
+	node *replica.Node
+	http *httptest.Server
+}
+
+// bootFailoverNode opens (or reopens) dir and builds a full member on it.
+func bootFailoverNode(g *topology.Graph, mcfg manager.Config, dir, primaryURL string, failover time.Duration) (*failoverNode, *journal.Recovered, error) {
+	jnl, rec, err := journal.Open(dir, journal.Options{
+		FsyncEvery:         1,
+		GroupCommit:        true,
+		GroupCommitMaxWait: 500 * time.Microsecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mgr, err := server.Rebuild(g, mcfg, rec)
+	if err != nil {
+		jnl.Close()
+		return nil, nil, err
+	}
+	n := &failoverNode{jnl: jnl}
+	opt := server.Options{
+		Journal:  jnl,
+		Follower: primaryURL != "",
+		Term:     rec.Term,
+		// Manual snapshots only: the bit-identity assertion replays the
+		// surviving journal from seq 1.
+		SnapshotEvery: -1,
+	}
+	opt.WaitReplicated = func(ctx context.Context, seq uint64) error {
+		return n.node.WaitReplicated(ctx, seq)
+	}
+	opt.ReplicaStats = func() *server.ReplicaStats { return n.node.StatsBlock() }
+	n.srv, err = server.NewFromManager(g, mgr, opt)
+	if err != nil {
+		jnl.Close()
+		return nil, nil, err
+	}
+	n.node = replica.NewNode(n.srv, jnl, replica.Config{
+		PrimaryURL:      primaryURL,
+		FailoverTimeout: failover,
+		PollWait:        20 * time.Millisecond,
+	})
+	n.http = httptest.NewServer(n.node.FrontHandler(server.NewHandler(n.srv)))
+	return n, rec, nil
+}
+
+func (n *failoverNode) shutdown() {
+	n.node.Stop()
+	n.http.Close()
+	_ = n.srv.Shutdown(context.Background())
+	_ = n.jnl.Close()
+}
+
+// kill tears the member down the way kill -9 does: connections severed,
+// listener gone, journal abandoned without a final sync.
+func (n *failoverNode) kill() {
+	n.http.CloseClientConnections()
+	n.http.Close()
+	_ = n.srv.Shutdown(context.Background())
+	_ = n.jnl.Abandon()
+}
+
+// replayPrefix rebuilds a manager from rec truncated to seq — the durable
+// prefix the standby replicated — and returns its fingerprint.
+func replayPrefix(g *topology.Graph, mcfg manager.Config, rec *journal.Recovered, seq uint64) (string, error) {
+	trunc := &journal.Recovered{
+		SnapshotSeq:    rec.SnapshotSeq,
+		SnapshotHeader: rec.SnapshotHeader,
+		SnapshotBody:   rec.SnapshotBody,
+		LastSeq:        rec.SnapshotSeq,
+	}
+	for _, ev := range rec.Events {
+		if ev.Seq > seq {
+			break
+		}
+		trunc.Events = append(trunc.Events, ev)
+		trunc.LastSeq = ev.Seq
+	}
+	if trunc.LastSeq != seq {
+		return "", fmt.Errorf("chaos: primary journal holds seqs to %d, cannot replay prefix %d", trunc.LastSeq, seq)
+	}
+	m, err := server.Rebuild(g, mcfg, trunc)
+	if err != nil {
+		return "", fmt.Errorf("chaos: replaying acked prefix: %w", err)
+	}
+	return m.ExportState().Fingerprint(), nil
+}
+
+// RunFailover executes one seeded primary-kill episode. A nil error means
+// every assertion in the package comment held.
+func RunFailover(cfg FailoverConfig) (*FailoverResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("chaos: FailoverConfig.Dir is required")
+	}
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: cfg.Nodes, Alpha: 0.33, Beta: 0.25, EnsureConnected: true,
+	}, rng.New(cfg.TopoSeed))
+	if err != nil {
+		return nil, err
+	}
+	for _, sub := range []string{"primary", "standby"} {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	primary, _, err := bootFailoverNode(g, cfg.Manager, filepath.Join(cfg.Dir, "primary"), "", 0)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: booting primary: %w", err)
+	}
+	standby, _, err := bootFailoverNode(g, cfg.Manager, filepath.Join(cfg.Dir, "standby"),
+		primary.http.URL, cfg.FailoverTimeout)
+	if err != nil {
+		primary.shutdown()
+		return nil, fmt.Errorf("chaos: booting standby: %w", err)
+	}
+	defer standby.shutdown()
+	runDone := make(chan error, 1)
+	go func() { runDone <- standby.node.Run(context.Background()) }()
+
+	// Mutation burst straight into the primary's API, recording every
+	// acknowledged establish. Acks are gated on the standby's confirming
+	// poll by the semi-sync hook, so "acked" means "replicated". The killed
+	// flag is flipped before the kill starts; anything acknowledged after
+	// it is outside the no-loss assertion (its WaitReplicated may have
+	// fallen back to async against a dead standby link).
+	ctx := context.Background()
+	src := rng.New(cfg.Seed)
+	var (
+		mu     sync.Mutex
+		acked  []int64
+		killed bool
+	)
+	burst := func(n int) error {
+		for i := 0; i < n; i++ {
+			a := src.Intn(cfg.Nodes)
+			b := src.Intn(cfg.Nodes - 1)
+			if b >= a {
+				b++
+			}
+			rep, err := primary.srv.Establish(ctx, topology.NodeID(a), topology.NodeID(b), cfg.Spec)
+			if errors.Is(err, manager.ErrRejected) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			if !killed {
+				acked = append(acked, int64(rep.Conn.ID))
+			}
+			mu.Unlock()
+		}
+		return nil
+	}
+	for len(acked) < cfg.KillAfter {
+		before := len(acked)
+		if err := burst(cfg.KillAfter - len(acked)); err != nil {
+			primary.kill()
+			return nil, fmt.Errorf("chaos: pre-kill burst: %w", err)
+		}
+		if len(acked) == before {
+			primary.kill()
+			return nil, errors.New("chaos: burst made no progress (all establishes rejected)")
+		}
+	}
+	res := &FailoverResult{AckedPreKill: len(acked)}
+
+	// Wait until the standby's confirmed prefix covers every ack — the
+	// semi-sync gate guarantees this is already true or within one poll.
+	ackTip := primary.jnl.LastSeq()
+	deadline := time.Now().Add(5 * time.Second)
+	for standby.jnl.LastSeq() < ackTip {
+		if time.Now().After(deadline) {
+			primary.kill()
+			return nil, fmt.Errorf("chaos: standby stuck at seq %d, acked tip %d", standby.jnl.LastSeq(), ackTip)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Kill the primary mid-burst: a goroutine keeps mutating while the
+	// listener and journal die under it.
+	mu.Lock()
+	killed = true
+	mu.Unlock()
+	burstDone := make(chan struct{})
+	go func() {
+		defer close(burstDone)
+		_ = burst(cfg.Burst - cfg.KillAfter) // errors expected: the server is dying
+	}()
+	killAt := time.Now()
+	primary.kill()
+	<-burstDone
+
+	// Promotion within budget.
+	for standby.srv.Role() != "primary" {
+		if time.Since(killAt) > cfg.PromotionBudget+2*time.Second {
+			return nil, fmt.Errorf("chaos: standby still %q %s after the kill", standby.srv.Role(), time.Since(killAt))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res.PromotionLatency = time.Since(killAt)
+	if res.PromotionLatency > cfg.PromotionBudget {
+		return nil, fmt.Errorf("chaos: promotion took %s, budget %s", res.PromotionLatency, cfg.PromotionBudget)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			return nil, fmt.Errorf("chaos: follower loop: %w", err)
+		}
+	case <-time.After(2 * time.Second):
+		return nil, errors.New("chaos: follower loop did not exit after promotion")
+	}
+	res.NewTerm = standby.srv.Term()
+	if res.NewTerm == 0 {
+		return nil, errors.New("chaos: promotion did not bump the term")
+	}
+
+	// Bit-identity: the promoted state must equal a replay of the dead
+	// primary's surviving journal up to the standby's replicated prefix.
+	// The standby's journal is that prefix plus its own KindTerm record(s).
+	sevs, err := standby.jnl.ReadFrom(1, int(standby.jnl.LastSeq())+1)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reading standby journal: %w", err)
+	}
+	var prefix uint64
+	for _, ev := range sevs {
+		if ev.Kind != journal.KindTerm {
+			prefix = ev.Seq
+		}
+	}
+	res.ReplicatedPrefix = prefix
+	deadJnl, deadRec, err := journal.Open(filepath.Join(cfg.Dir, "primary"), journal.Options{FsyncEvery: -1})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: recovering dead primary journal: %w", err)
+	}
+	if err := deadJnl.Close(); err != nil {
+		return nil, err
+	}
+	wantFP, err := replayPrefix(g, cfg.Manager, deadRec, prefix)
+	if err != nil {
+		return nil, err
+	}
+	gotFP, err := standby.srv.StateFingerprint(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if wantFP != gotFP {
+		return nil, fmt.Errorf("chaos: promoted fingerprint %s != replayed acked prefix %s", gotFP, wantFP)
+	}
+	res.Fingerprint = gotFP
+
+	// No acked establish lost: every pre-kill ack is alive on the new
+	// primary (the burst never terminates, so all of them must be).
+	snaps, err := standby.srv.Snapshot(ctx)
+	if err != nil {
+		return nil, err
+	}
+	aliveOnStandby := snaps.Alive
+	if aliveOnStandby < len(acked) {
+		return nil, fmt.Errorf("chaos: %d establishes acked pre-kill, only %d alive on promoted standby", len(acked), aliveOnStandby)
+	}
+
+	// The new primary serves mutations under the new term.
+	if err := burstOne(standby.srv, cfg, src); err != nil {
+		return nil, fmt.Errorf("chaos: promoted standby refuses mutations: %w", err)
+	}
+
+	// Rejoin: reopen the ex-primary's directory as a follower of the new
+	// primary. Its journal may hold acked-but-unreplicated (or framed-but-
+	// unacked) records past the standby's prefix — a divergent suffix the
+	// rejoin must discard via snapshot re-bootstrap, never serve.
+	res.RejoinDiverged = deadRec.LastSeq > prefix
+	rejoin, rec, err := bootFailoverNode(g, cfg.Manager, filepath.Join(cfg.Dir, "primary"),
+		standby.http.URL, 0) // no auto-failover: it must follow, not seize
+	if err != nil {
+		return nil, fmt.Errorf("chaos: rejoining ex-primary: %w", err)
+	}
+	defer rejoin.shutdown()
+	if rec.LastSeq != deadRec.LastSeq {
+		return nil, fmt.Errorf("chaos: rejoin recovered seq %d, expected %d", rec.LastSeq, deadRec.LastSeq)
+	}
+	go func() { _ = rejoin.node.Run(context.Background()) }()
+	if _, err := rejoin.srv.Establish(ctx, 0, 1, cfg.Spec); !errors.Is(err, server.ErrNotPrimary) {
+		return nil, fmt.Errorf("chaos: rejoined ex-primary served a mutation (err=%v), want ErrNotPrimary", err)
+	}
+	newTip := standby.jnl.LastSeq()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if rejoin.jnl.LastSeq() >= newTip && rejoin.srv.Term() >= res.NewTerm {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("chaos: rejoined ex-primary stuck at seq %d term %d (want seq %d term %d)",
+				rejoin.jnl.LastSeq(), rejoin.srv.Term(), newTip, res.NewTerm)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	newFP, err := standby.srv.StateFingerprint(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rejFP, err := rejoin.srv.StateFingerprint(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if newFP != rejFP {
+		return nil, fmt.Errorf("chaos: rejoined follower fingerprint %s != new primary %s", rejFP, newFP)
+	}
+	if rejoin.srv.Role() != "follower" {
+		return nil, fmt.Errorf("chaos: rejoined ex-primary role %q, want follower", rejoin.srv.Role())
+	}
+	return res, nil
+}
+
+// burstOne issues establishes until one is acknowledged (admission may
+// reject individual pairs on a loaded topology).
+func burstOne(s *server.Server, cfg FailoverConfig, src *rng.Source) error {
+	for i := 0; i < 50; i++ {
+		a := src.Intn(cfg.Nodes)
+		b := src.Intn(cfg.Nodes - 1)
+		if b >= a {
+			b++
+		}
+		_, err := s.Establish(context.Background(), topology.NodeID(a), topology.NodeID(b), cfg.Spec)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, manager.ErrRejected) {
+			return err
+		}
+	}
+	return errors.New("50 establishes all rejected")
+}

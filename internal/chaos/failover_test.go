@@ -1,0 +1,36 @@
+package chaos
+
+import "testing"
+
+// TestRunFailover runs the full primary-kill episode: mid-burst kill,
+// sub-second promotion, bit-identical acked prefix, no acked establish
+// lost, fenced rejoin.
+func TestRunFailover(t *testing.T) {
+	res, err := RunFailover(FailoverConfig{Seed: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AckedPreKill == 0 || res.ReplicatedPrefix == 0 {
+		t.Fatalf("degenerate episode: %+v", res)
+	}
+	if res.NewTerm != 1 {
+		t.Fatalf("new term %d, want 1", res.NewTerm)
+	}
+	t.Logf("acked=%d prefix=%d promotion=%s diverged_rejoin=%v fp=%.12s",
+		res.AckedPreKill, res.ReplicatedPrefix, res.PromotionLatency, res.RejoinDiverged, res.Fingerprint)
+}
+
+// TestRunFailoverSeeds sweeps a few seeds so the kill lands at varied
+// points of the replication pipeline.
+func TestRunFailoverSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is not short")
+	}
+	for seed := uint64(2); seed <= 4; seed++ {
+		res, err := RunFailover(FailoverConfig{Seed: seed, Dir: t.TempDir(), Burst: 80, KillAfter: 10 * int(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		t.Logf("seed %d: acked=%d prefix=%d promotion=%s", seed, res.AckedPreKill, res.ReplicatedPrefix, res.PromotionLatency)
+	}
+}

@@ -93,6 +93,27 @@ func (j *Journal) GroupCommitStats() (batches, batchedAppends int64) {
 func (j *Journal) AppendAsync(ev Event) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	ev.Seq = j.seq + 1
+	return j.appendLocked(ev)
+}
+
+// AppendReplicated appends a record that already carries its sequence
+// number — a standby replaying a primary's stream keeps the primary's
+// numbering so resume-from-seq and fingerprint verify points line up. The
+// record must extend the log exactly (ev.Seq == LastSeq+1); durability
+// semantics match AppendAsync (pair with WaitDurable in group-commit mode).
+func (j *Journal) AppendReplicated(ev Event) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ev.Seq != j.seq+1 {
+		return 0, fmt.Errorf("journal: replicated record seq %d does not extend local tip %d", ev.Seq, j.seq)
+	}
+	return j.appendLocked(ev)
+}
+
+// appendLocked writes the framed record for ev (whose Seq the caller set)
+// and applies the fsync policy. Caller holds j.mu.
+func (j *Journal) appendLocked(ev Event) (uint64, error) {
 	if j.f == nil {
 		return 0, errors.New("journal: closed")
 	}
@@ -106,7 +127,6 @@ func (j *Journal) AppendAsync(ev Event) (uint64, error) {
 			return 0, gcErr
 		}
 	}
-	ev.Seq = j.seq + 1
 	j.buf = j.buf[:0]
 	payload := appendEvent(nil, ev)
 	j.buf = appendFrame(j.buf, payload)

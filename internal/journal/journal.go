@@ -88,6 +88,10 @@ type Recovered struct {
 	LastSeq uint64
 	// TornBytes counts bytes of torn tail discarded from the last segment.
 	TornBytes int64
+	// Term is the highest replication term found on disk — the max of the
+	// snapshot header's term and every KindTerm record after it. Zero on a
+	// journal that never participated in a failover.
+	Term uint64
 }
 
 // Journal is an append-only event log over one data directory. Safe for
@@ -324,6 +328,7 @@ func scanDir(dir string) (rec *Recovered, lastSeg string, tornAt int64, err erro
 			return nil, "", -1, err
 		}
 		rec.SnapshotSeq, rec.SnapshotHeader, rec.SnapshotBody = s, hdr, body
+		rec.Term = hdr.Term
 	}
 	rec.LastSeq = rec.SnapshotSeq
 
@@ -366,6 +371,9 @@ func scanDir(dir string) (rec *Recovered, lastSeg string, tornAt int64, err erro
 			}
 			rec.Events = append(rec.Events, ev)
 			rec.LastSeq = ev.Seq
+			if ev.Kind == KindTerm && ev.Term > rec.Term {
+				rec.Term = ev.Term
+			}
 			next = ev.Seq + 1
 			off = nextOff
 		}
@@ -401,6 +409,12 @@ func (j *Journal) WriteSnapshot(hdr SnapshotHeader, body []byte) error {
 	defer j.mu.Unlock()
 	if j.f == nil {
 		return errors.New("journal: closed")
+	}
+	// Nothing journaled since the last snapshot (or ever, for a fresh
+	// journal): the existing snapshot already covers the tip, and rotating
+	// again would collide with the active wal-<seq+1> segment.
+	if j.seq == j.snapSeq {
+		return nil
 	}
 	// The active segment must be durable before the snapshot supersedes it:
 	// if the snapshot fsyncs but a preceding record did not, a crash window
@@ -459,6 +473,19 @@ type SnapshotHeader struct {
 	Rejects        int64  `json:"rejects"`
 	FailedLinks    []int  `json:"failed_links,omitempty"`
 	WrittenAt      string `json:"written_at,omitempty"`
+
+	// Term is the replication term in force when the snapshot was taken, so
+	// compaction never erases the fencing a KindTerm record established.
+	Term uint64 `json:"term,omitempty"`
+
+	// Cross-shard coordinator counters (attempted / committed / aborted
+	// two-phase establishes), stamped by the coordinator's snapshot-annotate
+	// hook so the telemetry survives restarts. Zero on single-plane
+	// journals. They are aggregates of the whole coordinator, not the one
+	// shard; boot takes the max across shard snapshots.
+	CrossAttempts  int64 `json:"cross_attempts,omitempty"`
+	CrossCommitted int64 `json:"cross_committed,omitempty"`
+	CrossAborted   int64 `json:"cross_aborted,omitempty"`
 
 	// Txns carries committed cross-shard transactions whose pinned
 	// connections are inside the snapshot body, so replay can rebuild the

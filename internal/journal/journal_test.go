@@ -337,3 +337,43 @@ func TestReloadSeesAppends(t *testing.T) {
 		t.Fatalf("reload: %d events, LastSeq %d", len(rec.Events), rec.LastSeq)
 	}
 }
+
+// TestWriteSnapshotIdempotentAtTip: snapshotting when nothing was journaled
+// since the last snapshot (including a fresh journal at seq 0) must be a
+// no-op, not a collision with the already-rotated active segment.
+func TestWriteSnapshotIdempotentAtTip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir)
+	defer j.Close()
+
+	// Fresh journal, seq 0: nothing to cover.
+	if err := j.WriteSnapshot(SnapshotHeader{}, nil); err != nil {
+		t.Fatalf("snapshot of empty journal: %v", err)
+	}
+	if j.SnapshotSeq() != 0 {
+		t.Fatalf("empty snapshot recorded seq %d", j.SnapshotSeq())
+	}
+
+	mustAppend(t, j, testEvents(5)...)
+	if err := j.WriteSnapshot(SnapshotHeader{Seq: 5}, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if j.SnapshotSeq() != 5 {
+		t.Fatalf("snapshot seq %d, want 5", j.SnapshotSeq())
+	}
+	// Again with no new events: must not rotate or error.
+	if err := j.WriteSnapshot(SnapshotHeader{Seq: 5}, []byte("state")); err != nil {
+		t.Fatalf("repeat snapshot at tip: %v", err)
+	}
+	mustAppend(t, j, testEvents(3)...)
+	if seq, err := j.Append(Event{Kind: KindFailLink, Link: 1}); err != nil || seq != 9 {
+		t.Fatalf("append after idempotent snapshots: seq %d, err %v", seq, err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := mustOpen(t, dir)
+	if rec.SnapshotSeq != 5 || rec.LastSeq != 9 || len(rec.Events) != 4 {
+		t.Fatalf("reopen recovered snap=%d last=%d events=%d", rec.SnapshotSeq, rec.LastSeq, len(rec.Events))
+	}
+}

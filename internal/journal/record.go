@@ -23,6 +23,11 @@ const (
 	KindRepairLink Kind = 4
 	KindPrepare    Kind = 5
 	KindCommit     Kind = 6
+	// KindTerm fences replication roles: a standby journals the new
+	// monotonic term number the instant it promotes, so any replica (or a
+	// rejoining ex-primary) that replays the log knows which node won and
+	// refuses records from a stale term. No manager state changes.
+	KindTerm Kind = 7
 )
 
 func (k Kind) String() string {
@@ -39,6 +44,8 @@ func (k Kind) String() string {
 		return "prepare"
 	case KindCommit:
 		return "commit"
+	case KindTerm:
+		return "term"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -73,6 +80,10 @@ type Event struct {
 	Peers     uint32
 	PathNodes []int32
 	PathLinks []int32
+
+	// Term is the replication term a KindTerm record fences (monotonic,
+	// bumped by every promotion).
+	Term uint64
 }
 
 // castagnoli is the CRC-32C table used for every checksum in the journal
@@ -121,6 +132,8 @@ func appendEvent(buf []byte, ev Event) []byte {
 		}
 	case KindCommit:
 		buf = binary.LittleEndian.AppendUint64(buf, ev.Txn)
+	case KindTerm:
+		buf = binary.LittleEndian.AppendUint64(buf, ev.Term)
 	}
 	return buf
 }
@@ -199,6 +212,11 @@ func decodeEvent(payload []byte) (Event, error) {
 			return ev, err
 		}
 		ev.Txn = binary.LittleEndian.Uint64(rest)
+	case KindTerm:
+		if err := need(8); err != nil {
+			return ev, err
+		}
+		ev.Term = binary.LittleEndian.Uint64(rest)
 	default:
 		return ev, fmt.Errorf("journal: unknown event kind %d", uint8(ev.Kind))
 	}

@@ -1,0 +1,235 @@
+// Streaming read access for replication: a primary serves its journal to
+// warm standbys record-by-record (ReadFrom), bootstraps a far-behind or
+// brand-new standby from the newest snapshot (LatestSnapshot /
+// InstallSnapshot on the receiving side), and the standby appends what it
+// received under the primary's own sequence numbers (AppendReplicated in
+// groupcommit.go). Reads are safe concurrently with appends: a record's
+// frame is fully written to the segment before its sequence number becomes
+// visible, and ReadFrom never reads past the durable tip, so a reader can
+// never observe a half-written frame below the range it returns.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrCompacted reports that the requested sequence range has been folded
+// into a snapshot: the records no longer exist individually. The caller
+// should bootstrap from LatestSnapshot instead.
+var ErrCompacted = errors.New("journal: requested records compacted into a snapshot")
+
+// DurableSeq returns the highest sequence number a reader may rely on:
+// the synced tip under group commit, the appended tip otherwise (where
+// Append applies the fsync policy inline before returning).
+func (j *Journal) DurableSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.durableSeqLocked()
+}
+
+func (j *Journal) durableSeqLocked() uint64 {
+	if j.opt.GroupCommit {
+		j.gc.mu.Lock()
+		defer j.gc.mu.Unlock()
+		return j.gc.syncedSeq
+	}
+	return j.seq
+}
+
+// ReadFrom returns up to max events with Seq >= from, ascending and
+// contiguous, bounded by the durable tip. An empty slice means the caller
+// is at the tip (long-pollers sleep and retry). ErrCompacted means from is
+// at or below the newest snapshot — the records were deleted, bootstrap
+// from the snapshot. Safe concurrently with appends and snapshots.
+func (j *Journal) ReadFrom(from uint64, max int) ([]Event, error) {
+	if from == 0 {
+		from = 1
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	j.mu.Lock()
+	durable := j.durableSeqLocked()
+	snapSeq := j.snapSeq
+	j.mu.Unlock()
+	if from <= snapSeq {
+		return nil, ErrCompacted
+	}
+	if from > durable {
+		return nil, nil
+	}
+
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	type seg struct {
+		firstSeq uint64
+		path     string
+	}
+	var segs []seg
+	for _, e := range entries {
+		if s, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
+			segs = append(segs, seg{firstSeq: s, path: filepath.Join(j.dir, e.Name())})
+		}
+	}
+	sort.Slice(segs, func(i, k int) bool { return segs[i].firstSeq < segs[k].firstSeq })
+
+	var out []Event
+	next := from
+	for si, sg := range segs {
+		// A segment can only hold seqs in [its name, the next segment's name).
+		if si+1 < len(segs) && segs[si+1].firstSeq <= next {
+			continue
+		}
+		if sg.firstSeq > durable {
+			break
+		}
+		data, err := os.ReadFile(sg.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// A concurrent snapshot deleted it under us; the records it
+				// held are covered by that snapshot now.
+				return nil, ErrCompacted
+			}
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		off := 0
+		for off < len(data) {
+			ev, nextOff, ok, _ := frameAt(data, off)
+			if !ok {
+				// Only the in-flight tail past the durable bound can be
+				// unparseable mid-read; stop at what we have.
+				return out, nil
+			}
+			off = nextOff
+			if ev.Seq < next {
+				continue // superseded duplicate or below the requested range
+			}
+			if ev.Seq > durable {
+				return out, nil
+			}
+			if ev.Seq != next {
+				return nil, fmt.Errorf("%w: %s holds seq %d where %d was expected", ErrCorrupt, filepath.Base(sg.path), ev.Seq, next)
+			}
+			out = append(out, ev)
+			next++
+			if len(out) >= max {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// LatestSnapshot loads the newest snapshot on disk, or (nil, nil, nil)
+// when none exists. The header still carries its framing fields
+// (Seq/BodyLen/BodyCRC32C), so the pair can be fed to InstallSnapshot on
+// another journal as-is.
+func (j *Journal) LatestSnapshot() (*SnapshotHeader, []byte, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	best := uint64(0)
+	found := false
+	for _, e := range entries {
+		if s, ok := parseSeqName(e.Name(), "snap-", ".snap"); ok && (!found || s > best) {
+			best, found = s, true
+		}
+	}
+	if !found {
+		return nil, nil, nil
+	}
+	return loadSnapshot(filepath.Join(j.dir, snapshotName(best)))
+}
+
+// InstallSnapshot replaces the journal's entire contents with a snapshot
+// shipped from a primary: every existing segment and snapshot is deleted
+// (including any divergent suffix a fenced ex-primary may hold), the
+// snapshot is written durably, and a fresh segment starts at hdr.Seq+1.
+// The caller must be quiescent — no concurrent appends or waiters. A crash
+// mid-install leaves either the old journal with a truncated tail or the
+// new snapshot alone; both recover cleanly and re-sync from the primary.
+func (j *Journal) InstallSnapshot(hdr SnapshotHeader, body []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("journal: closed")
+	}
+	if hdr.Seq == 0 {
+		return errors.New("journal: snapshot with seq 0")
+	}
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	// Close the active segment before deleting history so the fresh segment
+	// below is the only open file.
+	_ = j.f.Close()
+	j.f = nil
+	for _, e := range entries {
+		_, isSeg := parseSeqName(e.Name(), "wal-", ".log")
+		_, isSnap := parseSeqName(e.Name(), "snap-", ".snap")
+		if isSeg || isSnap {
+			if err := os.Remove(filepath.Join(j.dir, e.Name())); err != nil {
+				return fmt.Errorf("journal: clearing for snapshot install: %w", err)
+			}
+		}
+	}
+	if err := writeSnapshotFile(j.dir, hdr.Seq, hdr, body); err != nil {
+		return err
+	}
+	if err := j.startSegment(hdr.Seq + 1); err != nil {
+		return err
+	}
+	j.seq, j.snapSeq, j.sinceSync = hdr.Seq, hdr.Seq, 0
+	gc := j.gc
+	gc.mu.Lock()
+	gc.writeSeq, gc.syncedSeq = hdr.Seq, hdr.Seq
+	gc.durable.Broadcast()
+	gc.mu.Unlock()
+	return nil
+}
+
+// EventCRC returns the CRC-32C of ev's canonical payload encoding — the
+// same checksum the on-disk frame stores. Replication uses it as a cheap
+// history-identity probe: a standby reports the CRC of its last record and
+// the primary compares it against its own record at that seq; a mismatch
+// means the histories diverged and the standby must re-bootstrap.
+func EventCRC(ev Event) uint32 {
+	return crc32.Checksum(appendEvent(nil, ev), castagnoli)
+}
+
+// EncodeFrames renders events in the on-disk frame format (u32 length, u32
+// CRC-32C, payload) — the wire format of the replication stream, so the
+// standby applies exactly the checksummed bytes a journal would hold.
+func EncodeFrames(evs []Event) []byte {
+	var buf []byte
+	for _, ev := range evs {
+		buf = appendFrame(buf, appendEvent(nil, ev))
+	}
+	return buf
+}
+
+// DecodeFrames parses a buffer of frames produced by EncodeFrames. Unlike
+// boot recovery there is no torn-tail tolerance: the transport delivered
+// the buffer whole, so any damage is an error.
+func DecodeFrames(data []byte) ([]Event, error) {
+	var out []Event
+	off := 0
+	for off < len(data) {
+		ev, next, ok, reason := frameAt(data, off)
+		if !ok {
+			return nil, fmt.Errorf("%w: stream frame at offset %d: %s", ErrCorrupt, off, reason)
+		}
+		out = append(out, ev)
+		off = next
+	}
+	return out, nil
+}

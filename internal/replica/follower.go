@@ -1,0 +1,255 @@
+// Follower side: the continuous replay loop, snapshot re-bootstrap, and
+// the failover controller that promotes after sustained primary failure.
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"drqos/internal/journal"
+	"drqos/internal/server"
+)
+
+// errBootstrap asks the loop to re-seed from a primary snapshot: the
+// primary compacted past our tip, or our history diverged from its.
+var errBootstrap = errors.New("replica: bootstrap required")
+
+// errDemotedPrimary reports that the polled node stepped down; the cluster
+// is between primaries and the poll should back off and retry.
+var errDemotedPrimary = errors.New("replica: polled node is not primary")
+
+// Run drives the follower until promotion, Stop, or ctx cancellation: poll
+// the primary, apply what arrives, re-bootstrap when told to, and promote
+// when the primary has been unreachable for FailoverTimeout. It returns
+// nil after a successful promotion (the node is the primary now) and the
+// terminal error otherwise.
+func (n *Node) Run(ctx context.Context) error {
+	defer close(n.done)
+	lastSuccess := time.Now()
+	backoff := 10 * time.Millisecond
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-n.stop:
+			return nil
+		default:
+		}
+		if !n.srv.IsFollower() {
+			// Promoted out from under the loop (POST /v1/admin/promote).
+			n.logf("replica: role is primary, follower loop exiting")
+			return nil
+		}
+
+		err := n.fetchAndApply(ctx)
+		switch {
+		case err == nil:
+			lastSuccess = time.Now()
+			backoff = 10 * time.Millisecond
+			continue
+		case errors.Is(err, errBootstrap):
+			n.logf("replica: re-bootstrapping from primary snapshot: %v", err)
+			if berr := n.bootstrap(ctx); berr != nil {
+				n.setDiverged(true, berr.Error())
+				n.logf("replica: bootstrap failed: %v", berr)
+			} else {
+				n.setDiverged(false, "")
+				lastSuccess = time.Now()
+				backoff = 10 * time.Millisecond
+				continue
+			}
+		case errors.Is(err, server.ErrDiverged):
+			// ApplyReplicated latched the server degraded; a snapshot
+			// re-seed is the only way back.
+			n.setDiverged(true, err.Error())
+			n.logf("replica: diverged: %v", err)
+			if berr := n.bootstrap(ctx); berr == nil {
+				n.setDiverged(false, "")
+				lastSuccess = time.Now()
+				continue
+			}
+		case errors.Is(err, server.ErrConflict):
+			// The server's role flipped mid-apply; loop around and exit.
+			continue
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		default:
+			n.logf("replica: fetch from %s failed: %v", n.PrimaryURL(), err)
+		}
+
+		// The poll failed. Sustained failure is the failover signal.
+		if n.cfg.FailoverTimeout > 0 && time.Since(lastSuccess) >= n.cfg.FailoverTimeout {
+			term, perr := n.srv.Promote(ctx)
+			if perr == nil {
+				n.logf("replica: promoted to primary at term %d after %s without a primary",
+					term, time.Since(lastSuccess).Round(time.Millisecond))
+				return nil
+			}
+			if errors.Is(perr, server.ErrConflict) {
+				return nil // someone promoted us concurrently
+			}
+			// A degraded (diverged) follower refuses promotion — keep
+			// retrying the primary instead of seizing the cluster.
+			n.logf("replica: promotion refused: %v", perr)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-n.stop:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff < 250*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func (n *Node) setDiverged(d bool, reason string) {
+	n.mu.Lock()
+	n.diverged, n.divergedReason = d, reason
+	n.mu.Unlock()
+}
+
+// prevCRC returns the CRC of the last local record, or ok=false when the
+// tip sits inside a snapshot (nothing to probe with).
+func (n *Node) prevCRC() (uint32, bool) {
+	tip := n.jnl.LastSeq()
+	if tip == 0 || tip <= n.jnl.SnapshotSeq() {
+		return 0, false
+	}
+	evs, err := n.jnl.ReadFrom(tip, 1)
+	if err != nil || len(evs) != 1 {
+		return 0, false
+	}
+	return journal.EventCRC(evs[0]), true
+}
+
+// fetchAndApply performs one poll cycle: request records past the local
+// tip (the request itself acknowledges everything at or below the tip),
+// verify the response's term, and apply the batch.
+func (n *Node) fetchAndApply(ctx context.Context) error {
+	primary := n.PrimaryURL()
+	if primary == "" {
+		return errDemotedPrimary
+	}
+	from := n.jnl.LastSeq() + 1
+	q := url.Values{}
+	q.Set("from", strconv.FormatUint(from, 10))
+	q.Set("term", strconv.FormatUint(n.srv.Term(), 10))
+	q.Set("wait", strconv.Itoa(int(n.cfg.PollWait/time.Millisecond)))
+	if crc, ok := n.prevCRC(); ok {
+		q.Set("prev_crc", strconv.FormatUint(uint64(crc), 10))
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(primary, "/")+"/v1/replica/stream?"+q.Encode(), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return fmt.Errorf("%w: %s", errBootstrap, strings.TrimSpace(string(body)))
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", errBootstrap, strings.TrimSpace(string(body)))
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("%w: %s", errDemotedPrimary, strings.TrimSpace(string(body)))
+	default:
+		return fmt.Errorf("replica: stream answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var env streamEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("replica: bad stream envelope: %v", err)
+	}
+	if env.Term < n.srv.Term() {
+		// A stale ex-primary is answering; refuse its records. Fencing in
+		// the other direction (it demoting) happens when it polls or when
+		// our own term reaches it through an operator.
+		return fmt.Errorf("replica: refused batch from stale term %d (local term %d)", env.Term, n.srv.Term())
+	}
+
+	n.mu.Lock()
+	n.primaryDurable = env.DurableSeq
+	n.lastFetch = time.Now()
+	n.mu.Unlock()
+
+	if len(env.Frames) == 0 {
+		return nil // quiet poll: primary is alive, nothing new
+	}
+	evs, err := journal.DecodeFrames(env.Frames)
+	if err != nil {
+		return fmt.Errorf("replica: corrupt stream frames: %v", err)
+	}
+	applied, err := n.srv.ApplyReplicated(ctx, evs, env.Verify)
+	if applied > 0 {
+		n.mu.Lock()
+		n.applied = applied
+		n.mu.Unlock()
+	}
+	return err
+}
+
+// bootstrap re-seeds the whole node from the primary's snapshot: fetch the
+// image, replace the local journal's contents with it (wiping any
+// divergent suffix), and rebuild + swap the live manager from the fresh
+// journal. This is the big hammer — it discards local history — which is
+// exactly right when that history is compacted-away or contradicted.
+func (n *Node) bootstrap(ctx context.Context) error {
+	primary := n.PrimaryURL()
+	if primary == "" {
+		return errDemotedPrimary
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimSuffix(primary, "/")+"/v1/replica/snapshot", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica: snapshot answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var env snapshotEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("replica: bad snapshot envelope: %v", err)
+	}
+	// The follower loop is the journal's only writer, so installing here is
+	// append-quiescent by construction.
+	if err := n.jnl.InstallSnapshot(env.Header, env.Body); err != nil {
+		return fmt.Errorf("replica: install snapshot: %v", err)
+	}
+	if _, err := n.srv.Reseed(ctx); err != nil {
+		return fmt.Errorf("replica: reseed from installed snapshot: %v", err)
+	}
+	n.mu.Lock()
+	n.applied = env.Header.Seq
+	n.mu.Unlock()
+	n.logf("replica: bootstrapped from primary snapshot at seq %d (term %d)", env.Header.Seq, env.Term)
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package replica is the network half of primary/backup replication: it
+// streams a primary's write-ahead journal to warm standbys and turns a
+// standby into the new primary in under a second when the primary dies.
+//
+// One Node serves both sides of the protocol, because every node can play
+// both roles across its lifetime (a promoted standby immediately starts
+// shipping to the next standby; a demoted ex-primary starts following):
+//
+//   - Shipper (always mounted): GET /v1/replica/stream long-polls the
+//     journal from a requested sequence number and answers CRC-framed
+//     records — the exact on-disk frame bytes — plus fingerprint verify
+//     points taken from published epochs. GET /v1/replica/snapshot serves
+//     a bootstrap image for standbys that are too far behind (compacted
+//     history) or diverged. The stream poll doubles as the replication
+//     acknowledgment: a poll with from=N confirms every record below N is
+//     durably applied on the follower, which drives the semi-synchronous
+//     WaitReplicated hook gating the primary's client acknowledgments.
+//
+//   - Follower (Run): a continuous replay loop that fetches from the
+//     primary, applies each batch through server.ApplyReplicated (journal
+//     append under the primary's numbering + live manager replay +
+//     fingerprint cross-check), re-bootstraps from a snapshot when the
+//     primary's history was compacted past its tip or diverged from it,
+//     and health-checks the primary as a side effect of polling: after
+//     FailoverTimeout of failed fetches it promotes the local server.
+//
+// Fencing rides the term number: every stream response and poll carries
+// one. A poll bearing a higher term demotes a stale primary before it can
+// serve another record; a response bearing a lower term is refused by the
+// follower. The term itself is journaled (KindTerm) so it survives crashes
+// on both sides.
+package replica
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"drqos/internal/journal"
+	"drqos/internal/server"
+)
+
+// Config tunes a replication node.
+type Config struct {
+	// Self is the advertised base URL of this node (e.g.
+	// "http://10.0.0.2:8080"), handed to peers for redirects. Optional.
+	Self string
+	// PrimaryURL is the base URL of the primary to follow. Empty for a
+	// node booting as primary.
+	PrimaryURL string
+	// FailoverTimeout promotes the follower after this long without a
+	// successful fetch from the primary (0 disables automatic failover —
+	// promotion then only happens via POST /v1/admin/promote).
+	FailoverTimeout time.Duration
+	// PollWait is the shipper's long-poll window and the follower's poll
+	// pacing (default 1s, capped to FailoverTimeout/4 when failover is on
+	// so detection is never starved by an open poll).
+	PollWait time.Duration
+	// BatchMax caps records per stream response (default 512).
+	BatchMax int
+	// SyncActiveWindow is how recently a standby must have polled for the
+	// primary to keep gating client acknowledgments on replication
+	// (default 3s). Past it the primary falls back to asynchronous
+	// replication instead of stalling clients behind a dead standby.
+	SyncActiveWindow time.Duration
+	// SyncTimeout bounds how long one acknowledgment waits for the standby
+	// to confirm fetch before falling back to asynchronous (default 5s).
+	SyncTimeout time.Duration
+	// Logf receives replication lifecycle events (promotion, demotion,
+	// divergence, bootstrap). Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.PollWait <= 0 {
+		c.PollWait = time.Second
+	}
+	if c.FailoverTimeout > 0 && c.PollWait > c.FailoverTimeout/4 {
+		c.PollWait = c.FailoverTimeout / 4
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = 50 * time.Millisecond
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 512
+	}
+	if c.SyncActiveWindow <= 0 {
+		c.SyncActiveWindow = 3 * time.Second
+	}
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Node binds a server and its journal into the replication protocol.
+type Node struct {
+	srv *server.Server
+	jnl *journal.Journal
+	cfg Config
+
+	client *http.Client
+
+	mu sync.Mutex
+	// Shipper-side acknowledgment state: the highest sequence a standby
+	// confirmed (by polling past it), when it last polled, and a broadcast
+	// channel replaced on every poll so WaitReplicated wakes immediately.
+	replicatedSeq uint64
+	lastPoll      time.Time
+	pollSignal    chan struct{}
+	// Follower-side progress, served into the stats block.
+	primaryURL     string
+	applied        uint64
+	primaryDurable uint64
+	lastFetch      time.Time
+	diverged       bool
+	divergedReason string
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewNode builds a replication node over srv and its journal. The node is
+// passive until its Handler is mounted (shipper side) and Run is started
+// (follower side).
+func NewNode(srv *server.Server, jnl *journal.Journal, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	return &Node{
+		srv:        srv,
+		jnl:        jnl,
+		cfg:        cfg,
+		client:     &http.Client{Timeout: cfg.PollWait + 5*time.Second},
+		pollSignal: make(chan struct{}),
+		primaryURL: cfg.PrimaryURL,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+// Stop halts the follower loop (if running). Safe to call multiple times.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() { close(n.stop) })
+}
+
+// logf forwards to the configured logger (never nil after withDefaults).
+func (n *Node) logf(format string, args ...any) { n.cfg.Logf(format, args...) }
+
+// PrimaryURL returns the primary this node currently follows ("" once it
+// is the primary itself).
+func (n *Node) PrimaryURL() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.srv.IsFollower() {
+		return ""
+	}
+	return n.primaryURL
+}
+
+// StatsBlock supplies the follower/shipper detail of the stats replica
+// block; the server fills role/term/promotions itself.
+func (n *Node) StatsBlock() *server.ReplicaStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	rs := &server.ReplicaStats{
+		Diverged: n.diverged,
+	}
+	if n.srv.IsFollower() {
+		rs.PrimaryURL = n.primaryURL
+		rs.AppliedSeq = n.applied
+		if n.primaryDurable > n.applied {
+			rs.LagSeq = int64(n.primaryDurable - n.applied)
+		}
+		if !n.lastFetch.IsZero() {
+			rs.LagSeconds = time.Since(n.lastFetch).Seconds()
+		}
+	} else {
+		rs.ReplicatedSeq = n.replicatedSeq
+		if time.Since(n.lastPoll) <= n.cfg.SyncActiveWindow {
+			rs.Followers = 1
+		}
+	}
+	return rs
+}
+
+// notePoll records a standby's poll: from confirms everything below it.
+func (n *Node) notePoll(confirmed uint64) {
+	n.mu.Lock()
+	if confirmed > n.replicatedSeq {
+		n.replicatedSeq = confirmed
+	}
+	n.lastPoll = time.Now()
+	close(n.pollSignal)
+	n.pollSignal = make(chan struct{})
+	n.mu.Unlock()
+}
+
+// WaitReplicated implements the server's semi-synchronous hook: block
+// until a standby's poll confirmed seq, the standby goes quiet (fall back
+// to asynchronous — a dead standby must not take client traffic down with
+// it), the sync timeout expires, or ctx dies.
+func (n *Node) WaitReplicated(ctx context.Context, seq uint64) error {
+	deadline := time.Now().Add(n.cfg.SyncTimeout)
+	for {
+		n.mu.Lock()
+		confirmed := n.replicatedSeq >= seq
+		active := !n.lastPoll.IsZero() && time.Since(n.lastPoll) <= n.cfg.SyncActiveWindow
+		signal := n.pollSignal
+		n.mu.Unlock()
+		if confirmed || !active || time.Now().After(deadline) {
+			return nil
+		}
+		select {
+		case <-signal:
+		case <-time.After(100 * time.Millisecond):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// isMutation reports whether a request would originate a mutation — the
+// requests a follower redirects to the primary. Admin and replication
+// endpoints are exempt: promote/recover must target the node itself, and
+// the stream is how a follower serves its own standbys.
+func isMutation(r *http.Request) bool {
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		return false
+	}
+	if !strings.HasPrefix(r.URL.Path, "/v1/") {
+		return false
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/admin/") || strings.HasPrefix(r.URL.Path, "/v1/replica/") {
+		return false
+	}
+	return true
+}
+
+// FrontHandler wraps the server's API handler with the replication front:
+// replication endpoints are mounted under /v1/replica/, and while this
+// node is a follower that knows its primary, mutations answer 307 to the
+// primary (clients that follow redirects keep working through a failover
+// without re-configuration; the server's own ErrNotPrimary guard backstops
+// clients that ignore the redirect).
+func (n *Node) FrontHandler(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/replica/stream", n.handleStream)
+	mux.HandleFunc("GET /v1/replica/snapshot", n.handleSnapshot)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if isMutation(r) && n.srv.IsFollower() {
+			if primary := n.PrimaryURL(); primary != "" {
+				http.Redirect(w, r, strings.TrimSuffix(primary, "/")+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+				return
+			}
+		}
+		api.ServeHTTP(w, r)
+	})
+	return mux
+}

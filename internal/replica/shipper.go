@@ -1,0 +1,189 @@
+// Shipper side: serving the journal stream and bootstrap snapshots.
+package replica
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"drqos/internal/journal"
+	"drqos/internal/server"
+)
+
+// streamEnvelope is one stream response. Frames holds the records in the
+// journal's on-disk frame format (length + CRC-32C + payload), base64 in
+// JSON — the standby appends exactly the checksummed bytes a journal would
+// hold. Verify carries fingerprint checkpoints the follower must match as
+// its applied prefix reaches them.
+type streamEnvelope struct {
+	Term       uint64               `json:"term"`
+	DurableSeq uint64               `json:"durable_seq"`
+	Verify     []server.VerifyPoint `json:"verify,omitempty"`
+	Frames     []byte               `json:"frames,omitempty"`
+}
+
+// snapshotEnvelope is the bootstrap image: a snapshot header + body pair
+// fit for journal.InstallSnapshot on the receiving side.
+type snapshotEnvelope struct {
+	Term   uint64                 `json:"term"`
+	Header journal.SnapshotHeader `json:"header"`
+	Body   []byte                 `json:"body"`
+}
+
+// streamError is the shipper's refusal envelope. Reason is machine-read by
+// the follower: "compacted" (410) → bootstrap from the snapshot endpoint;
+// "diverged" (409) → local history contradicts the primary's, bootstrap;
+// "demoted" (503) → this node just stepped down, find the new primary.
+type streamError struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+}
+
+const (
+	reasonCompacted = "compacted"
+	reasonDiverged  = "diverged"
+	reasonDemoted   = "demoted"
+)
+
+func writeStreamError(w http.ResponseWriter, code int, reason, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(streamError{Error: msg, Reason: reason})
+}
+
+// handleStream answers GET /v1/replica/stream?from=N[&term=T][&prev_crc=C]
+// [&wait=ms]: long-poll for records with Seq >= from, bounded by the
+// durable tip. A poll is also the standby's acknowledgment that everything
+// below from is durably applied over there, and its term is the fencing
+// probe — a higher term demotes this node before it serves a byte.
+func (n *Node) handleStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		http.Error(w, "stream: from must be a positive sequence number", http.StatusBadRequest)
+		return
+	}
+	pollerTerm, _ := strconv.ParseUint(q.Get("term"), 10, 64)
+	if pollerTerm > n.srv.Term() {
+		// The poller promoted past us: we are the stale side. Step down
+		// first, answer "demoted" second — never serve under a dead term.
+		n.logf("replica: demoting, peer polled with term %d > ours %d", pollerTerm, n.srv.Term())
+		if err := n.srv.Demote(r.Context(), pollerTerm); err != nil {
+			http.Error(w, "demote: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeStreamError(w, http.StatusServiceUnavailable, reasonDemoted,
+			fmt.Sprintf("stepped down under term %d", pollerTerm))
+		return
+	}
+
+	if from <= n.jnl.SnapshotSeq() {
+		writeStreamError(w, http.StatusGone, reasonCompacted,
+			fmt.Sprintf("records below %d are compacted into a snapshot", n.jnl.SnapshotSeq()+1))
+		return
+	}
+	// History-identity probe: the standby reports the CRC of its last
+	// record; if ours at the same seq differs — or we do not even have that
+	// seq — the histories forked and the standby must re-bootstrap.
+	if prev := q.Get("prev_crc"); prev != "" && from > 1 {
+		prevCRC, perr := strconv.ParseUint(prev, 10, 32)
+		if perr != nil {
+			http.Error(w, "stream: bad prev_crc", http.StatusBadRequest)
+			return
+		}
+		switch evs, rerr := n.jnl.ReadFrom(from-1, 1); {
+		case errors.Is(rerr, journal.ErrCompacted):
+			// Compacted between the check above and here; indistinguishable
+			// from the from<=snapSeq case.
+			writeStreamError(w, http.StatusGone, reasonCompacted, "history compacted under the probe")
+			return
+		case rerr != nil:
+			http.Error(w, rerr.Error(), http.StatusInternalServerError)
+			return
+		case len(evs) == 0:
+			writeStreamError(w, http.StatusConflict, reasonDiverged,
+				fmt.Sprintf("standby is at seq %d but primary's durable tip is %d — divergent suffix", from-1, n.jnl.DurableSeq()))
+			return
+		case journal.EventCRC(evs[0]) != uint32(prevCRC):
+			writeStreamError(w, http.StatusConflict, reasonDiverged,
+				fmt.Sprintf("record %d CRC mismatch: standby %08x, primary %08x", from-1, uint32(prevCRC), journal.EventCRC(evs[0])))
+			return
+		}
+	}
+	// The probe passed: everything below from is confirmed replicated.
+	n.notePoll(from - 1)
+
+	wait := n.cfg.PollWait
+	if ms, werr := strconv.Atoi(q.Get("wait")); werr == nil && ms >= 0 {
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > 30*time.Second {
+			wait = 30 * time.Second
+		}
+	}
+	deadline := time.Now().Add(wait)
+	var evs []journal.Event
+	for {
+		evs, err = n.jnl.ReadFrom(from, n.cfg.BatchMax)
+		if errors.Is(err, journal.ErrCompacted) {
+			writeStreamError(w, http.StatusGone, reasonCompacted, "history compacted mid-poll")
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if len(evs) > 0 || time.Now().After(deadline) || r.Context().Err() != nil {
+			break
+		}
+		select {
+		case <-time.After(5 * time.Millisecond):
+		case <-r.Context().Done():
+		}
+	}
+
+	env := streamEnvelope{
+		Term:       n.srv.Term(),
+		DurableSeq: n.jnl.DurableSeq(),
+	}
+	if len(evs) > 0 {
+		env.Frames = journal.EncodeFrames(evs)
+		last := evs[len(evs)-1].Seq
+		// Verify points come from the published epoch: the fingerprint is
+		// cached per epoch, so attaching it costs one map of hash-at-seq,
+		// not a hash per poll. Only a point the batch actually reaches is
+		// useful to the follower.
+		if v := n.srv.View(); v != nil && v.JournalSeq >= from && v.JournalSeq <= last {
+			env.Verify = []server.VerifyPoint{{Seq: v.JournalSeq, Fingerprint: v.Fingerprint()}}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(env)
+}
+
+// handleSnapshot answers GET /v1/replica/snapshot with the newest
+// bootstrap image, writing one on demand when none exists yet.
+func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	hdr, body, err := n.jnl.LatestSnapshot()
+	if err == nil && hdr == nil {
+		// Nothing compacted yet: materialize a snapshot so a diverged
+		// standby can still be re-seeded from the primary's exact state.
+		if serr := n.srv.SnapshotNow(r.Context()); serr != nil {
+			http.Error(w, "snapshot: "+serr.Error(), http.StatusConflict)
+			return
+		}
+		hdr, body, err = n.jnl.LatestSnapshot()
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if hdr == nil {
+		http.Error(w, "snapshot: none available", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(snapshotEnvelope{Term: n.srv.Term(), Header: *hdr, Body: body})
+}

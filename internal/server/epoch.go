@@ -19,6 +19,7 @@
 package server
 
 import (
+	"sync"
 	"time"
 
 	"drqos/internal/manager"
@@ -55,6 +56,20 @@ type EpochView struct {
 	// are loop-owned; freezing them into the epoch is what lets StatsView
 	// report them without entering the loop. Depths are overlaid live.
 	Lanes map[string]LaneStats
+
+	// fp memoizes State.Fingerprint() — see Fingerprint.
+	fpOnce sync.Once
+	fp     string
+}
+
+// Fingerprint returns State.Fingerprint() (the SHA-256 identity of the
+// exact mutation prefix this epoch reflects), computed at most once per
+// epoch no matter how many readers ask. The replication shipper calls it
+// per published epoch to build verify points, so the hash never costs the
+// actor loop anything and never repeats across polls of the same epoch.
+func (v *EpochView) Fingerprint() string {
+	v.fpOnce.Do(func() { v.fp = v.State.Fingerprint() })
+	return v.fp
 }
 
 // EpochStats is the staleness contract surfaced in Stats. Frozen reports
@@ -195,6 +210,7 @@ func (s *Server) StatsView() Stats {
 	}
 	st.QueueDepth = s.QueueDepth()
 	st.Forecast = forecastStats(s.fc)
+	st.Replica = s.replicaBlock()
 	return st
 }
 

@@ -396,7 +396,15 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 		}
 		// Degraded is sticky: a clean audit now does not un-corrupt the
 		// event that tripped it, so the flag is reported either way.
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "degraded": degraded, "degraded_reason": reason})
+		// The state fingerprint rides along so an operator (or the failover
+		// smoke) can compare two quiescent replicas bit-for-bit with one
+		// request per node; it is a second trip into the loop, so under
+		// concurrent mutation it may postdate the audit it accompanies.
+		body := map[string]any{"ok": true, "degraded": degraded, "degraded_reason": reason}
+		if fp, ferr := s.StateFingerprint(r.Context()); ferr == nil {
+			body["fingerprint"] = fp
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	mux.HandleFunc("POST /v1/admin/recover", func(w http.ResponseWriter, r *http.Request) {
 		seq, err := s.Recover(r.Context())
@@ -405,6 +413,17 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"recovered": true, "journal_seq": seq})
+	})
+	mux.HandleFunc("POST /v1/admin/promote", func(w http.ResponseWriter, r *http.Request) {
+		// Manual failover: flip this follower to primary under a new fencing
+		// term. The replica failover controller calls the same method on
+		// sustained primary health-check failure.
+		term, err := s.Promote(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "term": term, "role": s.Role()})
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		// Scrapes ride the epoch view: a wedged or saturated actor loop can
@@ -429,11 +448,15 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 		degraded, reason := s.Degraded()
 		recovering, _, _, _ := s.RecoveryStatus()
 		overloaded := s.Overloaded()
+		// Role rides readiness so a load balancer (and the failover drill)
+		// can tell a ready read-only follower from the mutation-serving
+		// primary without a second request.
 		body := map[string]any{
 			"ready":      !degraded && !recovering && !overloaded,
 			"degraded":   degraded,
 			"recovering": recovering,
 			"overloaded": overloaded,
+			"role":       s.Role(),
 		}
 		if reason != "" {
 			body["degraded_reason"] = reason
@@ -497,6 +520,10 @@ func writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrConflict):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrNotPrimary):
+		// Retryable: during failover the client's next attempt (after the
+		// hint, or via the front layer's 307) lands on the new primary.
+		writeShed(w, http.StatusServiceUnavailable, time.Second, err.Error())
 	case errors.Is(err, ErrOverloaded):
 		writeShed(w, http.StatusServiceUnavailable, time.Second, err.Error())
 	case errors.Is(err, ErrDegraded):

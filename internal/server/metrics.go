@@ -131,6 +131,21 @@ func writeMetrics(w io.Writer, st Stats) {
 		counter("drqos_forecast_ignored_transitions_total", "Observed transitions outside the modeled state grid.", f.IgnoredTransitions)
 	}
 
+	if r := st.Replica; r != nil {
+		fmt.Fprintf(w, "# HELP drqos_role Replication role of this node (1 on the active label).\n# TYPE drqos_role gauge\ndrqos_role{role=%q} 1\n", r.Role)
+		gauge("drqos_replica_term", "Current replication fencing term.", r.Term)
+		counter("drqos_promotions_total", "Times this node promoted from follower to primary.", r.Promotions)
+		if r.Role == "follower" {
+			gauge("drqos_replica_lag_seq", "Journal records the primary has durably written that this follower has not yet applied.", r.LagSeq)
+			gauge("drqos_replica_lag_seconds", "Time since this follower last successfully fetched from the primary.", r.LagSeconds)
+			diverged := 0
+			if r.Diverged {
+				diverged = 1
+			}
+			gauge("drqos_replica_diverged", "1 after a fingerprint cross-check failed; the follower refuses promotion until re-bootstrapped.", diverged)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP drqos_commands_total Commands executed by the actor loop, by kind.\n# TYPE drqos_commands_total counter\n")
 	for _, kv := range []struct {
 		kind string

@@ -146,6 +146,12 @@ func (s *Server) recoverOnce(ctx context.Context) (uint64, error) {
 	// must terminate.
 	done := make(chan struct{})
 	if err := s.submit(ctx, laneFreeing, true, func(*manager.Manager) {
+		// The journal is the durable term authority: adopt whatever fencing
+		// term the reload surfaced (snapshot header or KindTerm records), so
+		// a rebuilt replica resumes fencing where its history left off.
+		if rec.Term > s.term.Load() {
+			s.term.Store(rec.Term)
+		}
 		s.mgr = fresh
 		// The transaction table is rebuilt alongside the manager it
 		// indexes into. In-flight (uncommitted) transactions stay pending:
@@ -383,6 +389,10 @@ func applyJournaled(m *manager.Manager, ev journal.Event, txns TxnTable) error {
 			txns[ev.Txn] = tx
 		}
 		tx.Conns = append(tx.Conns, rep.Conn.ID)
+		return nil
+	case journal.KindTerm:
+		// Replication fence marker: no manager state changes. The journal
+		// layer already folded the highest term into Recovered.Term.
 		return nil
 	case journal.KindCommit:
 		tx := txns[ev.Txn]

@@ -90,6 +90,14 @@ var ErrNotFound = errors.New("server: not found")
 // failing an already-failed link.
 var ErrConflict = errors.New("server: conflict")
 
+// ErrNotPrimary reports a mutation against a replica running in the
+// follower role: followers serve reads and apply the primary's stream, but
+// never originate mutations — a fenced ex-primary answering this instead
+// of silently accepting writes is what keeps split-brain off the table.
+// Mapped to HTTP 503 (the daemon's front layer additionally answers 307
+// with the primary's address when it knows one).
+var ErrNotPrimary = errors.New("server: not primary, mutations refused in follower role")
+
 // lane identifies which priority queue a command rides.
 type lane int
 
@@ -165,6 +173,31 @@ type Options struct {
 	// the sharded deployment uses it; a standalone server's table stays
 	// empty forever.
 	Txns TxnTable
+	// Follower starts the server in the follower role: every mutating
+	// command answers ErrNotPrimary, and state advances only through
+	// ApplyReplicated (the primary's journal stream) until Promote flips
+	// the role. The zero value starts a primary, which is every
+	// non-replicated deployment.
+	Follower bool
+	// Term seeds the replication term — typically journal.Recovered.Term,
+	// so a restarted replica resumes fencing where its journal left off.
+	Term uint64
+	// WaitReplicated, when non-nil, is called after a mutation's journal
+	// record became locally durable and before the client is acknowledged,
+	// with the record's sequence number. The replication shipper uses it
+	// for semi-synchronous mode: block (bounded) until a standby has
+	// fetched the record, so an acknowledged mutation survives losing the
+	// primary. Zero-cost when replication is off (nil hook).
+	WaitReplicated func(ctx context.Context, seq uint64) error
+	// AnnotateSnapshot, when non-nil, runs on every snapshot header just
+	// before it is written, so outer planes can persist their own crash-safe
+	// counters (the shard coordinator journals its cross-shard txn counters
+	// this way).
+	AnnotateSnapshot func(hdr *journal.SnapshotHeader)
+	// ReplicaStats, when non-nil, supplies the replication block served
+	// under /v1/stats and /metrics (lag, peer liveness). The server fills
+	// the role/term/promotion fields itself.
+	ReplicaStats func() *ReplicaStats
 	// Forecast, when non-nil, runs the live analytic control plane
 	// (internal/forecast): every applied establish / terminate / fail-link
 	// event feeds the online parameter estimator, the Markov chain is
@@ -243,6 +276,17 @@ type Server struct {
 	// lock-free.
 	fc *forecast.Forecaster
 
+	// Replication role state (replication.go). follower and term are read
+	// on every mutation's guard and flipped only by loop commands (Promote /
+	// Demote / ApplyReplicated observing a KindTerm record); the hooks are
+	// immutable after construction.
+	follower         atomic.Bool
+	term             atomic.Uint64
+	promotions       atomic.Int64
+	waitReplicated   func(ctx context.Context, seq uint64) error
+	annotateSnapshot func(hdr *journal.SnapshotHeader)
+	replicaStats     func() *ReplicaStats
+
 	// Recovery state (recovery.go).
 	recoverPolicy    RecoverPolicy
 	onRecover        func(uint64)
@@ -304,7 +348,13 @@ func NewFromManager(g *topology.Graph, mgr *manager.Manager, opt Options) (*Serv
 		onRecover:      opt.OnRecover,
 		epochInterval:  opt.EpochInterval,
 		capacityKbps:   int64(mgr.Network().Capacity()),
+
+		waitReplicated:   opt.WaitReplicated,
+		annotateSnapshot: opt.AnnotateSnapshot,
+		replicaStats:     opt.ReplicaStats,
 	}
+	s.follower.Store(opt.Follower)
+	s.term.Store(opt.Term)
 	if s.epochInterval <= 0 {
 		s.epochInterval = 25 * time.Millisecond
 	}
@@ -543,6 +593,16 @@ func (s *Server) waitDurable(ctx context.Context, seq uint64) error {
 		s.journalErrors.Add(1)
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
+	// Semi-synchronous replication rides behind local durability: the
+	// shipper's hook blocks (bounded) until a live standby fetched the
+	// record, so losing the primary right after this acknowledgment still
+	// cannot lose the mutation. The hook itself degrades to async when no
+	// standby is polling.
+	if s.waitReplicated != nil && !s.follower.Load() {
+		if err := s.waitReplicated(ctx, seq); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -605,6 +665,12 @@ func (s *Server) writeSnapshot(m *manager.Manager) error {
 		}
 		sort.Slice(txns, func(i, j int) bool { return txns[i].Txn < txns[j].Txn })
 		hdr.Txns = txns
+	}
+	// The current fencing term rides every snapshot so a replica restarted
+	// from compacted history still knows which term it last observed.
+	hdr.Term = s.term.Load()
+	if s.annotateSnapshot != nil {
+		s.annotateSnapshot(&hdr)
 	}
 	return s.jnl.WriteSnapshot(hdr, st.MarshalBinary())
 }
@@ -709,6 +775,10 @@ func (s *Server) Establish(ctx context.Context, src, dst topology.NodeID, spec q
 			ch <- out{nil, err, 0}
 			return
 		}
+		if err := s.refuseIfNotPrimary(); err != nil {
+			ch <- out{nil, err, 0}
+			return
+		}
 		// Range-check endpoints before journaling: a journaled establish
 		// must be safe to replay against the same topology.
 		if !validNode(m.Graph(), src) || !validNode(m.Graph(), dst) {
@@ -776,6 +846,10 @@ func (s *Server) Terminate(ctx context.Context, id channel.ConnID) (*manager.Ter
 			ch <- out{nil, err, 0}
 			return
 		}
+		if err := s.refuseIfNotPrimary(); err != nil {
+			ch <- out{nil, err, 0}
+			return
+		}
 		if c := m.Conn(id); c == nil || !c.Alive() {
 			ch <- out{nil, ErrNotFound, 0}
 			return
@@ -820,6 +894,10 @@ func (s *Server) FailLink(ctx context.Context, l topology.LinkID) (*manager.Fail
 	if err := s.submit(ctx, laneConsuming, false, func(m *manager.Manager) {
 		s.failures.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{nil, err, 0}
+			return
+		}
+		if err := s.refuseIfNotPrimary(); err != nil {
 			ch <- out{nil, err, 0}
 			return
 		}
@@ -871,6 +949,10 @@ func (s *Server) RepairLink(ctx context.Context, l topology.LinkID) (int, error)
 	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
 		s.repairs.Add(1)
 		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{0, err, 0}
+			return
+		}
+		if err := s.refuseIfNotPrimary(); err != nil {
 			ch <- out{0, err, 0}
 			return
 		}

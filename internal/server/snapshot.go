@@ -84,6 +84,11 @@ type Stats struct {
 	// parameters, solve health, predictive latch); nil when disabled. The
 	// full distribution lives on GET /v1/forecast.
 	Forecast *ForecastStats `json:"forecast,omitempty"`
+
+	// Replica summarizes the replication plane (role, fencing term, stream
+	// lag); nil on a server that has never replicated, so non-HA payloads
+	// are unchanged.
+	Replica *ReplicaStats `json:"replica,omitempty"`
 }
 
 // CommandStats counts processed commands by kind.
@@ -194,6 +199,7 @@ func (s *Server) Snapshot(ctx context.Context) (Stats, error) {
 		}
 		st.QueueDepth = s.QueueDepth()
 		st.Forecast = forecastStats(s.fc)
+		st.Replica = s.replicaBlock()
 		ch <- st
 	}); err != nil {
 		return Stats{}, err

@@ -74,6 +74,10 @@ func (s *Server) PrepareTxn(ctx context.Context, txn uint64, peers uint32, src, 
 			ch <- out{nil, err, 0}
 			return
 		}
+		if err := s.refuseIfNotPrimary(); err != nil {
+			ch <- out{nil, err, 0}
+			return
+		}
 		if err := s.refuseIfOverloadedLoop(); err != nil {
 			ch <- out{nil, err, 0}
 			return
@@ -148,6 +152,10 @@ func (s *Server) CommitTxn(ctx context.Context, txn uint64) error {
 			ch <- out{err, 0}
 			return
 		}
+		if err := s.refuseIfNotPrimary(); err != nil {
+			ch <- out{err, 0}
+			return
+		}
 		tx := s.txns[txn]
 		if tx == nil {
 			ch <- out{fmt.Errorf("%w: txn %d", ErrNotFound, txn), 0}
@@ -194,6 +202,10 @@ func (s *Server) AbortTxn(ctx context.Context, txn uint64) error {
 	ch := make(chan out, 1)
 	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
 		if err := s.refuseIfDegraded(); err != nil {
+			ch <- out{err, 0}
+			return
+		}
+		if err := s.refuseIfNotPrimary(); err != nil {
 			ch <- out{err, 0}
 			return
 		}

@@ -165,6 +165,21 @@ func New(g *topology.Graph, opt Options) (*Coordinator, error) {
 		}
 		mgrs[i] = m
 		tables[i] = txns
+		// Cross-shard counters ride the shard snapshot headers; a restart
+		// seeds each from the newest view any shard captured (per-counter
+		// max — shards snapshot at different times, so each header is a
+		// valid lower bound).
+		if h := rec.SnapshotHeader; h != nil {
+			if h.CrossAttempts > c.crossAttempts.Load() {
+				c.crossAttempts.Store(h.CrossAttempts)
+			}
+			if h.CrossCommitted > c.crossCommitted.Load() {
+				c.crossCommitted.Store(h.CrossCommitted)
+			}
+			if h.CrossAborted > c.crossAborted.Load() {
+				c.crossAborted.Store(h.CrossAborted)
+			}
+		}
 	}
 
 	if err := c.reconcile(mgrs, tables); err != nil {
@@ -178,6 +193,13 @@ func New(g *topology.Graph, opt Options) (*Coordinator, error) {
 		so := opt.Server
 		so.Journal = c.jnls[i]
 		so.Txns = tables[i]
+		// Every shard snapshot stamps the coordinator's current cross-shard
+		// counters into its header, making them restart-durable.
+		so.AnnotateSnapshot = func(hdr *journal.SnapshotHeader) {
+			hdr.CrossAttempts = c.crossAttempts.Load()
+			hdr.CrossCommitted = c.crossCommitted.Load()
+			hdr.CrossAborted = c.crossAborted.Load()
+		}
 		srv, err := server.NewFromManager(plan.Subs[i].Graph, mgrs[i], so)
 		if err != nil {
 			for j := 0; j < i; j++ {
@@ -408,7 +430,10 @@ func (c *Coordinator) establishCross(ctx context.Context, src, dst topology.Node
 	}
 	// Every prepare is durable: the transaction commits. Per-shard commit
 	// errors are tolerated — the first commit that lands makes the outcome
-	// durable, and boot reconciliation re-commits the stragglers.
+	// durable, and boot reconciliation re-commits the stragglers. Count the
+	// commit before issuing it so any snapshot a commit event triggers
+	// already carries the final tally.
+	c.crossCommitted.Add(1)
 	parts := make([]part, 0, len(runs))
 	for _, r := range runs {
 		cctx, cancel := context.WithTimeout(context.Background(), c.opt.PrepareTimeout)
@@ -416,7 +441,6 @@ func (c *Coordinator) establishCross(ctx context.Context, src, dst topology.Node
 		cancel()
 		parts = append(parts, part{shard: r.shard, conn: r.connID})
 	}
-	c.crossCommitted.Add(1)
 	cc := &crossConn{links: append([]topology.LinkID(nil), path.Links...), parts: parts}
 	c.mu.Lock()
 	c.cross[txn] = cc

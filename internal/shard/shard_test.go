@@ -583,3 +583,64 @@ func compareDirs(t *testing.T, a, b string) {
 		}
 	}
 }
+
+// TestCrossCountersSurviveRestart drives committed and aborted cross-shard
+// transactions, snapshots every shard, restarts the whole deployment from
+// disk, and asserts the coordinator-level 2PC counters (the source of
+// drqos_cross_{establish,commit,abort}_total) are preserved and keep
+// counting from where they left off.
+func TestCrossCountersSurviveRestart(t *testing.T) {
+	g := tierGraph(t, 7)
+	dir := t.TempDir()
+	opt := shard.Options{
+		Shards: 4, Dir: dir, Journal: journal.Options{FsyncEvery: 1},
+		Manager: manager.Config{Capacity: 10000},
+	}
+	c, err := shard.New(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	src, dst := crossPair(g, c.Plan())
+
+	for i := 0; i < 2; i++ {
+		res, err := c.Establish(ctx, src, dst, qos.DefaultSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cross {
+			t.Fatalf("establish %d did not cross shards", i)
+		}
+	}
+	c.SetTestHookAfterPrepare(func(int, uint64) error { return errors.New("injected prepare failure") })
+	if _, err := c.Establish(ctx, src, dst, qos.DefaultSpec()); err == nil {
+		t.Fatal("establish succeeded despite injected prepare failure")
+	}
+	c.SetTestHookAfterPrepare(nil)
+	if att, com, abo := c.CrossStats(); att != 3 || com != 2 || abo != 1 {
+		t.Fatalf("pre-restart cross stats %d/%d/%d, want 3/2/1", att, com, abo)
+	}
+
+	// The counters travel in snapshot headers, so force one per shard before
+	// shutting down.
+	for i := 0; i < c.NumShards(); i++ {
+		if err := c.Shard(i).SnapshotNow(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := newCoordinator(t, g, opt)
+	if att, com, abo := c2.CrossStats(); att != 3 || com != 2 || abo != 1 {
+		t.Fatalf("post-restart cross stats %d/%d/%d, want 3/2/1", att, com, abo)
+	}
+	// And the restored baseline keeps counting.
+	if _, err := c2.Establish(ctx, src, dst, qos.DefaultSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if att, com, abo := c2.CrossStats(); att != 4 || com != 3 || abo != 1 {
+		t.Fatalf("post-restart establish cross stats %d/%d/%d, want 4/3/1", att, com, abo)
+	}
+}

@@ -30,6 +30,14 @@
 #                                restarted: the replayed per-shard state
 #                                must match the pre-kill metrics exactly and
 #                                the plane must admit again (intra + cross)
+#   scripts/check.sh --failover  build + panic gate + replication tests
+#                                under -race and primary-kill episodes, then
+#                                a live two-node pair: kill -9 the primary
+#                                mid-burst, gate the standby's promotion
+#                                under one second, require the load to
+#                                survive by rotating endpoints, and require
+#                                the rejoined ex-primary to converge to a
+#                                bit-identical state fingerprint
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -327,8 +335,10 @@ if [ "${1:-}" = "--shard" ]; then
 
     # The deterministic slice of the sharded /metrics: aggregate and
     # per-shard populations, admission counters, the cross-connection
-    # index. (The cross attempt/commit/abort counters are process-local
-    # telemetry, not journaled state, so they are excluded.)
+    # index. (The cross attempt/commit/abort counters persist via shard
+    # snapshot headers, but a kill -9 rolls them back to the last
+    # snapshot's tally, so they get their own lower-bound gate below
+    # instead of riding the exact diff.)
     state_metrics() {
         curl -fsS "http://$ADDR/metrics" | grep -E \
             '^drqos_(connections_alive|connections_level|connections_unprotected|establish_requests_total|establish_rejects_total|links_failed|shard_connections_alive|cross_connections_active)'
@@ -363,6 +373,14 @@ if [ "${1:-}" = "--shard" ]; then
         echo "FAIL: sharded state after kill -9 + restart differs from the journaled state" >&2
         exit 1
     fi
+    # The 2PC counters travel in shard snapshot headers: after a kill -9
+    # restart they must come back at least to the last snapshot's tally,
+    # not reset to zero.
+    if ! curl -fsS "http://$ADDR/metrics" | grep -Eq '^drqos_cross_commit_total [1-9]'; then
+        echo "FAIL: cross-shard 2PC counters reset to zero across the restart" >&2
+        curl -fsS "http://$ADDR/metrics" | grep '^drqos_cross' >&2 || true
+        exit 1
+    fi
     if ! curl -fsS "http://$ADDR/v1/invariants" | grep -q '"ok": *true'; then
         echo "FAIL: invariants dirty after sharded crash recovery" >&2
         curl -fsS "http://$ADDR/v1/invariants" >&2 || true
@@ -375,6 +393,149 @@ if [ "${1:-}" = "--shard" ]; then
     kill -TERM "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true
     SRV_PID=""
     echo "== OK (shard)"
+    exit 0
+fi
+
+if [ "${1:-}" = "--failover" ]; then
+    # In-process first: the full replica test matrix (streaming, lockstep
+    # verification, semi-sync acks, promotion, fencing, re-bootstrap) and
+    # the seeded primary-kill episodes, all race-enabled.
+    echo "== replica unit tests under -race"
+    go test -race -count 1 ./internal/replica/
+    go test -race -count 1 -short -run 'TestRunFailover' ./internal/chaos/
+    echo "== chaos: 2 primary-kill failover episodes"
+    go run ./cmd/chaos -failover -episodes 2 -q
+
+    # End-to-end: a real two-node drserverd pair, kill -9 the primary
+    # mid-burst, sub-second promotion, surviving load, fenced rejoin with
+    # bit-identical fingerprints.
+    TMP="$(mktemp -d)"
+    A_PID=""
+    B_PID=""
+    LOAD_PID=""
+    cleanup() {
+        [ -n "$A_PID" ] && kill -9 "$A_PID" 2>/dev/null || true
+        [ -n "$B_PID" ] && kill -9 "$B_PID" 2>/dev/null || true
+        [ -n "$LOAD_PID" ] && kill -9 "$LOAD_PID" 2>/dev/null || true
+        rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    A=127.0.0.1:18084
+    B=127.0.0.1:18085
+    echo "== building drserverd + drload"
+    go build -o "$TMP/drserverd" ./cmd/drserverd
+    go build -o "$TMP/drload" ./cmd/drload
+
+    wait_up() {
+        i=0
+        while ! curl -fsS "$1/healthz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            if [ "$i" -ge 100 ]; then
+                echo "FAIL: $1 did not come up; logs:" >&2
+                cat "$TMP"/*.log >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+    }
+
+    echo "== failover smoke 1: boot primary + warm standby"
+    "$TMP/drserverd" -addr "$A" -nodes 40 -seed 7 -data-dir "$TMP/a" \
+        -fsync -1 -advertise "http://$A" >"$TMP/a.log" 2>&1 &
+    A_PID=$!
+    wait_up "http://$A"
+    "$TMP/drserverd" -addr "$B" -nodes 40 -seed 7 -data-dir "$TMP/b" \
+        -fsync -1 -advertise "http://$B" -replica-of "http://$A" \
+        -failover-timeout 300ms >"$TMP/b.log" 2>&1 &
+    B_PID=$!
+    wait_up "http://$B"
+    if ! curl -fsS "http://$B/readyz" | grep -q '"role": *"follower"'; then
+        echo "FAIL: standby does not report the follower role" >&2
+        curl -fsS "http://$B/readyz" >&2 || true
+        exit 1
+    fi
+
+    echo "== failover smoke 2: kill -9 the primary mid-burst, promotion < 1s"
+    "$TMP/drload" -addr "http://$A,http://$B" -workers 4 -requests 100000 \
+        -seed 17 -terminate-frac 0.1 -retries 8 -retry-base 20ms \
+        >"$TMP/load1.log" 2>&1 &
+    LOAD_PID=$!
+    sleep 1
+    T0=$(date +%s%N)
+    kill -9 "$A_PID"; wait "$A_PID" 2>/dev/null || true
+    A_PID=""
+    while ! curl -fsS "http://$B/readyz" 2>/dev/null | grep -q '"role": *"primary"'; do
+        if [ $(( ($(date +%s%N) - T0) / 1000000 )) -ge 5000 ]; then
+            echo "FAIL: standby never promoted; standby log:" >&2
+            tail -40 "$TMP/b.log" >&2
+            exit 1
+        fi
+        sleep 0.02
+    done
+    PROMO_MS=$(( ($(date +%s%N) - T0) / 1000000 ))
+    echo "   promotion observed after ${PROMO_MS}ms"
+    if [ "$PROMO_MS" -ge 1000 ]; then
+        echo "FAIL: promotion took ${PROMO_MS}ms, budget is 1000ms" >&2
+        exit 1
+    fi
+    kill "$LOAD_PID" 2>/dev/null || true
+    wait "$LOAD_PID" 2>/dev/null || true
+    LOAD_PID=""
+
+    echo "== failover smoke 3: load survives by rotating to the new primary"
+    # The first endpoint in the list is the dead primary: every worker's
+    # first attempt gets connection-refused, rotates, and must succeed —
+    # so failovers_survived is deterministically non-zero.
+    "$TMP/drload" -addr "http://$A,http://$B" -workers 4 -requests 200 \
+        -seed 21 -terminate-frac 0.2 -fault-frac 0 -retries 6 \
+        >"$TMP/load2.log" 2>&1
+    if ! grep -Eq 'failovers_survived=[1-9]' "$TMP/load2.log"; then
+        echo "FAIL: drload survived no failovers against a dead first endpoint" >&2
+        cat "$TMP/load2.log" >&2
+        exit 1
+    fi
+    if ! curl -fsS "http://$B/metrics" | grep -q '^drqos_promotions_total 1'; then
+        echo "FAIL: new primary does not count exactly one promotion" >&2
+        curl -fsS "http://$B/metrics" | grep '^drqos_\(promotions\|role\)' >&2 || true
+        exit 1
+    fi
+
+    echo "== failover smoke 4: ex-primary rejoins fenced, fingerprints bit-identical"
+    "$TMP/drserverd" -addr "$A" -nodes 40 -seed 7 -data-dir "$TMP/a" \
+        -fsync -1 -advertise "http://$A" -replica-of "http://$B" \
+        -failover-timeout 0 >>"$TMP/a.log" 2>&1 &
+    A_PID=$!
+    wait_up "http://$A"
+    # Catch-up: the rejoined follower must reach the new primary's journal
+    # tip (term record included) before the fingerprints can agree.
+    TIP=$(curl -fsS "http://$B/metrics" | grep '^drqos_journal_seq ' | awk '{print $2}')
+    i=0
+    while [ "$(curl -fsS "http://$A/metrics" 2>/dev/null | grep '^drqos_journal_seq ' | awk '{print $2}')" != "$TIP" ]; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "FAIL: rejoined ex-primary never caught up to seq $TIP; log:" >&2
+            tail -40 "$TMP/a.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if ! curl -fsS "http://$A/readyz" | grep -q '"role": *"follower"'; then
+        echo "FAIL: rejoined ex-primary did not demote to follower" >&2
+        curl -fsS "http://$A/readyz" >&2 || true
+        exit 1
+    fi
+    FP_A=$(curl -fsS "http://$A/v1/invariants" | sed -n 's/.*"fingerprint": *"\([0-9a-f]*\)".*/\1/p')
+    FP_B=$(curl -fsS "http://$B/v1/invariants" | sed -n 's/.*"fingerprint": *"\([0-9a-f]*\)".*/\1/p')
+    if [ -z "$FP_A" ] || [ "$FP_A" != "$FP_B" ]; then
+        echo "FAIL: state fingerprints diverge after rejoin: a=$FP_A b=$FP_B" >&2
+        exit 1
+    fi
+    echo "   fingerprints match: $FP_A"
+    kill -TERM "$A_PID"; wait "$A_PID" 2>/dev/null || true
+    A_PID=""
+    kill -TERM "$B_PID"; wait "$B_PID" 2>/dev/null || true
+    B_PID=""
+    echo "== OK (failover)"
     exit 0
 fi
 
