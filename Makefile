@@ -1,4 +1,4 @@
-.PHONY: check build test race bench bench-json bench-smoke loadtest overload-smoke forecast-smoke shard-smoke failover-smoke
+.PHONY: check build test race bench bench-json bench-smoke loadtest overload-smoke forecast-smoke shard-smoke failover-smoke partition-smoke
 
 # Full tier-1 verification: build + vet + race-enabled tests.
 check:
@@ -48,6 +48,12 @@ shard-smoke:
 # mid-burst, sub-second promotion and a fenced bit-identical rejoin.
 failover-smoke:
 	./scripts/check.sh --failover
+
+# Partition tolerance: netchaos fault injection, lease-fenced replication
+# and timeout-hardened 2PC under -race, then a live pair with the manual
+# promote interlock and a drload ledger run gated on zero acked loss.
+partition-smoke:
+	./scripts/check.sh --partition
 
 # End-to-end load test: drserverd + drload (10k requests, 8 workers).
 loadtest:

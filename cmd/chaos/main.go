@@ -27,28 +27,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"drqos/internal/chaos"
 )
 
 func main() {
 	var (
-		episodes = flag.Int("episodes", 20, "number of seeded episodes")
-		events   = flag.Int("events", 200, "events per manager episode")
-		seed     = flag.Uint64("seed", 1, "first seed; episode i uses seed+i")
-		nodes    = flag.Int("nodes", 24, "Waxman topology size")
-		srv      = flag.Bool("server", false, "drive server.Server concurrently instead of the bare manager")
-		workers  = flag.Int("workers", 8, "concurrent clients (with -server)")
-		ops      = flag.Int("ops", 100, "operations per client (with -server)")
-		crash    = flag.Bool("crash", false, "run crash-restart durability episodes instead")
-		failover = flag.Bool("failover", false, "run primary-kill failover episodes instead: a two-node replicated pair takes a mutation burst, the primary dies mid-burst, and the standby must promote sub-second with a bit-identical acked prefix, zero acked establishes lost, and a fenced rejoin")
-		shardEp  = flag.Bool("shard", false, "run sharded mid-2PC kill episodes instead: one region shard dies between prepare and commit, survivors must abort cleanly and a full restart must replay every shard to the acknowledged prefix")
-		overload = flag.Bool("overload", false, "run overload-control episodes instead (deadline shedding, priority lanes, latch/recovery)")
-		quiet    = flag.Bool("q", false, "only report failures")
+		episodes    = flag.Int("episodes", 20, "number of seeded episodes")
+		events      = flag.Int("events", 200, "events per manager episode")
+		seed        = flag.Uint64("seed", 1, "first seed; episode i uses seed+i")
+		nodes       = flag.Int("nodes", 24, "Waxman topology size")
+		srv         = flag.Bool("server", false, "drive server.Server concurrently instead of the bare manager")
+		workers     = flag.Int("workers", 8, "concurrent clients (with -server)")
+		ops         = flag.Int("ops", 100, "operations per client (with -server)")
+		crash       = flag.Bool("crash", false, "run crash-restart durability episodes instead")
+		failover    = flag.Bool("failover", false, "run primary-kill failover episodes instead: a two-node replicated pair takes a mutation burst, the primary dies mid-burst, and the standby must promote sub-second with a bit-identical acked prefix, zero acked establishes lost, and a fenced rejoin")
+		shardEp     = flag.Bool("shard", false, "run sharded mid-2PC kill episodes instead: one region shard dies between prepare and commit, survivors must abort cleanly and a full restart must replay every shard to the acknowledged prefix")
+		partitionEp = flag.Bool("partition", false, "run network-partition episodes instead: nothing dies, the network lies — a replicated pair loses its link mid-burst (symmetric or asymmetric) and the lease fence must keep at most one side acking with zero acked loss, while a sharded plane times out a partitioned 2PC participant, fast-fails during suspicion, and drains every unresolved abort after the heal")
+		overload    = flag.Bool("overload", false, "run overload-control episodes instead (deadline shedding, priority lanes, latch/recovery)")
+		quiet       = flag.Bool("q", false, "only report failures")
 	)
 	flag.Parse()
 
 	for i := 0; i < *episodes; i++ {
+		if *partitionEp {
+			if err := partitionEpisode(i, *seed+uint64(i), *quiet); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
 		if *shardEp {
 			if err := shardEpisode(i, *seed+uint64(i), *quiet); err != nil {
 				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
@@ -185,6 +194,29 @@ func failoverEpisode(i int, seed uint64, nodes int, quiet bool) error {
 	if !quiet {
 		fmt.Printf("failover episode %d ok (seed %d): acked=%d prefix=%d promotion=%s term=%d diverged_rejoin=%v fp=%.12s\n",
 			i, seed, res.AckedPreKill, res.ReplicatedPrefix, res.PromotionLatency, res.NewTerm, res.RejoinDiverged, res.Fingerprint)
+	}
+	return nil
+}
+
+// partitionEpisode runs one network-partition episode in a throwaway data
+// dir. The seed picks the partition shapes (symmetric / request-drop /
+// response-drop on the replica pair, request- or response-drop on the 2PC
+// victim), so consecutive seeds sweep the shape matrix.
+func partitionEpisode(i int, seed uint64, quiet bool) error {
+	dir, err := os.MkdirTemp("", "drqos-partition-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	res, err := chaos.RunPartition(chaos.PartitionConfig{Seed: seed, Dir: dir})
+	if err != nil {
+		return fmt.Errorf("partition episode %d (seed %d): %w", i, seed, err)
+	}
+	if !quiet {
+		fmt.Printf("partition episode %d ok (seed %d): mode=%s acked=%d fence=%s promotion=%s | shard mode=%s victim=%d timeouts=%d fast_fail=%s pending=%d\n",
+			i, seed, res.Mode, res.AckedPrePartition, res.FenceLatency.Round(time.Millisecond),
+			res.PromotionLatency.Round(time.Millisecond), res.ShardMode, res.Victim,
+			res.CrossTimeouts, res.FastFail.Round(time.Microsecond), res.PendingPeak)
 	}
 	return nil
 }

@@ -165,6 +165,7 @@ func run() error {
 		issued atomic.Int64
 		wg     sync.WaitGroup
 		msgs   = make(chan string, *workers) // first error per worker
+		wks    = make([]*worker, *workers)
 	)
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
@@ -172,7 +173,7 @@ func run() error {
 		go func(w int) {
 			defer wg.Done()
 			wk := &worker{
-				client: client, endpoints: endpoints,
+				id: w, client: client, endpoints: endpoints,
 				src: rng.New(*seed + uint64(w)*0x9e3779b97f4a7c15),
 				// Jitter draws come from a separate stream so retries do
 				// not perturb the deterministic operation mix.
@@ -184,7 +185,9 @@ func run() error {
 				cnt: &cnt, lat: lat,
 				failedLink: -1,
 				view:       sv, crossFrac: *crossFrac,
+				ledger: make(map[int64]string),
 			}
+			wks[w] = wk
 			for issued.Add(1) <= *requests {
 				if err := wk.step(); err != nil {
 					if cnt.errors.Add(1) <= int64(cap(msgs)) {
@@ -268,6 +271,42 @@ func run() error {
 		return fmt.Errorf("server invariants dirty: %s", inv.Error)
 	}
 	fmt.Println("server invariants: clean")
+
+	// Acked-write durability audit: every establish the server acknowledged
+	// (and the run did not terminate) must still be alive on the surviving
+	// endpoint. Only meaningful with no link faults (a fault legitimately
+	// drops connections without telling their owner) and more than one
+	// endpoint (the single-endpoint case has nothing to fail over to).
+	if *faultFrac == 0 && len(endpoints) > 1 {
+		verified, lost := 0, 0
+		var lostSample []string
+		for _, wk := range wks {
+			for id, rid := range wk.ledger {
+				var cs struct {
+					Alive bool `json:"alive"`
+				}
+				code, _, _, err := doJSON(client, "GET", reportAddr+fmt.Sprintf("/v1/connections/%d", id), nil, &cs)
+				if err != nil { // one retry on a transient transport error
+					code, _, _, err = doJSON(client, "GET", reportAddr+fmt.Sprintf("/v1/connections/%d", id), nil, &cs)
+				}
+				if err == nil && code == http.StatusOK && cs.Alive {
+					verified++
+					continue
+				}
+				lost++
+				if len(lostSample) < 5 {
+					lostSample = append(lostSample, fmt.Sprintf("conn %d (request %s, status %d, err %v)", id, rid, code, err))
+				}
+			}
+		}
+		fmt.Printf("acked ledger: verified=%d acked_lost=%d\n", verified, lost)
+		if lost > 0 {
+			for _, s := range lostSample {
+				fmt.Printf("acked_lost: %s\n", s)
+			}
+			return fmt.Errorf("%d acknowledged connections lost", lost)
+		}
+	}
 	if n := cnt.errors.Load(); n > 0 {
 		return fmt.Errorf("%d request errors", n)
 	}
@@ -284,6 +323,8 @@ type worker struct {
 	// the promoted standby.
 	endpoints           []string
 	epi                 int
+	id                  int
+	reqSeq              int64
 	src, jit            *rng.Source
 	nodes, links        int
 	termFrac            float64
@@ -297,6 +338,11 @@ type worker struct {
 	failedLink          int
 	view                *shardView
 	crossFrac           float64
+	// ledger records every establish the server acknowledged and the run
+	// still owns (terminates remove entries), keyed by connection ID with
+	// the X-Request-ID that created it. After a failover drill, main
+	// verifies every entry survived on the promoted endpoint.
+	ledger map[int64]string
 }
 
 // step issues exactly one HTTP request.
@@ -319,14 +365,17 @@ func (w *worker) establish() error {
 		MinKbps: w.minBW, MaxKbps: w.maxBW, IncrementKbps: w.inc,
 		Utility: 1,
 	}
+	w.reqSeq++
+	rid := fmt.Sprintf("w%02d-%08d", w.id, w.reqSeq)
 	var resp server.EstablishResponse
-	code, err := w.timed("POST", "/v1/connections", req, &resp)
+	code, err := w.timed("POST", "/v1/connections", req, &resp, "X-Request-ID", rid)
 	switch {
 	case err != nil:
 		return err
 	case code == http.StatusCreated:
 		w.cnt.established.Add(1)
 		w.owned = append(w.owned, resp.ID)
+		w.ledger[resp.ID] = rid
 		return nil
 	case code == http.StatusConflict: // admission rejection, an expected outcome
 		w.cnt.rejected.Add(1)
@@ -347,9 +396,11 @@ func (w *worker) terminate() error {
 		return err
 	case code == http.StatusOK:
 		w.cnt.terminated.Add(1)
+		delete(w.ledger, id)
 		return nil
 	case code == http.StatusNotFound: // dropped by a fault in the meantime
 		w.cnt.gone.Add(1)
+		delete(w.ledger, id)
 		return nil
 	default:
 		return fmt.Errorf("terminate %d: unexpected status %d", id, code)
@@ -404,12 +455,12 @@ func (w *worker) fault() error {
 // When the refusal carries a Retry-After hint, the worker sleeps for the
 // hinted time instead of its own backoff guess — the server knows how long
 // its own recovery takes.
-func (w *worker) timed(method, path string, body, out any) (int, error) {
+func (w *worker) timed(method, path string, body, out any, hdrs ...string) (int, error) {
 	backoff := w.retryBase
 	transportRetried := false
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
-		code, retryAfter, hinted, err := doJSON(w.client, method, w.endpoints[w.epi]+path, body, out)
+		code, retryAfter, hinted, err := doJSON(w.client, method, w.endpoints[w.epi]+path, body, out, hdrs...)
 		w.lat.observe(time.Since(t0).Seconds())
 		if err == nil && code != http.StatusServiceUnavailable && code != http.StatusTooManyRequests {
 			if transportRetried {
@@ -425,8 +476,15 @@ func (w *worker) timed(method, path string, body, out any) (int, error) {
 			return code, fmt.Errorf("giving up after %d attempts: status %d", attempt+1, code)
 		}
 		w.cnt.retries.Add(1)
-		if err != nil {
-			transportRetried = true
+		if err != nil || code == http.StatusServiceUnavailable {
+			// Rotate on transport failure AND on 503: a lease-fenced
+			// ex-primary answers 503 while the promoted standby serves —
+			// sitting on the fenced node would burn the whole retry budget
+			// there. Single-endpoint runs (the overload drill) just retry
+			// in place.
+			if err != nil {
+				transportRetried = true
+			}
 			if len(w.endpoints) > 1 {
 				w.epi = (w.epi + 1) % len(w.endpoints)
 			}
@@ -451,8 +509,9 @@ func (w *worker) timed(method, path string, body, out any) (int, error) {
 // parsed Retry-After hint and whether the server sent a well-formed hint
 // at all (delay-seconds or HTTP-date form — a past date is a valid hint of
 // zero wait). Transport failures return an error; non-2xx statuses do not
-// (callers classify them).
-func doJSON(client *http.Client, method, url string, body, out any) (int, time.Duration, bool, error) {
+// (callers classify them). hdrs is an optional flat list of header
+// key/value pairs.
+func doJSON(client *http.Client, method, url string, body, out any, hdrs ...string) (int, time.Duration, bool, error) {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -467,6 +526,9 @@ func doJSON(client *http.Client, method, url string, body, out any) (int, time.D
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for i := 0; i+1 < len(hdrs); i += 2 {
+		req.Header.Set(hdrs[i], hdrs[i+1])
 	}
 	resp, err := client.Do(req)
 	if err != nil {

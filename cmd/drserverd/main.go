@@ -139,6 +139,7 @@ func run() error {
 		replicaOf  = flag.String("replica-of", "", "boot as a warm standby of this primary base URL (e.g. http://10.0.0.1:8080), continuously replaying its journal stream; requires -data-dir")
 		advertise  = flag.String("advertise", "", "this node's externally reachable base URL, used by a follower to redirect mutations (defaults to the -replica-of protocol idiom; informational for a primary)")
 		failoverTO = flag.Duration("failover-timeout", 750*time.Millisecond, "a standby promotes itself after this long without a successful fetch from the primary (0 = manual promotion via POST /v1/admin/promote only)")
+		leaseFlag  = flag.Duration("lease", -1, "lease-based primary fencing: a primary that goes this long without a standby poll stops acknowledging mutations (503) until polling resumes; must be shorter than -failover-timeout (-1 = failover-timeout/2, 0 = disabled)")
 
 		// Durability.
 		dataDir   = flag.String("data-dir", "", "journal directory; empty runs in-memory (no durability)")
@@ -382,13 +383,24 @@ func run() error {
 		// Every journaled daemon ships its journal: the replication
 		// endpoints are mounted whether or not a standby exists yet, so one
 		// can join without a primary restart.
+		lease := *leaseFlag
+		if lease < 0 {
+			lease = *failoverTO / 2
+		}
+		if lease > 0 && *failoverTO > 0 && lease >= *failoverTO {
+			return fmt.Errorf("-lease (%s) must be shorter than -failover-timeout (%s): a standby must outwait the primary's lease before promoting", lease, *failoverTO)
+		}
 		node = replica.NewNode(srv, jnl, replica.Config{
 			Self:            *advertise,
 			PrimaryURL:      *replicaOf,
 			FailoverTimeout: *failoverTO,
+			Lease:           lease,
 			Logf:            log.Printf,
 		})
 		handler = node.FrontHandler(handler)
+		if lease > 0 {
+			log.Printf("replica: lease fencing on (a primary unpolled for %s refuses mutations)", lease)
+		}
 		if *replicaOf != "" {
 			log.Printf("replica: following %s (failover after %s without a primary, 0 = manual)", *replicaOf, *failoverTO)
 			go func() {

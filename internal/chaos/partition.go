@@ -1,0 +1,574 @@
+// Partition chaos: the network-fault analogue of the kill-based episodes
+// in failover.go and shard.go. Nothing dies here — every process stays up
+// and healthy — the NETWORK lies, which is the harder failure mode: a
+// partitioned primary keeps running and would happily keep acknowledging
+// writes its standby will never see.
+//
+// One episode drives two drills over seeded netchaos fault injection:
+//
+// Replica half — a live primary/standby pair with lease fencing on. The
+// standby's HTTP client routes through a netchaos transport; the episode
+// picks one of three partition shapes from the seed (symmetric, request
+// drop — the standby's polls never arrive — or response drop — polls
+// arrive and renew the primary's lease, but answers never come back) and
+// asserts the split-brain invariants:
+//
+//   - at most one node ever acknowledges: the old primary's last ack
+//     strictly precedes the promoted standby's first, in every shape;
+//   - with its polls cut, the old primary stops acking within one lease
+//     interval; with only responses cut it stops within the sync timeout
+//     (fenced, never falling back to async);
+//   - the standby promotes within budget — after quiescing its polls long
+//     enough that an asymmetric partition cannot leave both sides acking;
+//   - no acknowledged establish is lost: every ack lands on the promoted
+//     standby;
+//   - after the partition heals, the un-polled ex-primary stays fenced,
+//     and both nodes' invariant audits come back clean.
+//
+// Shard half — a sharded plane whose 2PC phase calls route through a
+// second netchaos network. The episode partitions the last participant of
+// a known cross-shard route (requests or responses, per seed), drives a
+// doomed establish into it, and asserts the timeout machinery:
+//
+//   - the establish fails within the retry budget (phase timeouts, capped
+//     jittered retries, presumed abort) and the unreachable participant's
+//     unresolved abort is queued for resolution;
+//   - the next establish through the suspected shard fast-fails with
+//     ErrShardUnavailable instead of burning another prepare timeout;
+//   - after the heal, ResolvePending drains the queue, no shard holds an
+//     uncommitted transaction (no leaked reservations), a fresh cross
+//     establish succeeds, and every shard's invariant audit is clean.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"drqos/internal/journal"
+	"drqos/internal/manager"
+	"drqos/internal/netchaos"
+	"drqos/internal/qos"
+	"drqos/internal/replica"
+	"drqos/internal/rng"
+	"drqos/internal/server"
+	"drqos/internal/shard"
+	"drqos/internal/topology"
+)
+
+// PartitionConfig seeds one network-partition episode.
+type PartitionConfig struct {
+	Seed     uint64
+	Nodes    int    // Waxman topology size for the replica half (default 24)
+	TopoSeed uint64 // default: derived from Seed
+	Manager  manager.Config
+	Spec     qos.ElasticSpec
+
+	// Dir is the episode's data root (required).
+	Dir string
+	// Burst is the number of acknowledged establishes before the partition
+	// (default 24).
+	Burst int
+	// Lease is the primary's acknowledgment lease (default 100ms).
+	Lease time.Duration
+	// FailoverTimeout is the standby's detection window (default 300ms;
+	// must exceed Lease).
+	FailoverTimeout time.Duration
+	// SyncTimeout bounds one acknowledgment's wait for standby
+	// confirmation (default 300ms); under a lease it fences instead of
+	// falling back to async.
+	SyncTimeout time.Duration
+	// PromotionBudget bounds partition→promoted, including the standby's
+	// pre-promotion quiesce (default 2.5s).
+	PromotionBudget time.Duration
+	// Shards sizes the sharded half (default 4).
+	Shards int
+	// PrepareTimeout bounds each 2PC phase call (default 100ms).
+	PrepareTimeout time.Duration
+}
+
+func (c PartitionConfig) withDefaults() PartitionConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 24
+	}
+	if c.TopoSeed == 0 {
+		c.TopoSeed = c.Seed + 0x9e3779b97f4a7c15
+	}
+	if c.Manager.Capacity <= 0 {
+		c.Manager.Capacity = 10_000
+	}
+	if c.Spec == (qos.ElasticSpec{}) {
+		c.Spec = qos.DefaultSpec()
+	}
+	if c.Burst <= 0 {
+		c.Burst = 24
+	}
+	if c.Lease <= 0 {
+		c.Lease = 100 * time.Millisecond
+	}
+	if c.FailoverTimeout <= 0 {
+		c.FailoverTimeout = 300 * time.Millisecond
+	}
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 300 * time.Millisecond
+	}
+	if c.PromotionBudget <= 0 {
+		c.PromotionBudget = 2500 * time.Millisecond
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.PrepareTimeout <= 0 {
+		c.PrepareTimeout = 100 * time.Millisecond
+	}
+	return c
+}
+
+// PartitionResult summarizes a clean episode.
+type PartitionResult struct {
+	// Mode is the replica-half partition shape: "symmetric",
+	// "request-drop" or "response-drop".
+	Mode string
+	// ShardMode is the shard-half shape: "request-drop" or "response-drop".
+	ShardMode string
+	// AckedPrePartition counts establishes acknowledged before the cut;
+	// all of them survived onto the promoted standby.
+	AckedPrePartition int
+	// FenceLatency is how long past the cut the old primary's last
+	// acknowledgment landed.
+	FenceLatency time.Duration
+	// PromotionLatency is cut→promoted, including the standby's quiesce.
+	PromotionLatency time.Duration
+	// Victim is the partitioned shard of the sharded half.
+	Victim int
+	// CrossTimeouts is the sharded plane's phase-timeout count.
+	CrossTimeouts int64
+	// FastFail is the latency of the post-timeout establish that
+	// ErrShardUnavailable rejected without touching the victim.
+	FastFail time.Duration
+	// PendingPeak is the resolution-queue depth right after the doomed
+	// transaction; it drains to zero after the heal.
+	PendingPeak int
+}
+
+// bootPartitionNode is bootFailoverNode plus the lease/partition knobs:
+// lease fencing, a bounded sync timeout, and a netchaos transport on the
+// follower's client.
+func bootPartitionNode(g *topology.Graph, cfg PartitionConfig, dir, primaryURL string, failover time.Duration, rt *netchaos.Network, src, dst string) (*failoverNode, error) {
+	jnl, rec, err := journal.Open(dir, journal.Options{
+		FsyncEvery:         1,
+		GroupCommit:        true,
+		GroupCommitMaxWait: 500 * time.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := server.Rebuild(g, cfg.Manager, rec)
+	if err != nil {
+		jnl.Close()
+		return nil, err
+	}
+	n := &failoverNode{jnl: jnl}
+	opt := server.Options{
+		Journal:       jnl,
+		Follower:      primaryURL != "",
+		Term:          rec.Term,
+		SnapshotEvery: -1,
+	}
+	opt.WaitReplicated = func(ctx context.Context, seq uint64) error {
+		return n.node.WaitReplicated(ctx, seq)
+	}
+	opt.ReplicaStats = func() *server.ReplicaStats { return n.node.StatsBlock() }
+	n.srv, err = server.NewFromManager(g, mgr, opt)
+	if err != nil {
+		jnl.Close()
+		return nil, err
+	}
+	rcfg := replica.Config{
+		PrimaryURL:      primaryURL,
+		FailoverTimeout: failover,
+		PollWait:        20 * time.Millisecond,
+		Lease:           cfg.Lease,
+		SyncTimeout:     cfg.SyncTimeout,
+	}
+	if rt != nil {
+		rcfg.Transport = rt.Transport(src, dst, nil)
+	}
+	n.node = replica.NewNode(n.srv, jnl, rcfg)
+	n.http = httptest.NewServer(n.node.FrontHandler(server.NewHandler(n.srv)))
+	return n, nil
+}
+
+// RunPartition executes one seeded partition episode. A nil error means
+// every assertion in the package comment held.
+func RunPartition(cfg PartitionConfig) (*PartitionResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("chaos: PartitionConfig.Dir is required")
+	}
+	res := &PartitionResult{}
+	if err := runReplicaPartition(cfg, res); err != nil {
+		return nil, fmt.Errorf("replica half (%s): %w", res.Mode, err)
+	}
+	if err := runShardPartition(cfg, res); err != nil {
+		return nil, fmt.Errorf("shard half (%s): %w", res.ShardMode, err)
+	}
+	return res, nil
+}
+
+// runReplicaPartition is the lease-fencing half of the episode.
+func runReplicaPartition(cfg PartitionConfig, res *PartitionResult) error {
+	g, err := topology.Waxman(topology.WaxmanConfig{
+		Nodes: cfg.Nodes, Alpha: 0.33, Beta: 0.25, EnsureConnected: true,
+	}, rng.New(cfg.TopoSeed))
+	if err != nil {
+		return err
+	}
+	for _, sub := range []string{"primary", "standby"} {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
+			return err
+		}
+	}
+	net := netchaos.New(cfg.Seed ^ 0x5bf03635)
+
+	primary, err := bootPartitionNode(g, cfg, filepath.Join(cfg.Dir, "primary"), "", 0, nil, "", "")
+	if err != nil {
+		return fmt.Errorf("booting primary: %w", err)
+	}
+	defer primary.shutdown()
+	// All protocol traffic is follower-initiated, so every shape is a rule
+	// on the standby→primary edge.
+	standby, err := bootPartitionNode(g, cfg, filepath.Join(cfg.Dir, "standby"),
+		primary.http.URL, cfg.FailoverTimeout, net, "standby", "primary")
+	if err != nil {
+		return fmt.Errorf("booting standby: %w", err)
+	}
+	defer standby.shutdown()
+	runDone := make(chan error, 1)
+	go func() { runDone <- standby.node.Run(context.Background()) }()
+
+	ctx := context.Background()
+	src := rng.New(cfg.Seed)
+	pair := func() (topology.NodeID, topology.NodeID) {
+		a := src.Intn(cfg.Nodes)
+		b := src.Intn(cfg.Nodes - 1)
+		if b >= a {
+			b++
+		}
+		return topology.NodeID(a), topology.NodeID(b)
+	}
+
+	// Pre-partition burst: every ack is lease-gated on the standby's
+	// confirming poll, so "acked" means "replicated".
+	var (
+		mu    sync.Mutex
+		acked []int64
+	)
+	for tries := 0; len(acked) < cfg.Burst; tries++ {
+		if tries > cfg.Burst*50 {
+			return errors.New("pre-partition burst made no progress (all establishes rejected)")
+		}
+		a, b := pair()
+		rep, err := primary.srv.Establish(ctx, a, b, cfg.Spec)
+		if errors.Is(err, manager.ErrRejected) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("pre-partition establish: %w", err)
+		}
+		acked = append(acked, int64(rep.Conn.ID))
+	}
+	res.AckedPrePartition = len(acked)
+
+	// Keep a mutation stream alive across the cut so the fence is caught
+	// in the act: anything acked after t0 would be a split-brain candidate.
+	stopBurst := make(chan struct{})
+	burstDone := make(chan struct{})
+	bsrc := rng.New(cfg.Seed ^ 0x1234)
+	var lastOldAck time.Time
+	go func() {
+		defer close(burstDone)
+		for {
+			select {
+			case <-stopBurst:
+				return
+			default:
+			}
+			a := topology.NodeID(bsrc.Intn(cfg.Nodes))
+			b := topology.NodeID(bsrc.Intn(cfg.Nodes - 1))
+			if b >= a {
+				b++
+			}
+			rep, err := primary.srv.Establish(ctx, a, b, cfg.Spec)
+			if err != nil {
+				if !errors.Is(err, manager.ErrRejected) {
+					// Fenced (or shutting down): back off a little and keep
+					// probing — a buggy fence that re-opens must be caught.
+					time.Sleep(5 * time.Millisecond)
+				}
+				continue
+			}
+			mu.Lock()
+			lastOldAck = time.Now()
+			acked = append(acked, int64(rep.Conn.ID))
+			mu.Unlock()
+		}
+	}()
+	time.Sleep(25 * time.Millisecond) // let the stream overlap the cut
+
+	// The cut. Three shapes, chosen by seed.
+	var fenceBound time.Duration
+	switch cfg.Seed % 3 {
+	case 0:
+		res.Mode = "symmetric"
+		net.Partition("standby", "primary")
+		fenceBound = cfg.Lease
+	case 1:
+		res.Mode = "request-drop"
+		net.SetRule("standby", "primary", netchaos.Rule{DropRequest: 1})
+		fenceBound = cfg.Lease
+	default:
+		res.Mode = "response-drop"
+		net.SetRule("standby", "primary", netchaos.Rule{DropResponse: 1})
+		// Polls still arrive and renew the lease; the fence comes from the
+		// sync timeout refusing to fall back to async.
+		fenceBound = cfg.SyncTimeout
+	}
+	t0 := time.Now()
+
+	// Promotion within budget (the budget covers detection + quiesce).
+	for standby.srv.Role() != "primary" {
+		if time.Since(t0) > cfg.PromotionBudget+2*time.Second {
+			return fmt.Errorf("standby still %q %s after the cut", standby.srv.Role(), time.Since(t0))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	res.PromotionLatency = time.Since(t0)
+	if res.PromotionLatency > cfg.PromotionBudget {
+		return fmt.Errorf("promotion took %s, budget %s", res.PromotionLatency, cfg.PromotionBudget)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			return fmt.Errorf("follower loop: %w", err)
+		}
+	case <-time.After(2 * time.Second):
+		return errors.New("follower loop did not exit after promotion")
+	}
+
+	// First ack on the new primary, while the old one is still being
+	// hammered — the at-most-one-acking ordering is checked against it.
+	var firstNewAck time.Time
+	for i := 0; ; i++ {
+		if i >= 200 {
+			return errors.New("promoted standby refused 200 establishes")
+		}
+		a, b := pair()
+		if _, err := standby.srv.Establish(ctx, a, b, cfg.Spec); err == nil {
+			firstNewAck = time.Now()
+			break
+		} else if !errors.Is(err, manager.ErrRejected) {
+			return fmt.Errorf("promoted standby establish: %w", err)
+		}
+	}
+	close(stopBurst)
+	<-burstDone
+
+	// Split-brain invariants.
+	mu.Lock()
+	oldLast := lastOldAck
+	ackedAll := append([]int64(nil), acked...)
+	mu.Unlock()
+	if !oldLast.IsZero() && !oldLast.Before(firstNewAck) {
+		return fmt.Errorf("split brain: old primary acked %s after the new primary's first ack", oldLast.Sub(firstNewAck))
+	}
+	if over := oldLast.Sub(t0); over > fenceBound+250*time.Millisecond {
+		return fmt.Errorf("old primary still acking %s past the cut (fence bound %s)", over, fenceBound)
+	}
+	res.FenceLatency = oldLast.Sub(t0)
+	if res.FenceLatency < 0 {
+		res.FenceLatency = 0
+	}
+
+	// No acked establish lost: everything either side acknowledged is
+	// replicated state the promoted standby must hold.
+	snaps, err := standby.srv.Snapshot(ctx)
+	if err != nil {
+		return err
+	}
+	if snaps.Alive < len(ackedAll) {
+		return fmt.Errorf("%d establishes acked, only %d alive on promoted standby", len(ackedAll), snaps.Alive)
+	}
+
+	// Heal. Nobody polls the ex-primary, so its lease stays lapsed and it
+	// must refuse mutations — forever, not just for the partition.
+	net.Heal()
+	time.Sleep(2 * cfg.Lease)
+	if _, err := primary.srv.Establish(ctx, 0, 1, cfg.Spec); !errors.Is(err, server.ErrFenced) {
+		return fmt.Errorf("healed ex-primary answered a mutation with %v, want ErrFenced", err)
+	}
+
+	// Clean audits on both sides.
+	if err := primary.srv.CheckInvariants(ctx); err != nil {
+		return fmt.Errorf("ex-primary invariants: %w", err)
+	}
+	if err := standby.srv.CheckInvariants(ctx); err != nil {
+		return fmt.Errorf("promoted standby invariants: %w", err)
+	}
+	return nil
+}
+
+// runShardPartition is the 2PC-timeout half of the episode.
+func runShardPartition(cfg PartitionConfig, res *PartitionResult) error {
+	g, err := topology.TransitStub(topology.DefaultTransitStub(), rng.New(cfg.TopoSeed))
+	if err != nil {
+		return err
+	}
+	net := netchaos.New(cfg.Seed ^ 0x2545f491)
+	opt := shard.Options{
+		Shards:         cfg.Shards,
+		Dir:            filepath.Join(cfg.Dir, "shards"),
+		Manager:        cfg.Manager,
+		Journal:        journal.Options{FsyncEvery: -1},
+		PrepareTimeout: cfg.PrepareTimeout,
+		SuspectWindow:  4 * cfg.PrepareTimeout,
+		Invoke: func(ctx context.Context, s int, phase string, call func(context.Context) error) error {
+			return net.Do(ctx, "coord", fmt.Sprintf("shard-%d", s), call)
+		},
+	}
+	c, err := shard.New(g, opt)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	defer c.Shutdown(ctx)
+
+	// Seed a little mixed load.
+	src := rng.New(cfg.Seed ^ 0x9f)
+	seeded := 0
+	for tries := 0; seeded < 12 && tries < 600; tries++ {
+		a := topology.NodeID(src.Intn(g.NumNodes()))
+		b := topology.NodeID(src.Intn(g.NumNodes()))
+		if a == b {
+			continue
+		}
+		if _, err := c.Establish(ctx, a, b, qos.DefaultSpec()); err == nil {
+			seeded++
+		} else if !errors.Is(err, manager.ErrRejected) && !errors.Is(err, shard.ErrNoRoute) {
+			return fmt.Errorf("seed establish: %w", err)
+		}
+	}
+
+	// Probe a guaranteed cross-shard pair once to learn the participant
+	// order (routing is deterministic, so the doomed establish repeats it),
+	// then tear the probe down.
+	var cs, cd topology.NodeID = -1, -1
+	for n := 0; n < g.NumNodes() && cd == -1; n++ {
+		if g.Tag(topology.NodeID(n)) != "stub" {
+			continue
+		}
+		if cs == -1 {
+			cs = topology.NodeID(n)
+		} else if c.Plan().NodeShard[n] != c.Plan().NodeShard[cs] {
+			cd = topology.NodeID(n)
+		}
+	}
+	var participants []int
+	c.SetTestHookAfterPrepare(func(s int, txn uint64) error {
+		participants = append(participants, s)
+		return nil
+	})
+	probe, err := c.Establish(ctx, cs, cd, qos.DefaultSpec())
+	if err != nil {
+		return fmt.Errorf("probe cross establish %d→%d: %w", cs, cd, err)
+	}
+	if !probe.Cross || len(participants) < 2 {
+		return fmt.Errorf("probe was not a multi-participant cross establish (cross=%v, participants=%v)", probe.Cross, participants)
+	}
+	if err := c.Terminate(ctx, probe.ID); err != nil {
+		return fmt.Errorf("probe terminate: %w", err)
+	}
+	c.SetTestHookAfterPrepare(nil)
+	victim := participants[len(participants)-1]
+	res.Victim = victim
+
+	// Partition the last participant, per seed: request drop (it never
+	// hears the prepare) or response drop (it applies every retried
+	// prepare — the idempotent-retry case — but its answers are lost).
+	victimAddr := fmt.Sprintf("shard-%d", victim)
+	if (cfg.Seed>>2)%2 == 0 {
+		res.ShardMode = "request-drop"
+		net.SetRule("coord", victimAddr, netchaos.Rule{DropRequest: 1})
+	} else {
+		res.ShardMode = "response-drop"
+		net.SetRule("coord", victimAddr, netchaos.Rule{DropResponse: 1})
+	}
+
+	// The doomed establish: phase timeouts + retries + presumed abort,
+	// bounded end to end.
+	doomedStart := time.Now()
+	if _, err := c.Establish(ctx, cs, cd, qos.DefaultSpec()); err == nil {
+		return errors.New("cross establish through a partitioned shard succeeded")
+	}
+	if elapsed := time.Since(doomedStart); elapsed > 10*cfg.PrepareTimeout+2*time.Second {
+		return fmt.Errorf("doomed establish took %s, expected bounded by timeouts+retries", elapsed)
+	}
+	if res.CrossTimeouts = c.CrossTimeouts(); res.CrossTimeouts == 0 {
+		return errors.New("no 2PC phase timeout was counted")
+	}
+	if reasons := c.AbortReasons(); reasons["timeout"] == 0 {
+		return fmt.Errorf("no timeout-reason abort counted (reasons: %v)", reasons)
+	}
+	if res.PendingPeak = c.PendingResolutions(); res.PendingPeak == 0 {
+		return errors.New("unreachable participant left nothing in the resolution queue")
+	}
+
+	// While the victim is suspected, the plane fails fast instead of
+	// burning another prepare timeout per request.
+	fastStart := time.Now()
+	_, err = c.Establish(ctx, cs, cd, qos.DefaultSpec())
+	res.FastFail = time.Since(fastStart)
+	if !errors.Is(err, shard.ErrShardUnavailable) {
+		return fmt.Errorf("establish during suspicion: %v, want ErrShardUnavailable", err)
+	}
+	if res.FastFail > cfg.PrepareTimeout/2 {
+		return fmt.Errorf("suspected-shard establish took %s, want a fast refusal", res.FastFail)
+	}
+
+	// Heal, outwait the suspicion window, drain the resolution queue.
+	net.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.PendingResolutions() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d transactions still pending resolution after heal", c.PendingResolutions())
+		}
+		c.ResolvePending(ctx)
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// No leaked reservations: every surviving transaction on every shard
+	// is committed, and the plane takes new cross work.
+	for i := 0; i < c.NumShards(); i++ {
+		txns, err := c.Shard(i).Txns(ctx)
+		if err != nil {
+			return fmt.Errorf("shard %d txns: %w", i, err)
+		}
+		for _, tx := range txns {
+			if !tx.Committed {
+				return fmt.Errorf("shard %d leaked uncommitted txn %d after heal", i, tx.Txn)
+			}
+		}
+		if err := c.Shard(i).CheckInvariants(ctx); err != nil {
+			return fmt.Errorf("shard %d invariants: %w", i, err)
+		}
+	}
+	if _, err := c.Establish(ctx, cs, cd, qos.DefaultSpec()); err != nil {
+		return fmt.Errorf("post-heal cross establish: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package chaos
+
+import "testing"
+
+// TestRunPartition runs one full partition episode: lease-fenced replica
+// pair under a seeded network fault plus a sharded plane with a
+// partitioned 2PC participant.
+func TestRunPartition(t *testing.T) {
+	res, err := RunPartition(PartitionConfig{Seed: 1, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AckedPrePartition == 0 || res.CrossTimeouts == 0 {
+		t.Fatalf("degenerate episode: %+v", res)
+	}
+	t.Logf("mode=%s acked=%d fence=%s promotion=%s | shard mode=%s victim=%d timeouts=%d fast_fail=%s pending=%d",
+		res.Mode, res.AckedPrePartition, res.FenceLatency, res.PromotionLatency,
+		res.ShardMode, res.Victim, res.CrossTimeouts, res.FastFail, res.PendingPeak)
+}
+
+// TestRunPartitionShapes sweeps seeds covering every partition shape:
+// symmetric, request-drop and response-drop on the replica pair, crossed
+// with request- and response-drop on the 2PC victim.
+func TestRunPartitionShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape sweep is not short")
+	}
+	seen := map[string]bool{}
+	for seed := uint64(2); seed <= 7; seed++ {
+		res, err := RunPartition(PartitionConfig{Seed: seed, Dir: t.TempDir()})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seen[res.Mode] = true
+		seen["shard-"+res.ShardMode] = true
+		t.Logf("seed %d: mode=%s shard=%s promotion=%s", seed, res.Mode, res.ShardMode, res.PromotionLatency)
+	}
+	for _, shape := range []string{"symmetric", "request-drop", "response-drop", "shard-request-drop", "shard-response-drop"} {
+		if !seen[shape] {
+			t.Fatalf("seed sweep never exercised shape %q (saw %v)", shape, seen)
+		}
+	}
+}

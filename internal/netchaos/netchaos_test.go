@@ -1,0 +1,217 @@
+package netchaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQuietNetworkPassesThrough: no rules, no interference.
+func TestQuietNetworkPassesThrough(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	nw := New(1)
+	client := &http.Client{Transport: nw.Transport("a", "b", nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" || hits.Load() != 1 {
+		t.Fatalf("body=%q hits=%d", body, hits.Load())
+	}
+}
+
+// TestDropRequestStallsUntilDeadline: a request-dropped message is silence —
+// the server never sees it and the caller fails at its context deadline.
+func TestDropRequestStallsUntilDeadline(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	nw := New(2)
+	nw.PartitionOneWay("a", "b")
+	client := &http.Client{Transport: nw.Transport("a", "b", nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := client.Do(req)
+	if err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("failed after %s, want ~deadline (silence, not fast refusal)", d)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("server saw %d requests across a request-drop partition", hits.Load())
+	}
+	if nw.Dropped("a", "b") != 1 {
+		t.Fatalf("dropped count = %d, want 1", nw.Dropped("a", "b"))
+	}
+}
+
+// TestDropResponseDeliversButFails: the half-open case — side effects
+// happen on the far side, the caller still sees a failure.
+func TestDropResponseDeliversButFails(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer srv.Close()
+
+	nw := New(3)
+	nw.SetRule("a", "b", Rule{DropResponse: 1})
+	client := &http.Client{Transport: nw.Transport("a", "b", nil)}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if _, err := client.Do(req); err == nil {
+		t.Fatal("response-dropped request reported success")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (request leg delivers)", hits.Load())
+	}
+}
+
+// TestDuplicateDeliversTwice: at-least-once delivery — the far side runs
+// the request twice while the caller sees one success.
+func TestDuplicateDeliversTwice(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		if string(b) == "payload" {
+			hits.Add(1)
+		}
+	}))
+	defer srv.Close()
+
+	nw := New(4)
+	nw.SetRule("a", "b", Rule{Duplicate: 1})
+	client := &http.Client{Transport: nw.Transport("a", "b", nil)}
+	resp, err := client.Post(srv.URL, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d deliveries, want 2", hits.Load())
+	}
+}
+
+// TestDoRoutesInProcessCalls: the coordinator-side hook honors the same
+// rules — partitioned calls never run, response drops run but fail.
+func TestDoRoutesInProcessCalls(t *testing.T) {
+	nw := New(5)
+	var ran atomic.Int64
+	call := func(ctx context.Context) error { ran.Add(1); return nil }
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := nw.Do(ctx, "coord", "shard-1", call); err != nil {
+		t.Fatalf("quiet Do failed: %v", err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("call ran %d times, want 1", ran.Load())
+	}
+
+	nw.PartitionOneWay("coord", "shard-1")
+	if err := nw.Do(ctx, "coord", "shard-1", call); err == nil {
+		t.Fatal("partitioned Do succeeded")
+	}
+	if ran.Load() != 1 {
+		t.Fatal("partitioned call still ran")
+	}
+
+	nw.Heal()
+	nw.SetRule("coord", "shard-1", Rule{DropResponse: 1})
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	if err := nw.Do(ctx2, "coord", "shard-1", call); err == nil {
+		t.Fatal("response-dropped Do succeeded")
+	}
+	if ran.Load() != 2 {
+		t.Fatalf("response-dropped call ran %d times total, want 2 (it delivers)", ran.Load())
+	}
+}
+
+// TestSeedDeterminism: the same seed and message order yield the same
+// drop pattern.
+func TestSeedDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		nw := New(seed)
+		nw.SetRule("a", "b", Rule{DropRequest: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = nw.plan("a", "b").dropRequest
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical seeds", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 64-message patterns")
+	}
+}
+
+// TestDelayJitterWithinBounds: delays land inside [DelayMin, DelayMax].
+func TestDelayJitterWithinBounds(t *testing.T) {
+	nw := New(6)
+	nw.SetRule("a", "b", Rule{DelayMin: 2 * time.Millisecond, DelayMax: 9 * time.Millisecond})
+	for i := 0; i < 32; i++ {
+		d := nw.plan("a", "b")
+		if d.delay < 2*time.Millisecond || d.delay > 9*time.Millisecond {
+			t.Fatalf("delay %s outside [2ms,9ms]", d.delay)
+		}
+	}
+}
+
+// TestScriptPlayback: Play flips rules at offsets and heals on the
+// wildcard step.
+func TestScriptPlayback(t *testing.T) {
+	nw := New(7)
+	err := nw.Play(context.Background(), []Step{
+		{At: 0, Src: "a", Dst: "b", Rule: &Rule{DropRequest: 1}},
+		{At: 10 * time.Millisecond, Src: "b", Dst: "a", Rule: &Rule{DropRequest: 1}},
+		{At: 20 * time.Millisecond, Src: "*", Dst: "*"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := nw.plan("a", "b"); d.dropRequest {
+		t.Fatal("rule survived the heal step")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = nw.Play(ctx, []Step{{At: time.Hour, Src: "a", Dst: "b", Rule: &Rule{}}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Play returned %v", err)
+	}
+}

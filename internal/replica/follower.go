@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"drqos/internal/journal"
+	"drqos/internal/rng"
 	"drqos/internal/server"
 )
 
@@ -35,6 +36,9 @@ func (n *Node) Run(ctx context.Context) error {
 	defer close(n.done)
 	lastSuccess := time.Now()
 	backoff := 10 * time.Millisecond
+	// Jitter desynchronizes retry storms when several standbys chase the
+	// same dead primary; the seed only shapes sleep lengths, not behavior.
+	jit := rng.New(0x9e3779b97f4a7c15)
 	for {
 		select {
 		case <-ctx.Done():
@@ -89,8 +93,24 @@ func (n *Node) Run(ctx context.Context) error {
 
 		// The poll failed. Sustained failure is the failover signal.
 		if n.cfg.FailoverTimeout > 0 && time.Since(lastSuccess) >= n.cfg.FailoverTimeout {
+			// Quiesce before seizing the cluster: with lease fencing on,
+			// stop polling for a full lease plus one poll interval so the
+			// old primary's lease — which our own polls may still have been
+			// renewing across an asymmetric partition — is guaranteed
+			// expired before we start acknowledging writes.
+			if q := n.cfg.Lease + n.cfg.PollWait; n.cfg.Lease > 0 {
+				n.logf("replica: failover timeout reached; quiescing %s so the primary's lease expires before promotion", q)
+				select {
+				case <-time.After(q):
+				case <-n.stop:
+					return nil
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
 			term, perr := n.srv.Promote(ctx)
 			if perr == nil {
+				n.resetLease()
 				n.logf("replica: promoted to primary at term %d after %s without a primary",
 					term, time.Since(lastSuccess).Round(time.Millisecond))
 				return nil
@@ -102,8 +122,11 @@ func (n *Node) Run(ctx context.Context) error {
 			// retrying the primary instead of seizing the cluster.
 			n.logf("replica: promotion refused: %v", perr)
 		}
+		// Capped backoff with jitter on the upper half: sleep in
+		// [backoff/2, backoff).
+		sleep := backoff/2 + time.Duration(jit.Float64()*float64(backoff)/2)
 		select {
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		case <-n.stop:
 			return nil
 		case <-ctx.Done():
@@ -151,7 +174,12 @@ func (n *Node) fetchAndApply(ctx context.Context) error {
 	if crc, ok := n.prevCRC(); ok {
 		q.Set("prev_crc", strconv.FormatUint(uint64(crc), 10))
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	// An explicit per-fetch deadline: a poll that hangs past the long-poll
+	// window plus grace is indistinguishable from a dead primary, and the
+	// failover clock must not be starved by one silently-dropped request.
+	fctx, cancel := context.WithTimeout(ctx, n.fetchTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet,
 		strings.TrimSuffix(primary, "/")+"/v1/replica/stream?"+q.Encode(), nil)
 	if err != nil {
 		return err
@@ -208,6 +236,21 @@ func (n *Node) fetchAndApply(ctx context.Context) error {
 	return err
 }
 
+// fetchTimeout bounds one stream poll: the long-poll window the request
+// asks for, plus grace for transfer. With failover on, grace is half the
+// failover timeout (floor 250ms) so a wedged poll can never push failure
+// detection past ~1.5 timeouts.
+func (n *Node) fetchTimeout() time.Duration {
+	grace := 2 * time.Second
+	if n.cfg.FailoverTimeout > 0 {
+		grace = n.cfg.FailoverTimeout / 2
+		if grace < 250*time.Millisecond {
+			grace = 250 * time.Millisecond
+		}
+	}
+	return n.cfg.PollWait + grace
+}
+
 // bootstrap re-seeds the whole node from the primary's snapshot: fetch the
 // image, replace the local journal's contents with it (wiping any
 // divergent suffix), and rebuild + swap the live manager from the fresh
@@ -218,7 +261,9 @@ func (n *Node) bootstrap(ctx context.Context) error {
 	if primary == "" {
 		return errDemotedPrimary
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	bctx, cancel := context.WithTimeout(ctx, n.cfg.SnapshotTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(bctx, http.MethodGet,
 		strings.TrimSuffix(primary, "/")+"/v1/replica/snapshot", nil)
 	if err != nil {
 		return err

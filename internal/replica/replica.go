@@ -33,6 +33,10 @@ package replica
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -67,7 +71,26 @@ type Config struct {
 	SyncActiveWindow time.Duration
 	// SyncTimeout bounds how long one acknowledgment waits for the standby
 	// to confirm fetch before falling back to asynchronous (default 5s).
+	// With a lease (below) the fallback is gone: the timeout refuses the
+	// acknowledgment instead.
 	SyncTimeout time.Duration
+	// Lease enables lease-based primary fencing (0 disables). Once a
+	// standby has polled, the primary holds an acknowledgment lease it
+	// renews on every standby poll; when no poll arrives within Lease, the
+	// primary fences itself — mutations answer 503 and the semi-sync
+	// fallback to asynchronous acks is disabled — so across any partition
+	// at most one node acknowledges writes. The invariant that makes this
+	// safe is Lease < FailoverTimeout with both sides configured alike:
+	// before promoting, a standby additionally quiesces its polls for
+	// Lease + PollWait, guaranteeing the old primary's lease has expired
+	// by the instant the standby starts acking (even when the partition is
+	// asymmetric and the primary kept receiving the standby's polls).
+	Lease time.Duration
+	// SnapshotTimeout bounds one bootstrap snapshot fetch (default 30s).
+	SnapshotTimeout time.Duration
+	// Transport, when non-nil, replaces the follower HTTP client's
+	// transport — the netchaos injection point.
+	Transport http.RoundTripper
 	// Logf receives replication lifecycle events (promotion, demotion,
 	// divergence, bootstrap). Nil discards them.
 	Logf func(format string, args ...any)
@@ -83,8 +106,19 @@ func (c Config) withDefaults() Config {
 	if c.PollWait <= 0 {
 		c.PollWait = 50 * time.Millisecond
 	}
+	// A leased primary must see a poll every Lease; pacing the follower at
+	// a third of that keeps one delayed poll from expiring the lease.
+	if c.Lease > 0 && c.PollWait > c.Lease/3 {
+		c.PollWait = c.Lease / 3
+		if c.PollWait < 5*time.Millisecond {
+			c.PollWait = 5 * time.Millisecond
+		}
+	}
 	if c.BatchMax <= 0 {
 		c.BatchMax = 512
+	}
+	if c.SnapshotTimeout <= 0 {
+		c.SnapshotTimeout = 30 * time.Second
 	}
 	if c.SyncActiveWindow <= 0 {
 		c.SyncActiveWindow = 3 * time.Second
@@ -113,6 +147,13 @@ type Node struct {
 	replicatedSeq uint64
 	lastPoll      time.Time
 	pollSignal    chan struct{}
+	// Lease state: granted latches once any standby polls (an unpaired
+	// primary acks asynchronously — there is nobody to lose writes to) and
+	// resets on every role transition so a re-promoted node is not fenced
+	// by its previous life's poll history. lostLogged dedups the fence log
+	// line across the many acks that observe the same expiry.
+	leaseGranted bool
+	lostLogged   bool
 	// Follower-side progress, served into the stats block.
 	primaryURL     string
 	applied        uint64
@@ -135,7 +176,7 @@ func NewNode(srv *server.Server, jnl *journal.Journal, cfg Config) *Node {
 		srv:        srv,
 		jnl:        jnl,
 		cfg:        cfg,
-		client:     &http.Client{Timeout: cfg.PollWait + 5*time.Second},
+		client:     &http.Client{Timeout: cfg.PollWait + 5*time.Second, Transport: cfg.Transport},
 		pollSignal: make(chan struct{}),
 		primaryURL: cfg.PrimaryURL,
 		stop:       make(chan struct{}),
@@ -184,8 +225,36 @@ func (n *Node) StatsBlock() *server.ReplicaStats {
 		if time.Since(n.lastPoll) <= n.cfg.SyncActiveWindow {
 			rs.Followers = 1
 		}
+		rs.LeaseEnabled = n.cfg.Lease > 0
+		rs.LeaseLost = n.leaseLostLocked()
 	}
 	return rs
+}
+
+// leaseLostLocked reports whether the standby-granted acknowledgment
+// lease has lapsed. Callers hold n.mu.
+func (n *Node) leaseLostLocked() bool {
+	return n.cfg.Lease > 0 && n.leaseGranted && time.Since(n.lastPoll) > n.cfg.Lease
+}
+
+// LeaseLost reports whether this node is a fenced primary: lease fencing
+// is on, a standby once granted the lease, and no poll renewed it within
+// the lease window. A fenced primary refuses mutations but keeps its role;
+// it resumes acking the moment a standby polls again.
+func (n *Node) LeaseLost() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.srv.IsFollower() && n.leaseLostLocked()
+}
+
+// resetLease clears lease state on a role transition — a freshly promoted
+// (or re-promoted) primary starts unleased and acks asynchronously until
+// a standby's first poll grants it a new lease.
+func (n *Node) resetLease() {
+	n.mu.Lock()
+	n.leaseGranted = false
+	n.lostLogged = false
+	n.mu.Unlock()
 }
 
 // notePoll records a standby's poll: from confirms everything below it.
@@ -195,29 +264,67 @@ func (n *Node) notePoll(confirmed uint64) {
 		n.replicatedSeq = confirmed
 	}
 	n.lastPoll = time.Now()
+	regained := n.lostLogged
+	n.leaseGranted = true
+	n.lostLogged = false
 	close(n.pollSignal)
 	n.pollSignal = make(chan struct{})
 	n.mu.Unlock()
+	if regained {
+		n.logf("replica: lease regained (standby polling resumed); acknowledging mutations again")
+	}
 }
 
 // WaitReplicated implements the server's semi-synchronous hook: block
 // until a standby's poll confirmed seq, the standby goes quiet (fall back
 // to asynchronous — a dead standby must not take client traffic down with
 // it), the sync timeout expires, or ctx dies.
+//
+// With lease fencing on and a lease granted, the asynchronous fallbacks
+// are closed off: an expired lease or a sync timeout refuses the
+// acknowledgment with server.ErrFenced instead of silently acking a write
+// the standby — which may be promoting itself on the other side of a
+// partition — will never have.
 func (n *Node) WaitReplicated(ctx context.Context, seq uint64) error {
 	deadline := time.Now().Add(n.cfg.SyncTimeout)
+	wake := 100 * time.Millisecond
+	if n.cfg.Lease > 0 && n.cfg.Lease/4 < wake {
+		wake = n.cfg.Lease / 4
+		if wake < time.Millisecond {
+			wake = time.Millisecond
+		}
+	}
 	for {
 		n.mu.Lock()
 		confirmed := n.replicatedSeq >= seq
 		active := !n.lastPoll.IsZero() && time.Since(n.lastPoll) <= n.cfg.SyncActiveWindow
+		leased := n.cfg.Lease > 0 && n.leaseGranted
+		lost := n.leaseLostLocked()
+		logFence := lost && !n.lostLogged
+		if logFence {
+			n.lostLogged = true
+		}
 		signal := n.pollSignal
 		n.mu.Unlock()
-		if confirmed || !active || time.Now().After(deadline) {
+		if logFence {
+			n.logf("replica: lease lost (no standby poll within %s); fencing acknowledgments", n.cfg.Lease)
+		}
+		if confirmed {
+			return nil
+		}
+		if leased {
+			if lost {
+				return fmt.Errorf("%w: no standby poll within the %s lease", server.ErrFenced, n.cfg.Lease)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("%w: standby did not confirm seq %d within %s", server.ErrFenced, seq, n.cfg.SyncTimeout)
+			}
+		} else if !active || time.Now().After(deadline) {
 			return nil
 		}
 		select {
 		case <-signal:
-		case <-time.After(100 * time.Millisecond):
+		case <-time.After(wake):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -242,23 +349,130 @@ func isMutation(r *http.Request) bool {
 }
 
 // FrontHandler wraps the server's API handler with the replication front:
-// replication endpoints are mounted under /v1/replica/, and while this
-// node is a follower that knows its primary, mutations answer 307 to the
-// primary (clients that follow redirects keep working through a failover
-// without re-configuration; the server's own ErrNotPrimary guard backstops
-// clients that ignore the redirect).
+// replication endpoints are mounted under /v1/replica/, promotion goes
+// through the split-brain interlock, and mutations are steered by role —
+// a follower that knows its primary answers 307 to it (clients that
+// follow redirects keep working through a failover without
+// re-configuration; the server's own ErrNotPrimary guard backstops
+// clients that ignore the redirect), and a lease-fenced primary answers
+// 503 with Retry-After before the request can reach the actor loop.
 func (n *Node) FrontHandler(api http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/replica/stream", n.handleStream)
 	mux.HandleFunc("GET /v1/replica/snapshot", n.handleSnapshot)
+	mux.HandleFunc("POST /v1/admin/promote", n.handlePromote)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if isMutation(r) && n.srv.IsFollower() {
-			if primary := n.PrimaryURL(); primary != "" {
-				http.Redirect(w, r, strings.TrimSuffix(primary, "/")+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+		if isMutation(r) {
+			if n.srv.IsFollower() {
+				if primary := n.PrimaryURL(); primary != "" {
+					http.Redirect(w, r, strings.TrimSuffix(primary, "/")+r.URL.RequestURI(), http.StatusTemporaryRedirect)
+					return
+				}
+			} else if n.LeaseLost() {
+				writeFenced(w, fmt.Sprintf("replication lease lost: no standby poll within %s; mutations fenced", n.cfg.Lease))
 				return
 			}
 		}
 		api.ServeHTTP(w, r)
 	})
 	return mux
+}
+
+// writeFenced answers a refused mutation on a fenced primary: 503 with a
+// Retry-After hint, mirroring the server's shed-response shape.
+func writeFenced(w http.ResponseWriter, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg, "retry_after_seconds": 1})
+}
+
+// handlePromote is the manual-promotion interlock. A plain promote is
+// refused with 409 while the current primary still looks alive — a recent
+// successful fetch within the lease window, or a live answer to a direct
+// health probe — because promoting next to a healthy primary is exactly
+// the split-brain the lease exists to prevent. {"force":true} overrides
+// the interlock for operators who know the probe path is lying (e.g. the
+// operator can reach the primary but the standby cannot).
+func (n *Node) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Force bool `json:"force"`
+	}
+	if r.Body != nil {
+		_ = json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req)
+	}
+	if n.srv.IsFollower() && !req.Force {
+		if reason, alive := n.primaryAlive(r.Context()); alive {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error":  "primary still alive: " + reason + `; pass {"force":true} to promote anyway`,
+				"reason": reason,
+			})
+			return
+		}
+	}
+	term, err := n.srv.Promote(r.Context())
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, server.ErrConflict):
+			status = http.StatusConflict
+		case errors.Is(err, server.ErrDegraded):
+			status = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error()})
+		return
+	}
+	n.resetLease()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"promoted": true, "term": term, "role": "primary"})
+}
+
+// primaryAlive reports whether the primary this follower tracks still
+// answers: first by the follower's own recent fetch history (cheap, no
+// network), then by a short direct probe of the primary's /healthz.
+func (n *Node) primaryAlive(ctx context.Context) (reason string, alive bool) {
+	window := n.cfg.Lease
+	if window <= 0 {
+		window = n.cfg.FailoverTimeout
+	}
+	if window <= 0 {
+		window = time.Second
+	}
+	n.mu.Lock()
+	last := n.lastFetch
+	primary := n.primaryURL
+	n.mu.Unlock()
+	if !last.IsZero() && time.Since(last) <= window {
+		return fmt.Sprintf("fetched from it %s ago", time.Since(last).Round(time.Millisecond)), true
+	}
+	if primary == "" {
+		return "", false
+	}
+	probe := window / 2
+	if probe < 100*time.Millisecond {
+		probe = 100 * time.Millisecond
+	}
+	if probe > time.Second {
+		probe = time.Second
+	}
+	pctx, cancel := context.WithTimeout(ctx, probe)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, strings.TrimSuffix(primary, "/")+"/healthz", nil)
+	if err != nil {
+		return "", false
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return "", false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return "it answered a health probe just now", true
+	}
+	return "", false
 }

@@ -75,6 +75,7 @@ func (n *Node) handleStream(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "demote: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
+		n.resetLease()
 		writeStreamError(w, http.StatusServiceUnavailable, reasonDemoted,
 			fmt.Sprintf("stepped down under term %d", pollerTerm))
 		return

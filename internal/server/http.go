@@ -254,6 +254,22 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 			LevelChanges: len(rep.Changes),
 		})
 	})
+	mux.HandleFunc("GET /v1/connections/{id}", func(w http.ResponseWriter, r *http.Request) {
+		// Point lookup for one connection — the probe drload's acked-write
+		// ledger uses after a failover to verify every acknowledged
+		// connection survived onto the promoted primary.
+		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad connection id: " + err.Error()})
+			return
+		}
+		st, err := s.ConnStatus(r.Context(), channel.ConnID(id))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
 	mux.HandleFunc("POST /v1/faults/link", func(w http.ResponseWriter, r *http.Request) {
 		if !admitClient(w, r) {
 			return
@@ -448,20 +464,29 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 		degraded, reason := s.Degraded()
 		recovering, _, _, _ := s.RecoveryStatus()
 		overloaded := s.Overloaded()
+		// A primary whose replication lease lapsed is fenced: it refuses
+		// mutations, so a load balancer must stop routing writes to it.
+		leaseLost := false
+		if rb := s.replicaBlock(); rb != nil && rb.LeaseLost {
+			leaseLost = true
+		}
 		// Role rides readiness so a load balancer (and the failover drill)
 		// can tell a ready read-only follower from the mutation-serving
 		// primary without a second request.
 		body := map[string]any{
-			"ready":      !degraded && !recovering && !overloaded,
+			"ready":      !degraded && !recovering && !overloaded && !leaseLost,
 			"degraded":   degraded,
 			"recovering": recovering,
 			"overloaded": overloaded,
 			"role":       s.Role(),
 		}
+		if leaseLost {
+			body["lease_lost"] = true
+		}
 		if reason != "" {
 			body["degraded_reason"] = reason
 		}
-		if degraded || recovering || overloaded {
+		if degraded || recovering || overloaded || leaseLost {
 			w.Header().Set("Retry-After", strconv.FormatInt(int64(s.RetryAfterHint()/time.Second), 10))
 			writeJSON(w, http.StatusServiceUnavailable, body)
 			return
@@ -520,9 +545,10 @@ func writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case errors.Is(err, ErrConflict):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
-	case errors.Is(err, ErrNotPrimary):
+	case errors.Is(err, ErrNotPrimary), errors.Is(err, ErrFenced):
 		// Retryable: during failover the client's next attempt (after the
-		// hint, or via the front layer's 307) lands on the new primary.
+		// hint, or via the front layer's 307) lands on the new primary —
+		// or back here once a fenced primary's lease renews.
 		writeShed(w, http.StatusServiceUnavailable, time.Second, err.Error())
 	case errors.Is(err, ErrOverloaded):
 		writeShed(w, http.StatusServiceUnavailable, time.Second, err.Error())

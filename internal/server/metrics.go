@@ -135,6 +135,13 @@ func writeMetrics(w io.Writer, st Stats) {
 		fmt.Fprintf(w, "# HELP drqos_role Replication role of this node (1 on the active label).\n# TYPE drqos_role gauge\ndrqos_role{role=%q} 1\n", r.Role)
 		gauge("drqos_replica_term", "Current replication fencing term.", r.Term)
 		counter("drqos_promotions_total", "Times this node promoted from follower to primary.", r.Promotions)
+		if r.Role == "primary" && r.LeaseEnabled {
+			lost := 0
+			if r.LeaseLost {
+				lost = 1
+			}
+			gauge("drqos_replica_lease_lost", "1 while the primary's standby-granted replication lease has lapsed and mutations are fenced.", lost)
+		}
 		if r.Role == "follower" {
 			gauge("drqos_replica_lag_seq", "Journal records the primary has durably written that this follower has not yet applied.", r.LagSeq)
 			gauge("drqos_replica_lag_seconds", "Time since this follower last successfully fetched from the primary.", r.LagSeconds)

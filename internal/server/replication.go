@@ -68,6 +68,11 @@ type ReplicaStats struct {
 	// Primary side.
 	Followers     int    `json:"followers,omitempty"`
 	ReplicatedSeq uint64 `json:"replicated_seq,omitempty"`
+	// LeaseEnabled reports that this primary gates acknowledgments on a
+	// standby-granted lease; LeaseLost that the lease has lapsed and the
+	// node is fenced (mutations answer 503 until a standby confirms again).
+	LeaseEnabled bool `json:"lease_enabled,omitempty"`
+	LeaseLost    bool `json:"lease_lost,omitempty"`
 }
 
 // Role reports the replication role: "primary" or "follower".

@@ -98,6 +98,16 @@ var ErrConflict = errors.New("server: conflict")
 // with the primary's address when it knows one).
 var ErrNotPrimary = errors.New("server: not primary, mutations refused in follower role")
 
+// ErrFenced reports a mutation the primary could not safely acknowledge
+// because its standby-granted replication lease lapsed (a partition, or a
+// standby that stopped confirming): the write may not reach a standby that
+// is about to promote, so acking it would lose it across the failover.
+// Unlike ErrNotPrimary this is a primary-side refusal — the node keeps its
+// role and resumes the moment a standby confirms again. Mapped to HTTP 503
+// + Retry-After (retryable: the client's next attempt lands after the
+// lease renews or on the promoted standby).
+var ErrFenced = errors.New("server: replication lease lost, mutation not acknowledged")
+
 // lane identifies which priority queue a command rides.
 type lane int
 

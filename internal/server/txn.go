@@ -34,6 +34,12 @@ type TxnState struct {
 	Peers     uint32
 	Conns     []channel.ConnID
 	Committed bool
+	// runs maps the coordinator's per-run idempotency tag to the pinned
+	// connection, so a prepare retried after a phase timeout returns the
+	// existing pin instead of reserving twice. In-memory only: a crash
+	// clears it along with the coordinator's retry state, and boot
+	// reconciliation resolves whatever was in flight.
+	runs map[uint64]channel.ConnID
 }
 
 // TxnInfo is a read-only view of one transaction, with enough per-
@@ -57,11 +63,15 @@ type TxnConnInfo struct {
 // sub-path as a rigid (Min==Max, no-backup) connection at spec.Min. The
 // spec must be rigid. A transaction may receive several prepares on the
 // same shard (one per contiguous run of locally-owned links); each appends
-// another pinned connection. Prepares ride the consuming lane — they
-// reserve capacity — and obey the same degraded/journal guards as
-// Establish. On a domain rejection (no capacity, failed link) nothing is
-// pinned and the coordinator aborts the transaction.
-func (s *Server) PrepareTxn(ctx context.Context, txn uint64, peers uint32, src, dst topology.NodeID, spec qos.ElasticSpec, path routing.Path) (*manager.ArrivalReport, error) {
+// another pinned connection, keyed by run — the coordinator's per-run
+// idempotency tag. A retried prepare carrying a run this shard already
+// pinned (the first attempt applied but its reply was lost) answers the
+// existing pin instead of reserving the capacity twice. Prepares ride the
+// consuming lane — they reserve capacity — and obey the same
+// degraded/journal guards as Establish. On a domain rejection (no
+// capacity, failed link) nothing is pinned and the coordinator aborts the
+// transaction.
+func (s *Server) PrepareTxn(ctx context.Context, txn, run uint64, peers uint32, src, dst topology.NodeID, spec qos.ElasticSpec, path routing.Path) (*manager.ArrivalReport, error) {
 	type out struct {
 		rep *manager.ArrivalReport
 		err error
@@ -86,9 +96,19 @@ func (s *Server) PrepareTxn(ctx context.Context, txn uint64, peers uint32, src, 
 			ch <- out{nil, fmt.Errorf("%w: node out of range", ErrNotFound), 0}
 			return
 		}
-		if tx := s.txns[txn]; tx != nil && tx.Committed {
-			ch <- out{nil, fmt.Errorf("%w: txn %d already committed", ErrConflict, txn), 0}
-			return
+		if tx := s.txns[txn]; tx != nil {
+			if tx.Committed {
+				ch <- out{nil, fmt.Errorf("%w: txn %d already committed", ErrConflict, txn), 0}
+				return
+			}
+			if id, ok := tx.runs[run]; ok {
+				// Retried prepare: the first attempt pinned this run and the
+				// coordinator lost the reply. Answer the existing pin.
+				if c := m.Conn(id); c != nil && c.Alive() {
+					ch <- out{&manager.ArrivalReport{Conn: c}, nil, 0}
+					return
+				}
+			}
 		}
 		ev := journal.Event{
 			Kind: journal.KindPrepare,
@@ -117,6 +137,10 @@ func (s *Server) PrepareTxn(ctx context.Context, txn uint64, peers uint32, src, 
 				s.txns[txn] = tx
 			}
 			tx.Conns = append(tx.Conns, rep.Conn.ID)
+			if tx.runs == nil {
+				tx.runs = make(map[uint64]channel.ConnID)
+			}
+			tx.runs[run] = rep.Conn.ID
 		}
 		s.maybeSnapshot(m)
 		s.markEpochDirty()
@@ -279,6 +303,47 @@ func (s *Server) Txns(ctx context.Context) ([]TxnInfo, error) {
 		return nil, err
 	}
 	return await(ctx, ch)
+}
+
+// ConnStatus is the point-lookup view of one connection
+// (GET /v1/connections/{id}).
+type ConnStatus struct {
+	ID            int64 `json:"id"`
+	Alive         bool  `json:"alive"`
+	Level         int   `json:"level"`
+	BandwidthKbps int64 `json:"bandwidth_kbps"`
+	HasBackup     bool  `json:"has_backup"`
+}
+
+// ConnStatus looks up one connection in the loop. Unknown IDs answer
+// ErrNotFound; terminated or failure-dropped connections answer with
+// Alive=false.
+func (s *Server) ConnStatus(ctx context.Context, id channel.ConnID) (*ConnStatus, error) {
+	ch := make(chan *ConnStatus, 1)
+	if err := s.submit(ctx, laneFreeing, false, func(m *manager.Manager) {
+		c := m.Conn(id)
+		if c == nil {
+			ch <- nil
+			return
+		}
+		st := &ConnStatus{ID: int64(id), Alive: c.Alive()}
+		if c.Alive() {
+			st.Level = c.Level
+			st.BandwidthKbps = int64(c.Bandwidth())
+			st.HasBackup = c.HasBackup
+		}
+		ch <- st
+	}); err != nil {
+		return nil, err
+	}
+	st, err := await(ctx, ch)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, fmt.Errorf("%w: connection %d", ErrNotFound, id)
+	}
+	return st, nil
 }
 
 // StateFingerprint exports the manager state in the loop and returns its

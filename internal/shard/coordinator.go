@@ -25,6 +25,7 @@ import (
 	"drqos/internal/journal"
 	"drqos/internal/manager"
 	"drqos/internal/qos"
+	"drqos/internal/rng"
 	"drqos/internal/routing"
 	"drqos/internal/server"
 	"drqos/internal/topology"
@@ -33,6 +34,13 @@ import (
 // ErrNoRoute reports that no cross-shard path exists between the endpoints
 // on the non-failed global topology.
 var ErrNoRoute = errors.New("shard: no cross-shard route")
+
+// ErrShardUnavailable reports that a participant shard is suspected
+// unreachable (its last phase call timed out within the suspicion window),
+// so a cross-shard establish through it is refused immediately instead of
+// burning a prepare timeout per request. The HTTP layer maps it to 503
+// with Retry-After.
+var ErrShardUnavailable = errors.New("shard: participant suspected unreachable")
 
 // crossMarker is the low-byte tag of an external connection ID that names
 // a cross-shard transaction instead of a (shard, local conn) pair. Shard
@@ -57,8 +65,27 @@ type Options struct {
 	Journal journal.Options
 	// PrepareTimeout bounds each 2PC phase call against a shard
 	// (default 2s). A prepare that cannot answer in time is treated as a
-	// refusal and the transaction aborts.
+	// refusal and the transaction aborts (presumed abort: the participant
+	// may or may not hold the reservation, so the abort is also queued for
+	// resolution until the shard answers again).
 	PrepareTimeout time.Duration
+	// PrepareRetries is how many extra times a timed-out prepare is
+	// retried before the transaction aborts (default 2). Retries are safe:
+	// prepares are idempotent per (txn, run), so a participant that
+	// applied the original but lost the reply simply re-answers its pinned
+	// connection. Only timeout-class failures retry; domain refusals
+	// (rejection, overload, degraded) abort immediately.
+	PrepareRetries int
+	// SuspectWindow is how long a shard stays suspected unreachable after
+	// a phase-call timeout (default PrepareTimeout). While suspected, new
+	// cross establishes through the shard fail fast with
+	// ErrShardUnavailable; any successful call clears the suspicion.
+	SuspectWindow time.Duration
+	// Invoke, when non-nil, wraps every 2PC phase call (phase is
+	// "prepare", "commit" or "abort") against a participant shard. The
+	// chaos harness injects netchaos here; production leaves it nil
+	// (direct in-process call).
+	Invoke func(ctx context.Context, shard int, phase string, call func(context.Context) error) error
 	// TestHookAfterPrepare, when non-nil, runs after each successful
 	// prepare with the participant's shard index and the transaction ID.
 	// A non-nil error is treated as a prepare failure (the transaction
@@ -89,17 +116,44 @@ type Coordinator struct {
 	shards []*server.Server
 	jnls   []*journal.Journal // nil entries when Dir is empty
 
-	// mu guards the cross-connection index, the failed-link view and the
-	// transaction counter. Shard calls are made outside it whenever
-	// possible; 2PC holds it only to mutate the index.
+	// mu guards the cross-connection index, the failed-link view, the
+	// transaction counter, the pending-resolution queue, the abort-reason
+	// tallies and the retry jitter source. Shard calls are made outside it
+	// whenever possible; 2PC holds it only to mutate the index.
 	mu      sync.Mutex
 	nextTxn uint64
 	cross   map[uint64]*crossConn
 	failed  map[topology.LinkID]bool
+	// pending holds transactions whose outcome is decided but not yet
+	// acknowledged by every participant (a commit or abort call failed —
+	// typically a partitioned shard). The background resolver and
+	// ResolvePending retry them until the participants answer; boot
+	// reconciliation covers the same ground after a crash.
+	pending      map[uint64]*pendingTxn
+	abortReasons map[string]int64
+	jitter       *rng.Source
+
+	// suspect[i] is the UnixNano deadline until which shard i is presumed
+	// unreachable (0 = trusted). Set on phase-call timeout, cleared by any
+	// successful call.
+	suspect []atomic.Int64
 
 	crossAttempts  atomic.Int64
 	crossCommitted atomic.Int64
 	crossAborted   atomic.Int64
+	crossTimeouts  atomic.Int64
+
+	resolverStop chan struct{}
+	resolverOnce sync.Once
+	resolverDone chan struct{}
+}
+
+// pendingTxn is one decided-but-unacknowledged transaction: committed
+// tells the resolver which phase to replay, shards which participants
+// still owe an acknowledgment.
+type pendingTxn struct {
+	committed bool
+	shards    map[int]bool
 }
 
 // EstablishResult is the coordinator-level answer to an establish: the
@@ -132,14 +186,28 @@ func New(g *topology.Graph, opt Options) (*Coordinator, error) {
 	if opt.PrepareTimeout <= 0 {
 		opt.PrepareTimeout = 2 * time.Second
 	}
+	if opt.PrepareRetries < 0 {
+		opt.PrepareRetries = 0
+	} else if opt.PrepareRetries == 0 {
+		opt.PrepareRetries = 2
+	}
+	if opt.SuspectWindow <= 0 {
+		opt.SuspectWindow = opt.PrepareTimeout
+	}
 	c := &Coordinator{
-		g:       g,
-		plan:    plan,
-		opt:     opt,
-		jnls:    make([]*journal.Journal, opt.Shards),
-		nextTxn: 1,
-		cross:   make(map[uint64]*crossConn),
-		failed:  make(map[topology.LinkID]bool),
+		g:            g,
+		plan:         plan,
+		opt:          opt,
+		jnls:         make([]*journal.Journal, opt.Shards),
+		nextTxn:      1,
+		cross:        make(map[uint64]*crossConn),
+		failed:       make(map[topology.LinkID]bool),
+		pending:      make(map[uint64]*pendingTxn),
+		abortReasons: make(map[string]int64),
+		jitter:       rng.New(0xda3e39cb94b95bdb),
+		suspect:      make([]atomic.Int64, opt.Shards),
+		resolverStop: make(chan struct{}),
+		resolverDone: make(chan struct{}),
 	}
 
 	mgrs := make([]*manager.Manager, opt.Shards)
@@ -210,7 +278,30 @@ func New(g *topology.Graph, opt Options) (*Coordinator, error) {
 		}
 		c.shards[i] = srv
 	}
+	go c.resolveLoop()
 	return c, nil
+}
+
+// resolveLoop retries decided-but-unacknowledged transactions in the
+// background until Shutdown, so a healed partition drains its leftover
+// 2PC reservations without waiting for a restart.
+func (c *Coordinator) resolveLoop() {
+	defer close(c.resolverDone)
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.resolverStop:
+			return
+		case <-tick.C:
+			c.mu.Lock()
+			n := len(c.pending)
+			c.mu.Unlock()
+			if n > 0 {
+				c.ResolvePending(context.Background())
+			}
+		}
+	}
 }
 
 func (c *Coordinator) closeJournals() {
@@ -339,6 +430,180 @@ func (c *Coordinator) CrossStats() (attempts, committed, aborted int64) {
 	return c.crossAttempts.Load(), c.crossCommitted.Load(), c.crossAborted.Load()
 }
 
+// CrossTimeouts returns how many 2PC phase calls have timed out.
+func (c *Coordinator) CrossTimeouts() int64 { return c.crossTimeouts.Load() }
+
+// AbortReasons returns a copy of the per-reason abort tallies.
+func (c *Coordinator) AbortReasons() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.abortReasons))
+	for k, v := range c.abortReasons {
+		out[k] = v
+	}
+	return out
+}
+
+// PendingResolutions returns how many decided transactions still await a
+// participant's acknowledgment.
+func (c *Coordinator) PendingResolutions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// suspected reports whether shard i is inside its unreachability window.
+func (c *Coordinator) suspected(i int) bool {
+	until := c.suspect[i].Load()
+	return until > 0 && time.Now().UnixNano() < until
+}
+
+// invoke runs one 2PC phase call against a shard under the phase timeout,
+// through the Invoke hook when one is installed. A timeout (the deadline
+// this call set, not the caller's) marks the shard suspected and counts
+// toward the timeout total; any success clears the suspicion.
+func (c *Coordinator) invoke(ctx context.Context, shard int, phase string, call func(context.Context) error) error {
+	pctx, cancel := context.WithTimeout(ctx, c.opt.PrepareTimeout)
+	defer cancel()
+	var err error
+	if c.opt.Invoke != nil {
+		err = c.opt.Invoke(pctx, shard, phase, call)
+	} else {
+		err = call(pctx)
+	}
+	if err == nil {
+		c.suspect[shard].Store(0)
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		c.crossTimeouts.Add(1)
+		c.suspect[shard].Store(time.Now().Add(c.opt.SuspectWindow).UnixNano())
+		return fmt.Errorf("shard %d: %s timed out after %s: %w", shard, phase, c.opt.PrepareTimeout, err)
+	}
+	return err
+}
+
+// prepareRun prepares one participant with capped jittered retries.
+// Prepares carry the run index as an idempotency tag, so a retry after a
+// delivered-but-unanswered original is recognized and re-answered instead
+// of double-pinning the path. Only timeout-class failures retry — a
+// domain refusal (rejection, overload, degraded) is a real answer.
+func (c *Coordinator) prepareRun(ctx context.Context, r *run, txn uint64, runIdx uint64, peers uint32, rigid qos.ElasticSpec) (*manager.ArrivalReport, error) {
+	backoff := 25 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		var rep *manager.ArrivalReport
+		err := c.invoke(ctx, r.shard, "prepare", func(ic context.Context) error {
+			var perr error
+			rep, perr = c.shards[r.shard].PrepareTxn(ic, txn, runIdx, peers, r.src, r.dst, rigid, r.path)
+			return perr
+		})
+		if err == nil {
+			return rep, nil
+		}
+		if attempt >= c.opt.PrepareRetries || !errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		f := c.jitter.Float64()
+		c.mu.Unlock()
+		sleep := backoff/2 + time.Duration(f*float64(backoff)/2)
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff < 250*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// countAbort tallies one abort under its reason label.
+func (c *Coordinator) countAbort(reason string) {
+	c.crossAborted.Add(1)
+	c.mu.Lock()
+	c.abortReasons[reason]++
+	c.mu.Unlock()
+}
+
+// abortReason classifies a failed phase call for the abort counter.
+func abortReason(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, ErrShardUnavailable):
+		return "unreachable"
+	case errors.Is(err, manager.ErrRejected):
+		return "rejected"
+	case errors.Is(err, server.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, server.ErrDegraded):
+		return "degraded"
+	default:
+		return "error"
+	}
+}
+
+// addPending queues a decided transaction whose listed participants have
+// not acknowledged the outcome yet.
+func (c *Coordinator) addPending(txn uint64, committed bool, shards map[int]bool) {
+	if len(shards) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.pending[txn] = &pendingTxn{committed: committed, shards: shards}
+	c.mu.Unlock()
+}
+
+// ResolvePending replays the decided outcome of every pending transaction
+// to the participants that have not acknowledged it, and returns how many
+// transactions became fully resolved. Suspected shards are skipped (the
+// next pass retries them); ErrNotFound and ErrConflict answers count as
+// resolved — the participant already holds (or never held) the outcome.
+func (c *Coordinator) ResolvePending(ctx context.Context) int {
+	c.mu.Lock()
+	work := make(map[uint64]pendingTxn, len(c.pending))
+	for txn, p := range c.pending {
+		shards := make(map[int]bool, len(p.shards))
+		for s := range p.shards {
+			shards[s] = true
+		}
+		work[txn] = pendingTxn{committed: p.committed, shards: shards}
+	}
+	c.mu.Unlock()
+
+	resolved := 0
+	for txn, p := range work {
+		for s := range p.shards {
+			if c.suspected(s) {
+				continue
+			}
+			var err error
+			if p.committed {
+				err = c.invoke(ctx, s, "commit", func(ic context.Context) error {
+					return c.shards[s].CommitTxn(ic, txn)
+				})
+			} else {
+				err = c.invoke(ctx, s, "abort", func(ic context.Context) error {
+					return c.shards[s].AbortTxn(ic, txn)
+				})
+			}
+			if err == nil || errors.Is(err, server.ErrNotFound) || errors.Is(err, server.ErrConflict) {
+				c.mu.Lock()
+				if cur := c.pending[txn]; cur != nil {
+					delete(cur.shards, s)
+					if len(cur.shards) == 0 {
+						delete(c.pending, txn)
+						resolved++
+					}
+				}
+				c.mu.Unlock()
+			}
+		}
+	}
+	return resolved
+}
+
 // extIntra encodes a shard-local connection as an external ID.
 func extIntra(shard int, id channel.ConnID) int64 { return int64(id)*256 + int64(shard) }
 
@@ -395,52 +660,86 @@ func (c *Coordinator) establishCross(ctx context.Context, src, dst topology.Node
 	for _, r := range runs {
 		peers |= 1 << uint(r.shard)
 	}
+	// Fast-fail before touching anyone: a participant inside its
+	// unreachability window would only burn a prepare timeout to learn
+	// what the last call already taught us.
+	for _, r := range runs {
+		if c.suspected(r.shard) {
+			c.countAbort("unreachable")
+			return nil, fmt.Errorf("%w: shard %d", ErrShardUnavailable, r.shard)
+		}
+	}
 	c.mu.Lock()
 	txn := c.nextTxn
 	c.nextTxn++
 	c.mu.Unlock()
 
+	// prepared are participants that answered a prepare; ambiguous are
+	// ones whose prepare timed out — they may hold the reservation without
+	// us knowing (delivered request, lost reply), so an abort must reach
+	// them too.
 	prepared := make(map[int]bool)
-	abort := func() {
-		c.crossAborted.Add(1)
+	ambiguous := make(map[int]bool)
+	abort := func(reason string) {
+		c.countAbort(reason)
+		unresolved := make(map[int]bool)
 		for s := range prepared {
-			actx, cancel := context.WithTimeout(context.Background(), c.opt.PrepareTimeout)
-			// Tolerate abort errors: a dead or degraded shard resolves the
-			// transaction at next boot (committed nowhere → abort).
-			_ = c.shards[s].AbortTxn(actx, txn)
-			cancel()
+			ambiguous[s] = true
 		}
+		for s := range ambiguous {
+			if c.suspected(s) {
+				unresolved[s] = true
+				continue
+			}
+			// AbortTxn is idempotent (unknown txn is a no-op), so reaching
+			// a participant that never saw the prepare is harmless.
+			err := c.invoke(context.Background(), s, "abort", func(ic context.Context) error {
+				return c.shards[s].AbortTxn(ic, txn)
+			})
+			if err != nil && !errors.Is(err, server.ErrNotFound) {
+				unresolved[s] = true
+			}
+		}
+		// Participants we could not reach keep the presumed-abort pending
+		// until the resolver (or next boot's reconciliation) drains them.
+		c.addPending(txn, false, unresolved)
 	}
-	for _, r := range runs {
-		pctx, cancel := context.WithTimeout(ctx, c.opt.PrepareTimeout)
-		rep, perr := c.shards[r.shard].PrepareTxn(pctx, txn, peers, r.src, r.dst, rigid, r.path)
-		cancel()
+	for i, r := range runs {
+		rep, perr := c.prepareRun(ctx, r, txn, uint64(i), peers, rigid)
 		if perr != nil {
-			abort()
+			if errors.Is(perr, context.DeadlineExceeded) {
+				ambiguous[r.shard] = true
+			}
+			abort(abortReason(perr))
 			return nil, perr
 		}
 		r.connID = rep.Conn.ID
 		prepared[r.shard] = true
 		if c.opt.TestHookAfterPrepare != nil {
 			if herr := c.opt.TestHookAfterPrepare(r.shard, txn); herr != nil {
-				abort()
+				abort("error")
 				return nil, herr
 			}
 		}
 	}
 	// Every prepare is durable: the transaction commits. Per-shard commit
 	// errors are tolerated — the first commit that lands makes the outcome
-	// durable, and boot reconciliation re-commits the stragglers. Count the
-	// commit before issuing it so any snapshot a commit event triggers
-	// already carries the final tally.
+	// durable, and the resolver (or boot reconciliation) re-commits the
+	// stragglers. Count the commit before issuing it so any snapshot a
+	// commit event triggers already carries the final tally.
 	c.crossCommitted.Add(1)
 	parts := make([]part, 0, len(runs))
+	uncommitted := make(map[int]bool)
 	for _, r := range runs {
-		cctx, cancel := context.WithTimeout(context.Background(), c.opt.PrepareTimeout)
-		_ = c.shards[r.shard].CommitTxn(cctx, txn)
-		cancel()
+		err := c.invoke(context.Background(), r.shard, "commit", func(ic context.Context) error {
+			return c.shards[r.shard].CommitTxn(ic, txn)
+		})
+		if err != nil && !errors.Is(err, server.ErrConflict) {
+			uncommitted[r.shard] = true
+		}
 		parts = append(parts, part{shard: r.shard, conn: r.connID})
 	}
+	c.addPending(txn, true, uncommitted)
 	cc := &crossConn{links: append([]topology.LinkID(nil), path.Links...), parts: parts}
 	c.mu.Lock()
 	c.cross[txn] = cc
@@ -629,8 +928,11 @@ func (c *Coordinator) RepairLink(ctx context.Context, l topology.LinkID) (int, e
 	return restored, nil
 }
 
-// Shutdown stops every shard server and closes every journal.
+// Shutdown stops the background resolver, every shard server, and every
+// journal.
 func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.resolverOnce.Do(func() { close(c.resolverStop) })
+	<-c.resolverDone
 	var first error
 	for _, s := range c.shards {
 		if err := s.Shutdown(ctx); err != nil && first == nil {

@@ -71,13 +71,20 @@ type ShardsResponse struct {
 
 // StatsResponse is the aggregated service view plus each shard's own Stats.
 type StatsResponse struct {
-	Shards         int            `json:"shards"`
-	Aggregate      server.Stats   `json:"aggregate"`
-	CrossAttempts  int64          `json:"cross_attempts"`
-	CrossCommitted int64          `json:"cross_committed"`
-	CrossAborted   int64          `json:"cross_aborted"`
-	CrossActive    int            `json:"cross_active"`
-	PerShard       []server.Stats `json:"per_shard"`
+	Shards         int          `json:"shards"`
+	Aggregate      server.Stats `json:"aggregate"`
+	CrossAttempts  int64        `json:"cross_attempts"`
+	CrossCommitted int64        `json:"cross_committed"`
+	CrossAborted   int64        `json:"cross_aborted"`
+	CrossActive    int          `json:"cross_active"`
+	// CrossTimeouts counts 2PC phase calls that hit their deadline;
+	// CrossPending counts decided transactions still awaiting a
+	// participant's acknowledgment; CrossAbortReasons tallies aborts by
+	// cause.
+	CrossTimeouts     int64            `json:"cross_timeouts"`
+	CrossPending      int              `json:"cross_pending"`
+	CrossAbortReasons map[string]int64 `json:"cross_abort_reasons,omitempty"`
+	PerShard          []server.Stats   `json:"per_shard"`
 }
 
 type errorBody struct {
@@ -251,6 +258,12 @@ func NewHandler(c *Coordinator, opts ...HandlerOption) http.Handler {
 		counter("drqos_cross_establish_total", "Cross-shard two-phase establishes attempted.", resp.CrossAttempts)
 		counter("drqos_cross_commit_total", "Cross-shard transactions committed.", resp.CrossCommitted)
 		counter("drqos_cross_abort_total", "Cross-shard transactions aborted.", resp.CrossAborted)
+		counter("drqos_2pc_timeouts_total", "Cross-shard 2PC phase calls that hit their deadline.", resp.CrossTimeouts)
+		gauge("drqos_2pc_pending_resolutions", "Decided cross-shard transactions still awaiting a participant acknowledgment.", resp.CrossPending)
+		fmt.Fprintf(w, "# HELP drqos_2pc_aborts_total Cross-shard transactions aborted, by reason.\n# TYPE drqos_2pc_aborts_total counter\n")
+		for _, reason := range []string{"timeout", "unreachable", "rejected", "overloaded", "degraded", "error"} {
+			fmt.Fprintf(w, "drqos_2pc_aborts_total{reason=%q} %d\n", reason, resp.CrossAbortReasons[reason])
+		}
 		fmt.Fprintf(w, "# HELP drqos_shard_connections_alive Alive connections per shard.\n# TYPE drqos_shard_connections_alive gauge\n")
 		for i, st := range resp.PerShard {
 			fmt.Fprintf(w, "drqos_shard_connections_alive{shard=\"%d\"} %d\n", i, st.Alive)
@@ -352,6 +365,9 @@ func (c *Coordinator) statsResponse() StatsResponse {
 	resp.CrossActive = len(c.cross)
 	c.mu.Unlock()
 	resp.CrossAttempts, resp.CrossCommitted, resp.CrossAborted = c.CrossStats()
+	resp.CrossTimeouts = c.CrossTimeouts()
+	resp.CrossPending = c.PendingResolutions()
+	resp.CrossAbortReasons = c.AbortReasons()
 	resp.Aggregate = agg
 	return resp
 }
@@ -386,7 +402,7 @@ func writeError(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
 	case errors.Is(err, server.ErrConflict):
 		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
-	case errors.Is(err, server.ErrOverloaded):
+	case errors.Is(err, server.ErrOverloaded), errors.Is(err, ErrShardUnavailable):
 		writeShed(w, http.StatusServiceUnavailable, time.Second, err.Error())
 	case errors.Is(err, server.ErrDegraded), errors.Is(err, server.ErrServerClosed):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})

@@ -1,0 +1,114 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"drqos/internal/netchaos"
+	"drqos/internal/qos"
+	"drqos/internal/shard"
+)
+
+// TestSuspectedShardFastFail503: once a participant times out a 2PC phase
+// it is suspected, and until the suspicion lapses the plane refuses new
+// cross establishes through it instantly — over HTTP as a 503 with
+// Retry-After, never burning another prepare timeout per request. The
+// unresolved abort it left behind drains after the heal.
+func TestSuspectedShardFastFail503(t *testing.T) {
+	g := tierGraph(t, 7)
+	net := netchaos.New(11)
+	c := newCoordinator(t, g, shard.Options{
+		Shards:         4,
+		PrepareTimeout: 50 * time.Millisecond,
+		SuspectWindow:  time.Second,
+		Invoke: func(ctx context.Context, s int, phase string, call func(context.Context) error) error {
+			return net.Do(ctx, "coord", fmt.Sprintf("shard-%d", s), call)
+		},
+	})
+	src, dst := crossPair(g, c.Plan())
+	ctx := context.Background()
+
+	// Learn the deterministic participant order, then release the probe.
+	var participants []int
+	c.SetTestHookAfterPrepare(func(s int, txn uint64) error {
+		participants = append(participants, s)
+		return nil
+	})
+	probe, err := c.Establish(ctx, src, dst, qos.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Terminate(ctx, probe.ID); err != nil {
+		t.Fatal(err)
+	}
+	c.SetTestHookAfterPrepare(nil)
+	if len(participants) < 2 {
+		t.Fatalf("cross path touched %d shards, want >= 2", len(participants))
+	}
+	victim := participants[len(participants)-1]
+	net.SetRule("coord", fmt.Sprintf("shard-%d", victim), netchaos.Rule{DropRequest: 1})
+
+	// Doomed establish: prepare times out (after retries), presumed abort,
+	// the unreachable victim's abort queues for resolution.
+	if _, err := c.Establish(ctx, src, dst, qos.DefaultSpec()); err == nil {
+		t.Fatal("establish through a partitioned shard succeeded")
+	}
+	if c.CrossTimeouts() == 0 {
+		t.Fatal("no 2PC phase timeout counted")
+	}
+	if c.PendingResolutions() == 0 {
+		t.Fatal("unreachable participant left nothing pending resolution")
+	}
+
+	// While suspected: instant 503 over HTTP, with Retry-After.
+	srv := httptest.NewServer(shard.NewHandler(c))
+	defer srv.Close()
+	start := time.Now()
+	resp, err := http.Post(srv.URL+"/v1/connections", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"src":%d,"dst":%d}`, src, dst)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 25*time.Millisecond {
+		t.Fatalf("suspected-shard establish took %s over HTTP, want a fast refusal", elapsed)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("suspected-shard establish answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("fast-fail 503 carries no Retry-After")
+	}
+	if _, err := c.Establish(ctx, src, dst, qos.DefaultSpec()); !errors.Is(err, shard.ErrShardUnavailable) {
+		t.Fatalf("direct establish during suspicion: %v, want ErrShardUnavailable", err)
+	}
+
+	// Heal and outwait the suspicion window (resolution skips suspected
+	// shards); the queued abort then lands and the queue drains.
+	net.Heal()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.PendingResolutions() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d transactions still pending after heal", c.PendingResolutions())
+		}
+		c.ResolvePending(ctx)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if reasons := c.AbortReasons(); reasons["timeout"] == 0 {
+		t.Fatalf("abort reasons %v, want a timeout entry", reasons)
+	}
+	if _, err := c.Establish(ctx, src, dst, qos.DefaultSpec()); err != nil {
+		t.Fatalf("post-heal cross establish: %v", err)
+	}
+	for i := 0; i < c.NumShards(); i++ {
+		if err := c.Shard(i).CheckInvariants(ctx); err != nil {
+			t.Fatalf("shard %d invariants after heal: %v", i, err)
+		}
+	}
+}

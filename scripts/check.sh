@@ -38,6 +38,13 @@
 #                                survive by rotating endpoints, and require
 #                                the rejoined ex-primary to converge to a
 #                                bit-identical state fingerprint
+#   scripts/check.sh --partition build + panic gate + netchaos/lease/2PC
+#                                partition tests under -race, 20 seeded
+#                                partition episodes, then a live leased
+#                                pair: promote interlock probed over HTTP,
+#                                a drload acked-mutation ledger run, kill
+#                                -9 + manual promote, and a second ledger
+#                                run gated on acked_lost=0
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -536,6 +543,132 @@ if [ "${1:-}" = "--failover" ]; then
     kill -TERM "$B_PID"; wait "$B_PID" 2>/dev/null || true
     B_PID=""
     echo "== OK (failover)"
+    exit 0
+fi
+
+if [ "${1:-}" = "--partition" ]; then
+    # In-process first: the fault injector itself, the lease-fencing
+    # matrix (symmetric + both asymmetric shapes, promote interlock), the
+    # 2PC suspicion fast-path, and the seeded partition episodes — all
+    # race-enabled.
+    echo "== netchaos + lease + 2PC-suspicion tests under -race"
+    go test -race -count 1 ./internal/netchaos/
+    go test -race -count 1 -run 'TestLease|TestPromoteInterlock' ./internal/replica/
+    go test -race -count 1 -run 'TestSuspectedShardFastFail503' ./internal/shard/
+    go test -race -count 1 -short -run 'TestRunPartition' ./internal/chaos/
+    echo "== chaos: 20 seeded partition episodes under -race"
+    go run -race ./cmd/chaos -partition -episodes 20 -q
+
+    # End-to-end: a real two-node pair with lease fencing on, the manual
+    # promote interlock probed over HTTP, and the drload acked-mutation
+    # ledger gated on zero loss across a kill + manual promote.
+    TMP="$(mktemp -d)"
+    A_PID=""
+    B_PID=""
+    cleanup() {
+        [ -n "$A_PID" ] && kill -9 "$A_PID" 2>/dev/null || true
+        [ -n "$B_PID" ] && kill -9 "$B_PID" 2>/dev/null || true
+        rm -rf "$TMP"
+    }
+    trap cleanup EXIT
+    A=127.0.0.1:18086
+    B=127.0.0.1:18087
+    echo "== building drserverd + drload"
+    go build -o "$TMP/drserverd" ./cmd/drserverd
+    go build -o "$TMP/drload" ./cmd/drload
+
+    wait_up() {
+        i=0
+        while ! curl -fsS "$1/healthz" >/dev/null 2>&1; do
+            i=$((i + 1))
+            if [ "$i" -ge 100 ]; then
+                echo "FAIL: $1 did not come up; logs:" >&2
+                cat "$TMP"/*.log >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+    }
+
+    echo "== partition smoke 1: boot leased primary + manual-failover standby"
+    "$TMP/drserverd" -addr "$A" -nodes 40 -seed 7 -data-dir "$TMP/a" \
+        -fsync -1 -advertise "http://$A" -lease 200ms >"$TMP/a.log" 2>&1 &
+    A_PID=$!
+    wait_up "http://$A"
+    # -failover-timeout 0: the standby never self-promotes; failover is
+    # exercised through the manual promote endpoint and its interlock.
+    "$TMP/drserverd" -addr "$B" -nodes 40 -seed 7 -data-dir "$TMP/b" \
+        -fsync -1 -advertise "http://$B" -replica-of "http://$A" \
+        -failover-timeout 0 -lease 200ms >"$TMP/b.log" 2>&1 &
+    B_PID=$!
+    wait_up "http://$B"
+    if ! curl -fsS "http://$A/metrics" | grep -q '^drqos_replica_lease_lost 0'; then
+        echo "FAIL: leased primary does not export drqos_replica_lease_lost" >&2
+        curl -fsS "http://$A/metrics" | grep '^drqos_replica' >&2 || true
+        exit 1
+    fi
+
+    echo "== partition smoke 2: promote interlock refuses while the primary is alive"
+    CODE=$(curl -s -o "$TMP/promote1.json" -w '%{http_code}' \
+        -X POST "http://$B/v1/admin/promote" -d '{}')
+    if [ "$CODE" != "409" ]; then
+        echo "FAIL: promote with a live primary answered $CODE, want 409" >&2
+        cat "$TMP/promote1.json" >&2 || true
+        exit 1
+    fi
+    if ! grep -q 'force' "$TMP/promote1.json"; then
+        echo "FAIL: interlock refusal does not mention the force override" >&2
+        cat "$TMP/promote1.json" >&2
+        exit 1
+    fi
+
+    echo "== partition smoke 3: drload ledger run against the healthy pair"
+    "$TMP/drload" -addr "http://$A,http://$B" -workers 4 -requests 300 \
+        -seed 29 -terminate-frac 0.2 -fault-frac 0 -retries 6 \
+        >"$TMP/load1.log" 2>&1
+    if ! grep -q 'acked_lost=0' "$TMP/load1.log"; then
+        echo "FAIL: healthy-pair drload run reported acked loss (or no ledger)" >&2
+        cat "$TMP/load1.log" >&2
+        exit 1
+    fi
+
+    echo "== partition smoke 4: kill -9 the primary, manual promote succeeds"
+    kill -9 "$A_PID"; wait "$A_PID" 2>/dev/null || true
+    A_PID=""
+    # The interlock window (one lease) has to lapse before the standby
+    # stops vouching for its primary.
+    i=0
+    while :; do
+        CODE=$(curl -s -o "$TMP/promote2.json" -w '%{http_code}' \
+            -X POST "http://$B/v1/admin/promote" -d '{}')
+        [ "$CODE" = "200" ] && break
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "FAIL: manual promote never succeeded after the kill (last: $CODE)" >&2
+            cat "$TMP/promote2.json" >&2 || true
+            tail -30 "$TMP/b.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if ! curl -fsS "http://$B/readyz" | grep -q '"role": *"primary"'; then
+        echo "FAIL: standby does not report the primary role after manual promote" >&2
+        curl -fsS "http://$B/readyz" >&2 || true
+        exit 1
+    fi
+
+    echo "== partition smoke 5: drload ledger run against the survivor, zero acked loss"
+    "$TMP/drload" -addr "http://$A,http://$B" -workers 4 -requests 300 \
+        -seed 31 -terminate-frac 0.2 -fault-frac 0 -retries 6 \
+        >"$TMP/load2.log" 2>&1
+    if ! grep -q 'acked_lost=0' "$TMP/load2.log"; then
+        echo "FAIL: post-failover drload run reported acked loss (or no ledger)" >&2
+        cat "$TMP/load2.log" >&2
+        exit 1
+    fi
+    kill -TERM "$B_PID"; wait "$B_PID" 2>/dev/null || true
+    B_PID=""
+    echo "== OK (partition)"
     exit 0
 fi
 
